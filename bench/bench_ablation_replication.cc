@@ -1,0 +1,83 @@
+// Ablation: which replication design choice drives the paper's
+// orders-of-magnitude lag differences (§III-F)?
+//
+// Holding the CDB3 substrate fixed, we independently vary (1) the replay
+// mode / lane count and (2) the log-shipping cadence, and report the
+// update-lag and the replayer's sustained apply rate. Expected outcome:
+// the shipping cadence sets the lag floor (a record cannot apply before it
+// ships), while replay parallelism determines whether the replica keeps up
+// at high write rates — both effects the paper attributes to the SUTs'
+// architectures.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cloudybench::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  repl::ReplayMode mode;
+  int lanes;
+  sim::SimTime ship_interval;
+};
+
+void Run(const BenchArgs& args) {
+  std::vector<Variant> variants = {
+      {"sequential, ship 2s", repl::ReplayMode::kSequential, 1, sim::Seconds(2)},
+      {"sequential, ship 300ms", repl::ReplayMode::kSequential, 1, sim::Millis(300)},
+      {"sequential, ship 20ms", repl::ReplayMode::kSequential, 1, sim::Millis(20)},
+      {"parallel x2, ship 20ms", repl::ReplayMode::kParallel, 2, sim::Millis(20)},
+      {"parallel x8, ship 20ms", repl::ReplayMode::kParallel, 8, sim::Millis(20)},
+      {"parallel x8, ship 2ms", repl::ReplayMode::kParallel, 8, sim::Millis(2)},
+      {"invalidation, ship 2ms", repl::ReplayMode::kRemoteInvalidation, 16, sim::Millis(2)},
+  };
+
+  std::printf(
+      "=== Ablation: replication design choices on one substrate (CDB3 "
+      "base, I/U/D 40/40/20, con=40) ===\n\n");
+  util::TablePrinter table({"Variant", "UpdateLag(ms)", "InsertLag(ms)",
+                            "Applied", "Converged"});
+  for (const Variant& v : variants) {
+    SalesWorkloadConfig cfg = SalesWorkloadConfig::IudMix(40, 40, 20);
+    cfg.seed = args.seed;
+    sim::Environment env;
+    cloud::ClusterConfig cluster_cfg = sut::MakeProfile(sut::SutKind::kCdb3);
+    sut::FreezeAtMaxCapacity(&cluster_cfg);
+    cluster_cfg.replay.mode = v.mode;
+    cluster_cfg.replay.parallel_lanes = v.lanes;
+    cluster_cfg.replay.ship_interval = v.ship_interval;
+    cloud::Cluster cluster(&env, cluster_cfg, 1);
+    cluster.Load(sales::Schemas(), 1);
+    cluster.PrewarmBuffers();
+
+    LagTimeEvaluator::Options options;
+    options.concurrency = 40;
+    options.warmup = sim::Seconds(1);
+    options.measure = args.full ? sim::Seconds(8) : sim::Seconds(4);
+    options.insert_pct = 40;
+    options.update_pct = 40;
+    options.delete_pct = 20;
+    LagTimeResult r = LagTimeEvaluator::Run(&env, &cluster, options);
+    bool converged = cluster.replayer(0)->applied_lsn() ==
+                     cluster.log_manager()->appended_lsn();
+    table.AddRow({v.name, F2(r.update_lag_ms), F2(r.insert_lag_ms),
+                  F0(static_cast<double>(r.records_applied)),
+                  converged ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: the shipping cadence dominates the lag (2s -> "
+      "300ms -> 20ms -> 2ms),\nwhile lanes matter for sustained apply "
+      "rate; RDMA invalidation removes the replay cost too.\n");
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef CLOUDYBENCH_BENCH_BENCH_COMMON_H_
+#define CLOUDYBENCH_BENCH_BENCH_COMMON_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cluster.h"
+#include "core/collector.h"
+#include "core/evaluators.h"
+#include "core/sales_workload.h"
+#include "core/workload_manager.h"
+#include "sim/environment.h"
+#include "sut/profiles.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace cloudybench::bench {
+
+/// Common command-line handling for the reproduction benches. Every bench
+/// accepts:
+///   --full         paper-scale sweep (longer; default is a representative
+///                  subset so `for b in bench/*; do $b; done` stays quick)
+///   --seed=N       RNG seed
+struct BenchArgs {
+  bool full = false;
+  uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a == "--full") {
+        args.full = true;
+      } else if (util::StartsWith(a, "--seed=")) {
+        int64_t v = 0;
+        CB_CHECK(util::ParseInt64(a.substr(7), &v)) << "bad --seed";
+        args.seed = static_cast<uint64_t>(v);
+      } else if (a == "--help" || a == "-h") {
+        std::printf("flags: --full --seed=N\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+/// One deployed SUT ready to benchmark: environment + loaded, prewarmed
+/// cluster. Construct one per measurement cell (fresh, deterministic).
+struct SutRig {
+  SutRig(sut::SutKind kind, int64_t sf, int n_ro,
+         const std::vector<storage::TableSchema>& schemas,
+         bool freeze = true, double time_scale = 1.0) {
+    cloud::ClusterConfig cfg = sut::MakeProfile(kind, time_scale);
+    if (freeze) sut::FreezeAtMaxCapacity(&cfg);
+    cluster = std::make_unique<cloud::Cluster>(&env, cfg, n_ro);
+    cluster->Load(schemas, sf);
+    cluster->PrewarmBuffers();
+  }
+
+  sim::Environment env;
+  std::unique_ptr<cloud::Cluster> cluster;
+};
+
+/// Enables serverless behaviour for elasticity runs: the autoscaler policy
+/// stays as profiled and memory follows vCores.
+inline void MakeServerless(cloud::ClusterConfig* cfg) {
+  if (cfg->autoscaler.policy != cloud::ScalingPolicy::kFixed) {
+    cfg->node.memory_follows_vcores = true;
+    cfg->node.vcores = cfg->autoscaler.min_vcores;
+    cfg->node.memory_gb =
+        cfg->autoscaler.min_vcores * cfg->node.memory_gb_per_vcore;
+  }
+}
+
+inline std::string F0(double v) { return util::FormatDouble(v, 0); }
+inline std::string F1(double v) { return util::FormatDouble(v, 1); }
+inline std::string F2(double v) { return util::FormatDouble(v, 2); }
+inline std::string F4(double v) { return util::FormatDouble(v, 4); }
+inline std::string Dollars(double v) {
+  return "$" + util::FormatDouble(v, 4);
+}
+
+}  // namespace cloudybench::bench
+
+#endif  // CLOUDYBENCH_BENCH_BENCH_COMMON_H_

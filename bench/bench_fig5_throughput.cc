@@ -1,0 +1,68 @@
+// Reproduces Figure 5: transaction-processing throughput of the five cloud
+// databases across scale factors (SF1/SF10/SF100), workload patterns
+// (read-only / read-write / write-only) and concurrency levels.
+//
+// Paper shapes to hold: CDB4 highest overall (~3x CDB2); CDB2's TPS caps as
+// concurrency grows (44 MB buffer); CDB3 beats CDB1/CDB2 (local file cache
+// + parallel replay); AWS RDS leads RW at SF1/low concurrency but falls
+// behind as data and concurrency grow (dirty-page flushing).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cloudybench::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  std::vector<int64_t> sfs = args.full ? std::vector<int64_t>{1, 10, 100}
+                                       : std::vector<int64_t>{1, 100};
+  std::vector<int> cons = args.full ? std::vector<int>{50, 100, 150, 200}
+                                    : std::vector<int>{50, 100, 200};
+  struct Mode {
+    const char* name;
+    SalesWorkloadConfig cfg;
+  };
+  std::vector<Mode> modes = {{"RO", SalesWorkloadConfig::ReadOnly()},
+                             {"RW", SalesWorkloadConfig::ReadWrite()},
+                             {"WO", SalesWorkloadConfig::WriteOnly()}};
+
+  std::printf("=== Figure 5: OLTP throughput (TPS), 1 RW + 1 RO node ===\n");
+  for (int64_t sf : sfs) {
+    util::TablePrinter table([&] {
+      std::vector<std::string> headers{"System", "Mode"};
+      for (int con : cons) headers.push_back("con=" + std::to_string(con));
+      return headers;
+    }());
+    for (sut::SutKind kind : sut::AllSuts()) {
+      for (const Mode& mode : modes) {
+        std::vector<std::string> row{sut::SutName(kind), mode.name};
+        for (int con : cons) {
+          SalesWorkloadConfig cfg = mode.cfg;
+          cfg.seed = args.seed;
+          SalesTransactionSet txns(cfg);
+          SutRig rig(kind, sf, /*n_ro=*/1, txns.Schemas());
+          OltpEvaluator::Options options;
+          options.concurrency = con;
+          options.warmup = sim::Seconds(1);
+          options.measure = args.full ? sim::Seconds(3) : sim::Seconds(2);
+          OltpResult result =
+              OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options);
+          row.push_back(F0(result.mean_tps));
+        }
+        table.AddRow(row);
+      }
+      table.AddSeparator();
+    }
+    table.Print("\n--- SF" + std::to_string(sf) + " ---");
+  }
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

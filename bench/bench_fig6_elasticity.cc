@@ -1,0 +1,94 @@
+// Reproduces Figure 6: elasticity evaluation — average TPS, total cost
+// (execution + scaling) and E1-Score for the four elastic patterns under
+// read-only / read-write / write-only modes at SF1.
+//
+// Paper shapes: performance rank CDB4 > RDS > CDB2 > CDB3 > CDB1 (fixed
+// configurations trade cost for TPS); the fixed SUTs' cost is an order of
+// magnitude above CDB3's (on-demand + pause/resume); E1 rank
+// CDB3 > CDB2 > CDB4 > RDS > CDB1.
+//
+// Time slots are compressed (6 s per slot, control-plane constants scaled
+// by 0.1) — scaling behaviour is proportionally identical to the paper's
+// 60 s slots; see DESIGN.md.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cloudybench::bench {
+namespace {
+
+constexpr double kTimeScale = 0.1;
+
+void Run(const BenchArgs& args) {
+  int tau = 110;  // the paper's calibrated saturation concurrency
+  sim::SimTime slot = sim::Seconds(60 * kTimeScale);
+
+  struct Mode {
+    const char* name;
+    SalesWorkloadConfig cfg;
+  };
+  std::vector<Mode> modes = {{"RO", SalesWorkloadConfig::ReadOnly()},
+                             {"RW", SalesWorkloadConfig::ReadWrite()},
+                             {"WO", SalesWorkloadConfig::WriteOnly()}};
+  if (!args.full) {
+    modes = {{"RW", SalesWorkloadConfig::ReadWrite()}};
+  }
+
+  std::printf(
+      "=== Figure 6: elasticity — TPS, total cost, E1-Score "
+      "(SF1, tau=%d, slot=%.0fs, time-scale %.1f) ===\n",
+      tau, slot.ToSeconds(), kTimeScale);
+  for (const Mode& mode : modes) {
+    util::TablePrinter table({"System", "Pattern", "Schedule", "TPS",
+                              "TotalCost", "ScaledCost", "E1-Score"});
+    for (sut::SutKind kind : sut::AllSuts()) {
+      for (ElasticityPattern pattern : AllElasticityPatterns()) {
+        SalesWorkloadConfig cfg = mode.cfg;
+        cfg.seed = args.seed;
+        SalesTransactionSet txns(cfg);
+        // Serverless SUTs run with autoscaling enabled; fixed SUTs
+        // (RDS, CDB4) keep their provisioned size — exactly the contrast
+        // the paper evaluates.
+        cloud::ClusterConfig cluster_cfg = sut::MakeProfile(kind, kTimeScale);
+        MakeServerless(&cluster_cfg);
+        sim::Environment env;
+        cloud::Cluster cluster(&env, cluster_cfg, 0);
+        cluster.Load(txns.Schemas(), 1);
+        cluster.PrewarmBuffers();
+
+        ElasticityEvaluator::Options options;
+        options.tau = tau;
+        options.slot = slot;
+        options.cost_window_slots = 10;
+        ElasticityResult result = ElasticityEvaluator::Run(
+            &env, &cluster, &txns, pattern, options);
+
+        std::string schedule;
+        for (size_t i = 0; i < result.schedule.size(); ++i) {
+          schedule += (i > 0 ? "," : "") + std::to_string(result.schedule[i]);
+        }
+        // "ScaledCost" isolates the components elasticity actually varies
+        // (cpu+mem+iops, the E1 denominator) — this is where the paper's
+        // 9-12x fixed-vs-CDB3 cost gap lives; storage+network are flat.
+        double scaled_cost = result.total_cost.cpu + result.total_cost.memory +
+                             result.total_cost.iops;
+        table.AddRow({sut::SutName(kind), ElasticityPatternName(pattern),
+                      "(" + schedule + ")", F0(result.mean_tps),
+                      Dollars(result.total_cost.total()), Dollars(scaled_cost),
+                      F0(result.e1_score)});
+      }
+      table.AddSeparator();
+    }
+    table.Print(std::string("\n--- mode ") + mode.name + " ---");
+  }
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces the §III-F replication-lag evaluation: average lag time between
+// the RW node and the RO replica for the four insert/update/delete mixes
+// (I,U,D) in {(60,30,10), (100,0,0), (0,100,0), (0,0,100)}.
+//
+// Paper shapes: CDB4 ~1.5 ms (RDMA cache invalidation) << CDB3 ~14 ms
+// (parallel replay) < AWS RDS (coupled streaming) << CDB1 ~177 ms
+// (sequential replay) << CDB2 ~1082 ms (separate log and page services);
+// delete-heavy mixes lag least (logical deletion is cheap to apply).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cloudybench::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  struct Mix {
+    const char* name;
+    int i, u, d;
+  };
+  std::vector<Mix> mixes = {{"I60/U30/D10", 60, 30, 10},
+                            {"I100", 100, 0, 0},
+                            {"U100", 0, 100, 0},
+                            {"D100", 0, 0, 100}};
+
+  std::printf("=== Lag time between RW and RO (ms), by IUD mix ===\n\n");
+  util::TablePrinter table({"System", "Mix", "InsertLag", "UpdateLag",
+                            "DeleteLag", "C-Score"});
+  for (sut::SutKind kind : sut::AllSuts()) {
+    for (const Mix& mix : mixes) {
+      SutRig rig(kind, /*sf=*/1, /*n_ro=*/1, sales::Schemas());
+      LagTimeEvaluator::Options options;
+      options.concurrency = 20;
+      options.warmup = sim::Seconds(2);
+      options.measure = args.full ? sim::Seconds(8) : sim::Seconds(5);
+      options.insert_pct = mix.i;
+      options.update_pct = mix.u;
+      options.delete_pct = mix.d;
+      LagTimeResult result =
+          LagTimeEvaluator::Run(&rig.env, rig.cluster.get(), options);
+      table.AddRow({sut::SutName(kind), mix.name, F2(result.insert_lag_ms),
+                    F2(result.update_lag_ms), F2(result.delete_lag_ms),
+                    F2(result.c_score)});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Table V: P-Score of the five cloud databases with the detailed
+// resource-cost breakdown (CPU / memory / storage / IOPS / network per
+// minute under the resource-unit-cost model of Table III).
+//
+// Paper shapes: AWS RDS has the best P-Score (high TPS at the lowest cost);
+// CDB4 delivers the top TPS but pays the 3x RDMA network premium; CDB2's
+// IOPS bill dwarfs everyone's (~327x RDS); CDB1's six-way replication
+// doubles its storage cost; CDB2 has the lowest P-Score.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+
+namespace cloudybench::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  // SF1: the regime where RDS's local storage pays off across all three
+  // patterns, which is the paper's headline for this table. (The paper's
+  // storage-GB column corresponds to SF100; scale factors only change the
+  // storage line of the cost breakdown, and the billing-factor ratios —
+  // 2-way RDS vs 6-way CDB1 vs 3-way others — are visible at any SF.)
+  int64_t sf = 1;
+  int concurrency = 150;
+
+  struct Mode {
+    const char* name;
+    SalesWorkloadConfig cfg;
+  };
+  std::vector<Mode> modes = {{"RO", SalesWorkloadConfig::ReadOnly()},
+                             {"RW", SalesWorkloadConfig::ReadWrite()},
+                             {"WO", SalesWorkloadConfig::WriteOnly()}};
+
+  std::printf(
+      "=== Table V: P-Score with detailed resource cost (SF%lld, con=%d) "
+      "===\n\n",
+      static_cast<long long>(sf), concurrency);
+  util::TablePrinter table({"System", "vCores", "Mem/GB", "Sto/GB", "IOPS",
+                            "Net/Gbps", "$/min", "P(RO)", "P(RW)", "P(WO)",
+                            "P(AVG)"});
+  for (sut::SutKind kind : sut::AllSuts()) {
+    std::vector<double> pscores;
+    cloud::ResourceVector mean_alloc;
+    cloud::CostBreakdown cost;
+    for (const Mode& mode : modes) {
+      SalesWorkloadConfig cfg = mode.cfg;
+      cfg.seed = args.seed;
+      SalesTransactionSet txns(cfg);
+      // Table V's resource columns list a single 4-vCore instance, so the
+      // P-Score deployment bills one node (reads served locally).
+      SutRig rig(kind, sf, /*n_ro=*/0, txns.Schemas());
+      OltpEvaluator::Options options;
+      options.concurrency = concurrency;
+      options.warmup = sim::Seconds(1);
+      options.measure = args.full ? sim::Seconds(4) : sim::Seconds(2);
+      OltpResult result =
+          OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options);
+      pscores.push_back(result.p_score);
+      cost = result.cost_per_minute;
+      double t1 = rig.env.Now().ToSeconds();
+      mean_alloc = rig.cluster->meter().MeanAllocated(0, t1);
+    }
+    double avg = (pscores[0] + pscores[1] + pscores[2]) / 3.0;
+    table.AddRow({sut::SutName(kind), F0(mean_alloc.vcores),
+                  F0(mean_alloc.memory_gb), F1(mean_alloc.storage_gb),
+                  F0(mean_alloc.iops),
+                  F0(mean_alloc.tcp_gbps + mean_alloc.rdma_gbps),
+                  Dollars(cost.total()), F0(pscores[0]), F0(pscores[1]),
+                  F0(pscores[2]), F0(avg)});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: per-minute component costs follow Table III unit prices; the\n"
+      "paper's printed per-row totals exceed the sum of its own component\n"
+      "columns, so totals here are the self-consistent sums.\n");
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

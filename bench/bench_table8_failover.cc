@@ -1,0 +1,70 @@
+// Reproduces Table VIII: F-Score (failure -> service resumed) and R-Score
+// (service resumed -> TPS back at target) for RW-node and RO-node restarts
+// under a constant read-write workload at concurrency 150.
+//
+// Paper shapes: total recovery time ranks AWS RDS (~78 s, ARIES redo+undo
+// over dirty pages) > CDB2 (~66 s, extra log/page tiers) > CDB3 (~54 s) >
+// CDB1 (~30 s, redo pushed to storage) > CDB4 (~12 s, RO promotion with a
+// warm remote buffer pool).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+
+namespace cloudybench::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  std::printf(
+      "=== Table VIII: fail-over — F-Score and R-Score (seconds), con=150 "
+      "read-write ===\n\n");
+  util::TablePrinter table({"System", "F(RW)", "F(RO)", "F(AVG)", "R(RW)",
+                            "R(RO)", "R(AVG)", "Total(s)"});
+  for (sut::SutKind kind : sut::AllSuts()) {
+    double f[2] = {0, 0};
+    double r[2] = {0, 0};
+    for (int which = 0; which < 2; ++which) {
+      bool fail_rw = which == 0;
+      // RW failure: the full read-write stream runs on the RW node so the
+      // outage is fully visible. RO failure: a read-only stream pinned to
+      // the failing replica (clients hold connections to that endpoint).
+      SalesWorkloadConfig cfg = fail_rw ? SalesWorkloadConfig::ReadWrite()
+                                        : SalesWorkloadConfig::ReadOnly();
+      cfg.seed = args.seed;
+      cfg.route_reads_to_replicas = !fail_rw;
+      cfg.sticky_replica = !fail_rw;
+      SalesTransactionSet txns(cfg);
+      SutRig rig(kind, /*sf=*/1, /*n_ro=*/1, txns.Schemas());
+      FailoverEvaluator::Options options;
+      options.concurrency = 150;
+      options.warmup = sim::Seconds(5);
+      options.fail_rw = fail_rw;
+      // Recovery target: 90% of this SUT's own pre-failure TPS. (The
+      // paper sets one absolute target for all SUTs; with heterogeneous
+      // capacities a shared absolute target would leave the slowest SUT
+      // unable to recover at all, so we use a per-SUT 90% target —
+      // documented in EXPERIMENTS.md.)
+      options.target_tps = -1;
+      options.max_observation = sim::Seconds(90);
+      FailoverResult result =
+          FailoverEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options);
+      f[which] = result.service_lost ? result.f_seconds : 0.0;
+      r[which] = result.service_lost ? result.r_seconds : 0.0;
+    }
+    double f_avg = (f[0] + f[1]) / 2;
+    double r_avg = (r[0] + r[1]) / 2;
+    table.AddRow({sut::SutName(kind), F1(f[0]), F1(f[1]), F1(f_avg), F1(r[0]),
+                  F1(r[1]), F1(r_avg), F1(f[0] + f[1] + r[0] + r[1])});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

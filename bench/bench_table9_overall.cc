@@ -1,0 +1,213 @@
+// Reproduces Table IX: the overall "PERFECT" evaluation — P, E1, E2, R, F,
+// C, T scores and the unified O-Score for every SUT, plus the starred
+// variants (P*, E1*, T*, O*) computed with each vendor's *actual* pricing
+// model instead of the unified resource unit cost.
+//
+// Paper shapes: CDB4 wins the O-Score (fastest recovery and replication);
+// AWS RDS has the best P/T/E2 but the worst recovery; CDB3 has the best E1
+// and, thanks to its cheap startup pricing, the best O-Score* under actual
+// cost — the defined-vs-actual rank flips are the point of the comparison.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/tenancy.h"
+
+namespace cloudybench::bench {
+namespace {
+
+constexpr double kTimeScale = 0.1;
+
+cloud::CostBreakdown ActualPerMinute(cloud::Cluster* cluster, double t0,
+                                     double t1) {
+  cloud::CostBreakdown window =
+      cluster->meter().ActualCost(cluster->config().actual_pricing, t0, t1);
+  double k = 60.0 / (t1 - t0);
+  return cloud::CostBreakdown{window.cpu * k, window.memory * k,
+                              window.storage * k, window.iops * k,
+                              window.network * k};
+}
+
+struct Row {
+  metrics::Perfect scores;
+  double p_star = 0, e1_star = 0, t_star = 0, o_star = 0;
+};
+
+Row Evaluate(sut::SutKind kind, const BenchArgs& args) {
+  Row row;
+
+  // ---- P / P*: read-write throughput per cost -------------------------
+  {
+    SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
+    cfg.seed = args.seed;
+    SalesTransactionSet txns(cfg);
+    SutRig rig(kind, /*sf=*/1, /*n_ro=*/0, txns.Schemas());
+    OltpEvaluator::Options options;
+    options.concurrency = 150;
+    options.warmup = sim::Seconds(1);
+    options.measure = sim::Seconds(3);
+    OltpResult r = OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns,
+                                      options);
+    row.scores.p = r.p_score;
+    row.p_star = metrics::PScore(
+        r.mean_tps, ActualPerMinute(rig.cluster.get(), r.window_start_s,
+                                    r.window_end_s));
+  }
+
+  // ---- E1 / E1*: elasticity (large-spike pattern, serverless) ---------
+  {
+    SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
+    cfg.seed = args.seed;
+    SalesTransactionSet txns(cfg);
+    cloud::ClusterConfig cluster_cfg = sut::MakeProfile(kind, kTimeScale);
+    MakeServerless(&cluster_cfg);
+    sim::Environment env;
+    cloud::Cluster cluster(&env, cluster_cfg, 0);
+    cluster.Load(txns.Schemas(), 1);
+    cluster.PrewarmBuffers();
+    ElasticityEvaluator::Options options;
+    options.tau = 110;
+    options.slot = sim::Seconds(60 * kTimeScale);
+    ElasticityResult r = ElasticityEvaluator::Run(
+        &env, &cluster, &txns, ElasticityPattern::kLargeSpike, options);
+    row.scores.e1 = r.e1_score;
+    row.e1_star = metrics::E1Score(
+        r.mean_tps, ActualPerMinute(&cluster, r.window_start_s,
+                                    r.window_end_s));
+  }
+
+  // ---- E2: scale-out gain per added RO node ---------------------------
+  {
+    std::vector<double> tps_by_nodes;
+    for (int nodes = 0; nodes <= 1; ++nodes) {
+      SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadOnly();
+      cfg.seed = args.seed;
+      cfg.spread_reads_all_nodes = true;  // proxy-balanced reads
+      SalesTransactionSet txns(cfg);
+      SutRig rig(kind, /*sf=*/1, nodes, txns.Schemas());
+      OltpEvaluator::Options options;
+      options.concurrency = 150;
+      options.warmup = sim::Seconds(1);
+      options.measure = sim::Seconds(2);
+      tps_by_nodes.push_back(
+          OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options)
+              .mean_tps);
+    }
+    // Normalized like the paper's small integers: gain per node per 1000.
+    row.scores.e2 = metrics::E2Score(tps_by_nodes) / 1000.0;
+  }
+
+  // ---- F / R: fail-over (RW + RO restarts) -----------------------------
+  {
+    std::vector<double> f_parts, r_parts;
+    for (bool fail_rw : {true, false}) {
+      // Same method as the Table VIII bench: full RW stream for the RW
+      // failure, replica-pinned read stream for the RO failure.
+      SalesWorkloadConfig cfg = fail_rw ? SalesWorkloadConfig::ReadWrite()
+                                        : SalesWorkloadConfig::ReadOnly();
+      cfg.seed = args.seed;
+      cfg.route_reads_to_replicas = !fail_rw;
+      cfg.sticky_replica = !fail_rw;
+      SalesTransactionSet txns(cfg);
+      SutRig rig(kind, /*sf=*/1, /*n_ro=*/1, txns.Schemas());
+      FailoverEvaluator::Options options;
+      options.concurrency = 150;
+      options.warmup = sim::Seconds(4);
+      options.fail_rw = fail_rw;
+      options.target_tps = -1;  // 90% of own pre-failure TPS
+      options.max_observation = sim::Seconds(80);
+      FailoverResult r = FailoverEvaluator::Run(&rig.env, rig.cluster.get(),
+                                                &txns, options);
+      if (r.service_lost) {
+        f_parts.push_back(r.f_seconds);
+        r_parts.push_back(r.r_seconds);
+      }
+    }
+    row.scores.f = metrics::FScore(f_parts);
+    row.scores.r = metrics::RScore(r_parts);
+  }
+
+  // ---- C: replication lag (3 replicas, as Eq. 6's lambda divisor) ------
+  {
+    SutRig rig(kind, /*sf=*/1, /*n_ro=*/3, sales::Schemas());
+    LagTimeEvaluator::Options options;
+    options.concurrency = 20;
+    options.measure = sim::Seconds(5);
+    row.scores.c =
+        LagTimeEvaluator::Run(&rig.env, rig.cluster.get(), options).c_score;
+  }
+
+  // ---- T / T*: multi-tenancy (average over the four patterns) ----------
+  {
+    double t_sum = 0, t_star_sum = 0;
+    std::vector<TenancyPattern> patterns = AllTenancyPatterns();
+    for (TenancyPattern pattern : patterns) {
+      bool high = pattern == TenancyPattern::kHighContention ||
+                  pattern == TenancyPattern::kStaggeredHigh;
+      sim::Environment env;
+      MultiTenantDeployment deployment(&env, kind, 3, /*sf=*/1, kTimeScale);
+      MultiTenancyEvaluator::Options options;
+      options.slots = 3;
+      options.slot = sim::Seconds(60 * kTimeScale);
+      options.tau = high ? 330 : 100;
+      TenancyResult r =
+          MultiTenancyEvaluator::Run(&env, &deployment, pattern, options);
+      t_sum += r.t_score;
+      // T* prices the same deployment with the vendor's actual model.
+      cloud::ActualPricing pricing =
+          deployment.tenant(0)->config().actual_pricing;
+      double window_s =
+          static_cast<double>(options.slots) * options.slot.ToSeconds();
+      // The elastic pool bills at least one hour (scaled to the compressed
+      // control-plane timebase) — the quirk that demotes CDB2's T* in the
+      // paper.
+      double billed_s = window_s;
+      if (deployment.model() == TenancyModel::kElasticPool) {
+        billed_s = std::max(window_s, 3600.0 * kTimeScale);
+      }
+      cloud::CostBreakdown actual =
+          pricing.CostFor(deployment.TotalResources(), billed_s);
+      double actual_per_minute = actual.total() * 60.0 / window_s;
+      t_star_sum += metrics::TScore(r.tenant_tps, actual_per_minute);
+    }
+    row.scores.t = t_sum / static_cast<double>(patterns.size());
+    row.t_star = t_star_sum / static_cast<double>(patterns.size());
+  }
+
+  row.scores.FinalizeOScore();
+  row.o_star = metrics::OScore(row.p_star, row.t_star, row.e1_star,
+                               row.scores.e2, row.scores.r, row.scores.f,
+                               row.scores.c);
+  return row;
+}
+
+void Run(const BenchArgs& args) {
+  std::printf(
+      "=== Table IX: overall PERFECT scores; (X)* uses vendor actual "
+      "pricing ===\n\n");
+  util::TablePrinter table({"System", "P", "P*", "E1", "E1*", "R", "F", "E2",
+                            "C", "T", "T*", "O", "O*"});
+  for (sut::SutKind kind : sut::AllSuts()) {
+    Row row = Evaluate(kind, args);
+    table.AddRow({sut::SutName(kind), F0(row.scores.p), F0(row.p_star),
+                  F0(row.scores.e1), F0(row.e1_star), F1(row.scores.r),
+                  F1(row.scores.f), F1(row.scores.e2), F1(row.scores.c),
+                  F0(row.scores.t), F0(row.t_star), F2(row.scores.o),
+                  F2(row.o_star)});
+  }
+  table.Print();
+  std::printf(
+      "\nE2 is reported as TPS gain per added RO node / 1000; R, F in "
+      "seconds; C in ms.\n");
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

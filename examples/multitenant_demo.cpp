@@ -1,0 +1,61 @@
+// Multi-tenancy demo: the same three-tenant staggered workload on two
+// opposite deployment models — CDB2's shared elastic pool (resources flow
+// to whoever is active) versus CDB4's isolated instances (fixed resources
+// per tenant) — and the resulting T-Scores.
+
+#include <cstdio>
+
+#include "core/patterns.h"
+#include "core/tenancy.h"
+#include "sim/environment.h"
+#include "sut/profiles.h"
+
+using namespace cloudybench;
+
+namespace {
+
+void RunOne(sut::SutKind kind, TenancyPattern pattern) {
+  sim::Environment env;
+  MultiTenantDeployment deployment(&env, kind, /*tenants=*/3,
+                                   /*scale_factor=*/1, /*time_scale=*/0.1);
+  MultiTenancyEvaluator::Options options;
+  options.slots = 3;
+  options.slot = sim::Seconds(6);
+  options.tau = pattern == TenancyPattern::kStaggeredHigh ||
+                        pattern == TenancyPattern::kHighContention
+                    ? 330
+                    : 100;
+  TenancyResult result =
+      MultiTenancyEvaluator::Run(&env, &deployment, pattern, options);
+
+  std::printf("%-8s  model=%-18s  pattern=%-16s\n", sut::SutName(kind),
+              TenancyModelName(deployment.model()),
+              TenancyPatternName(pattern));
+  for (int i = 0; i < deployment.tenants(); ++i) {
+    std::printf("    tenant %d mean TPS %8.0f\n", i + 1,
+                result.tenant_tps[static_cast<size_t>(i)]);
+  }
+  cloud::ResourceVector r = deployment.TotalResources();
+  std::printf("    resources: %.0f vCores, %.0f GB, %.0f IOPS, %.0f Gbps\n",
+              r.vcores, r.memory_gb, r.iops, r.tcp_gbps + r.rdma_gbps);
+  std::printf("    cost %.4f $/min   T-Score %.0f\n\n",
+              result.cost_per_minute.total(), result.t_score);
+}
+
+}  // namespace
+
+int main() {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  std::printf(
+      "Multi-tenancy demo: shared elastic pool vs isolated instances\n\n");
+  for (TenancyPattern pattern : {TenancyPattern::kHighContention,
+                                 TenancyPattern::kStaggeredHigh}) {
+    RunOne(sut::SutKind::kCdb2, pattern);  // shared elastic pool
+    RunOne(sut::SutKind::kCdb4, pattern);  // isolated instances
+  }
+  std::printf(
+      "Observation: isolation wins under contention (no interference);\n"
+      "the pool wins staggered arrivals (all resources serve the one\n"
+      "active tenant) at a fraction of the cost — paper §III-D.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "cloud/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cloudybench::cloud {
+
+const char* ScalingPolicyName(ScalingPolicy policy) {
+  switch (policy) {
+    case ScalingPolicy::kFixed:
+      return "fixed";
+    case ScalingPolicy::kReactiveUpGradualDown:
+      return "reactive-up/gradual-down";
+    case ScalingPolicy::kOnDemand:
+      return "on-demand";
+    case ScalingPolicy::kCuPauseResume:
+      return "cu-pause-resume";
+  }
+  return "?";
+}
+
+Autoscaler::Autoscaler(sim::Environment* env, ScalingTarget* target,
+                       AutoscalerConfig config)
+    : env_(env), target_(target), config_(config) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK(target != nullptr);
+  CB_CHECK_GT(config.quantum_vcores, 0.0);
+  CB_CHECK_GE(config.max_vcores, config.min_vcores);
+}
+
+void Autoscaler::Start() {
+  if (started_ || config_.policy == ScalingPolicy::kFixed) return;
+  started_ = true;
+  last_busy_ = target_->busy_core_seconds();
+  env_->Spawn(ControlLoop());
+}
+
+double Autoscaler::Quantize(double vcores) const {
+  double q = std::round(vcores / config_.quantum_vcores) * config_.quantum_vcores;
+  return std::clamp(q, config_.min_vcores, config_.max_vcores);
+}
+
+void Autoscaler::ScheduleCapacity(double vcores, sim::SimTime delay) {
+  env_->ScheduleCall(env_->Now() + delay, [this, vcores] {
+    double from = target_->allocated_vcores();
+    if (from == vcores) return;
+    target_->ApplyVcores(vcores);
+    events_.push_back(ScalingEvent{env_->Now().ToSeconds(), from, vcores});
+  });
+}
+
+sim::Process Autoscaler::ControlLoop() {
+  for (;;) {
+    sim::SimTime wait =
+        paused_ ? config_.paused_poll_interval : config_.control_interval;
+    co_await env_->Delay(wait);
+    double now_s = env_->Now().ToSeconds();
+
+    if (paused_) {
+      if (target_->cpu_waiting() > 0) {
+        // A request arrived: resume from scale-to-zero after the cold-start
+        // latency (Neon-style pause/resume).
+        co_await env_->Delay(config_.resume_delay);
+        double resume_to = std::max(config_.min_vcores, config_.quantum_vcores);
+        double from = target_->allocated_vcores();
+        target_->ApplyVcores(resume_to);
+        events_.push_back(
+            ScalingEvent{env_->Now().ToSeconds(), from, resume_to});
+        paused_ = false;
+        idle_since_s_ = -1;
+        last_busy_ = target_->busy_core_seconds();
+      }
+      continue;
+    }
+
+    double busy = target_->busy_core_seconds();
+    double dt = wait.ToSeconds();
+    double used_cores = (busy - last_busy_) / dt;
+    last_busy_ = busy;
+    double cap = target_->allocated_vcores();
+    int waiting = target_->cpu_waiting();
+    int active = target_->cpu_active();
+    double util = cap > 1e-9 ? used_cores / cap : (waiting > 0 ? 1.0 : 0.0);
+    bool saturated = waiting > 0 || util > config_.up_threshold;
+
+    // When the node is saturated the queue length is the only usable demand
+    // signal: estimate offered load from it so a spike reaches target
+    // capacity in one control tick rather than by geometric climbing.
+    double demand = used_cores / config_.target_utilization;
+    if (saturated) {
+      double queue_factor =
+          1.0 + static_cast<double>(waiting) / std::max(1, active);
+      demand = std::max(demand, cap * queue_factor);
+      if (cap <= 1e-9) demand = config_.max_vcores;
+    }
+
+    switch (config_.policy) {
+      case ScalingPolicy::kFixed:
+        break;
+      case ScalingPolicy::kReactiveUpGradualDown: {
+        if (saturated) {
+          double up_to = Quantize(demand);
+          if (up_to > cap) ScheduleCapacity(up_to, config_.up_delay);
+        } else if (util < config_.down_threshold &&
+                   now_s - last_down_time_s_ >=
+                       config_.down_cooldown.ToSeconds()) {
+          double down_to = Quantize(cap - config_.down_step_vcores);
+          if (down_to < cap) {
+            ScheduleCapacity(down_to, sim::Seconds(0));
+            last_down_time_s_ = now_s;
+          }
+        }
+        break;
+      }
+      case ScalingPolicy::kOnDemand:
+      case ScalingPolicy::kCuPauseResume: {
+        double tgt = Quantize(demand);
+        if (tgt > cap) {
+          ScheduleCapacity(tgt, config_.up_delay);
+          low_ticks_ = 0;
+        } else if (tgt < cap && util < config_.down_threshold) {
+          // Shrink only when utilization is genuinely low: mid-level
+          // valleys (the paper's Single Valley on CDB3) hold their
+          // capacity, while deep/idle valleys release it.
+          ++low_ticks_;
+          if (low_ticks_ >= config_.consecutive_low_for_down) {
+            ScheduleCapacity(tgt, sim::Seconds(0));
+            low_ticks_ = 0;
+          }
+        } else {
+          low_ticks_ = 0;
+        }
+        if (config_.policy == ScalingPolicy::kCuPauseResume &&
+            config_.scale_to_zero) {
+          bool idle = used_cores < 0.01 && waiting == 0 && active == 0;
+          if (!idle) {
+            idle_since_s_ = -1;
+          } else if (idle_since_s_ < 0) {
+            idle_since_s_ = now_s;
+          } else if (now_s - idle_since_s_ >=
+                     config_.pause_after_idle.ToSeconds()) {
+            double from = target_->allocated_vcores();
+            target_->ApplyVcores(0.0);
+            events_.push_back(ScalingEvent{now_s, from, 0.0});
+            paused_ = true;
+            idle_since_s_ = -1;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cloudybench::cloud

@@ -1,0 +1,116 @@
+#ifndef CLOUDYBENCH_CLOUD_AUTOSCALER_H_
+#define CLOUDYBENCH_CLOUD_AUTOSCALER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/task.h"
+
+namespace cloudybench::cloud {
+
+/// The four capacity-management behaviours observed across the paper's SUTs
+/// (§III-C, Table VI):
+enum class ScalingPolicy {
+  /// AWS RDS, CDB4: provisioned instances, no autoscaling.
+  kFixed,
+  /// CDB1: scales up immediately when utilization crosses a threshold, but
+  /// scales down gradually (small steps with a long cooldown) — fast on
+  /// peaks, very slow and expensive on valleys.
+  kReactiveUpGradualDown,
+  /// CDB2: tracks demand up *and* down at each control tick, bounded by the
+  /// tick granularity (~30 s in the paper).
+  kOnDemand,
+  /// CDB3: on-demand in capacity units plus scale-to-zero; requires several
+  /// consecutive low ticks before shrinking (which is why it misses short
+  /// valleys) and resumes from pause when requests arrive.
+  kCuPauseResume,
+};
+
+const char* ScalingPolicyName(ScalingPolicy policy);
+
+struct AutoscalerConfig {
+  ScalingPolicy policy = ScalingPolicy::kFixed;
+  double min_vcores = 1.0;
+  double max_vcores = 4.0;
+  /// Capacity is quantized to multiples of this (CDB3: 0.25 CU; CDB2: 0.5).
+  double quantum_vcores = 0.5;
+  sim::SimTime control_interval = sim::Seconds(5);
+  /// The scaler sizes capacity so utilization lands here.
+  double target_utilization = 0.7;
+  double up_threshold = 0.80;
+  double down_threshold = 0.35;
+  /// Provisioning latency before an up-scale takes effect.
+  sim::SimTime up_delay = sim::Seconds(5);
+  /// Gradual-down policy: one step per cooldown.
+  double down_step_vcores = 0.5;
+  sim::SimTime down_cooldown = sim::Seconds(60);
+  /// On-demand/CU policies: consecutive low ticks required before shrinking.
+  int consecutive_low_for_down = 1;
+  /// Pause-resume policy only:
+  bool scale_to_zero = false;
+  sim::SimTime pause_after_idle = sim::Seconds(45);
+  sim::SimTime resume_delay = sim::Millis(800);
+  /// Poll cadence while paused (resume must be prompt).
+  sim::SimTime paused_poll_interval = sim::Millis(500);
+};
+
+/// What the autoscaler observes and controls — implemented by ComputeNode.
+class ScalingTarget {
+ public:
+  virtual ~ScalingTarget() = default;
+  /// Cumulative busy core-seconds (utilization = delta / (capacity x dt)).
+  virtual double busy_core_seconds() const = 0;
+  virtual double allocated_vcores() const = 0;
+  /// Requests queued for CPU right now (demand signal beyond saturation).
+  virtual int cpu_waiting() const = 0;
+  virtual int cpu_active() const = 0;
+  /// Applies a new capacity (vCores; memory/buffer follow the node's ratio).
+  virtual void ApplyVcores(double vcores) = 0;
+};
+
+/// One completed capacity change, for Table VI's scaling-time analysis.
+struct ScalingEvent {
+  double time_s = 0;      // when the new capacity took effect
+  double from_vcores = 0;
+  double to_vcores = 0;
+};
+
+/// Control loop scaling one target per the configured policy. Runs as a
+/// simulation process; deterministic like everything else.
+class Autoscaler {
+ public:
+  Autoscaler(sim::Environment* env, ScalingTarget* target,
+             AutoscalerConfig config);
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  /// Spawns the control loop (no-op for kFixed). Idempotent.
+  void Start();
+
+  const std::vector<ScalingEvent>& events() const { return events_; }
+  const AutoscalerConfig& config() const { return config_; }
+  bool paused() const { return paused_; }
+
+ private:
+  sim::Process ControlLoop();
+  /// Quantizes and clamps, then schedules the capacity change after `delay`.
+  void ScheduleCapacity(double vcores, sim::SimTime delay);
+  double Quantize(double vcores) const;
+
+  sim::Environment* env_;
+  ScalingTarget* target_;
+  AutoscalerConfig config_;
+  bool started_ = false;
+  bool paused_ = false;
+  double last_busy_ = 0;
+  double last_down_time_s_ = -1e18;
+  int low_ticks_ = 0;
+  double idle_since_s_ = -1;
+  std::vector<ScalingEvent> events_;
+};
+
+}  // namespace cloudybench::cloud
+
+#endif  // CLOUDYBENCH_CLOUD_AUTOSCALER_H_

@@ -1,0 +1,394 @@
+#include "cloud/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cloudybench::cloud {
+
+namespace {
+using storage::BufferPool;
+using storage::LogRecord;
+using storage::LogRecordType;
+}  // namespace
+
+Cluster::Cluster(sim::Environment* env, ClusterConfig config, int n_ro_nodes)
+    : env_(env), cfg_(std::move(config)) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK_GE(n_ro_nodes, 0);
+  pending_ro_nodes_ = n_ro_nodes;
+}
+
+Cluster::~Cluster() = default;
+
+ComputeNode* Cluster::BuildNode(const std::string& name, bool is_rw,
+                                storage::TableSet* tables) {
+  // CPU: shared elastic-pool resource when configured, else owned.
+  sim::SlotResource* cpu = cfg_.shared_pool_cpu;
+  if (cpu == nullptr) {
+    owned_cpus_.push_back(
+        std::make_unique<sim::SlotResource>(env_, cfg_.node.vcores));
+    cpu = owned_cpus_.back().get();
+  }
+  // Every node gets its own link to the storage tier.
+  net::LinkConfig link_cfg = cfg_.node_storage_link;
+  link_cfg.name = name + "-storage";
+  links_.push_back(std::make_unique<net::Link>(env_, link_cfg));
+  net::Link* storage_link = links_.back().get();
+
+  ComputeNode::Config node_cfg = cfg_.node;
+  node_cfg.name = name;
+  node_cfg.is_rw = is_rw;
+  nodes_.push_back(std::make_unique<ComputeNode>(
+      env_, node_cfg, tables, cpu, local_disk_.get(), storage_link,
+      storage_.get(), remote_buffer_.get(),
+      is_rw ? log_mgr_.get() : nullptr));
+  return nodes_.back().get();
+}
+
+void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
+                   int64_t scale_factor) {
+  CB_CHECK(!loaded_) << "Load called twice";
+  loaded_ = true;
+  schemas_ = schemas;
+  scale_factor_ = scale_factor;
+
+  // ---- storage and log tiers ----
+  if (cfg_.use_local_disk) {
+    local_disk_ = std::make_unique<storage::DiskDevice>(env_, cfg_.local_disk);
+  }
+  storage_ = std::make_unique<StorageService>(env_, cfg_.storage);
+  storage::DiskDevice* log_dev = cfg_.shared_log_device;
+  if (log_dev == nullptr) {
+    log_device_ = std::make_unique<storage::DiskDevice>(env_, cfg_.log_device);
+    log_dev = log_device_.get();
+  }
+  log_mgr_ = std::make_unique<storage::LogManager>(env_, log_dev);
+
+  // ---- memory disaggregation tier ----
+  if (cfg_.remote_buffer) {
+    net::LinkConfig rdma = net::LinkConfig::Rdma10G(cfg_.name + "-rdma");
+    links_.push_back(std::make_unique<net::Link>(env_, rdma));
+    rdma_link_ = links_.back().get();
+    remote_buffer_ = std::make_unique<RemoteBufferPool>(
+        env_, cfg_.remote_buffer_bytes, rdma_link_, cfg_.remote_fetch_latency);
+  }
+
+  // ---- page-server CPU (pays for replay in disaggregated designs) ----
+  page_server_cpu_ =
+      std::make_unique<sim::SlotResource>(env_, cfg_.page_server_vcores);
+
+  // ---- canonical tables ----
+  for (const storage::TableSchema& schema : schemas_) {
+    canonical_tables_.Create(schema, scale_factor_);
+  }
+
+  // ---- nodes ----
+  current_rw_ = BuildNode(cfg_.name + "-rw", /*is_rw=*/true,
+                          &canonical_tables_);
+  for (int i = 0; i < pending_ro_nodes_; ++i) {
+    AddRoNode();
+  }
+
+  // ---- ship listener: replicas + remote-buffer coherence ----
+  log_mgr_->AddShipListener([this](const LogRecord& rec) {
+    for (auto& replayer : replayers_) replayer->Ship(rec);
+    if (remote_buffer_ != nullptr && rec.type != LogRecordType::kCommit) {
+      storage::SyntheticTable* table = canonical_tables_.FindById(rec.table);
+      if (table != nullptr) {
+        remote_buffer_->Admit(storage::PageId{
+            rec.table + cfg_.node.page_table_offset, table->PageOf(rec.key)});
+        remote_buffer_->CountInvalidation();
+      }
+    }
+  });
+
+  // ---- background machinery ----
+  autoscaler_ =
+      std::make_unique<Autoscaler>(env_, current_rw_, cfg_.autoscaler);
+  autoscaler_->Start();
+
+  meter_ = std::make_unique<ResourceMeter>(env_, cfg_.price_book,
+                                           cfg_.meter_interval);
+  if (cfg_.meter_compute) {
+    meter_->AddSource([this] {
+      ResourceVector total;
+      for (const auto& node : nodes_) total += node->AllocatedResources();
+      return total;
+    });
+  }
+  meter_->AddSource([this] { return ServiceResources(); });
+  meter_->Start();
+
+  if (cfg_.node.write_back) {
+    env_->Spawn(CheckpointLoop());
+  }
+}
+
+size_t Cluster::AddRoNode() {
+  auto replica = std::make_unique<storage::TableSet>();
+  for (const storage::TableSchema& schema : schemas_) {
+    replica->Create(schema, scale_factor_);
+  }
+  replica->CopyContentsFrom(canonical_tables_);
+  storage::TableSet* replica_raw = replica.get();
+  replica_tables_.push_back(std::move(replica));
+
+  size_t index = ro_nodes_.size();
+  ComputeNode* node = BuildNode(
+      cfg_.name + "-ro" + std::to_string(index), /*is_rw=*/false, replica_raw);
+  ro_nodes_.push_back(node);
+
+  net::LinkConfig repl_link_cfg = cfg_.replication_link;
+  repl_link_cfg.name = cfg_.name + "-repl" + std::to_string(index);
+  links_.push_back(std::make_unique<net::Link>(env_, repl_link_cfg));
+  net::Link* repl_link = links_.back().get();
+
+  // RDS replays on the replica's own CPU; disaggregated designs replay on
+  // the page server.
+  sim::SlotResource* replay_cpu = cfg_.use_local_disk
+                                      ? &node->cpu()
+                                      : page_server_cpu_.get();
+  replayers_.push_back(std::make_unique<repl::Replayer>(
+      env_, replica_raw, repl_link, replay_cpu, cfg_.replay));
+  return index;
+}
+
+void Cluster::PrewarmBuffers() {
+  int64_t total_pages = 0;
+  for (const auto& table : canonical_tables_.tables()) {
+    total_pages += table->pages();
+  }
+  CB_CHECK_GT(total_pages, 0);
+  auto prewarm_one = [&](storage::BufferPool* pool, int32_t table_offset) {
+    double fraction =
+        std::min(1.0, static_cast<double>(pool->capacity_pages()) /
+                          static_cast<double>(total_pages));
+    for (const auto& table : canonical_tables_.tables()) {
+      int64_t admit = static_cast<int64_t>(
+          fraction * static_cast<double>(table->pages()));
+      for (int64_t page = 0; page < admit; ++page) {
+        pool->Admit(storage::PageId{table->id() + table_offset, page});
+      }
+    }
+  };
+  for (const auto& node : nodes_) {
+    prewarm_one(&node->buffer(), node->config().page_table_offset);
+  }
+  if (remote_buffer_ != nullptr) {
+    double fraction =
+        std::min(1.0, static_cast<double>(remote_buffer_->capacity_bytes() /
+                                          storage::BufferPool::kPageBytes) /
+                          static_cast<double>(total_pages));
+    for (const auto& table : canonical_tables_.tables()) {
+      int64_t admit = static_cast<int64_t>(
+          fraction * static_cast<double>(table->pages()));
+      for (int64_t page = 0; page < admit; ++page) {
+        remote_buffer_->Admit(storage::PageId{
+            table->id() + cfg_.node.page_table_offset, page});
+      }
+    }
+  }
+}
+
+ComputeNode* Cluster::RouteRead() {
+  if (!ro_nodes_.empty()) {
+    for (size_t attempt = 0; attempt < ro_nodes_.size(); ++attempt) {
+      ComputeNode* candidate = ro_nodes_[rr_next_ % ro_nodes_.size()];
+      rr_next_ = (rr_next_ + 1) % std::max<size_t>(1, ro_nodes_.size());
+      if (candidate->available()) return candidate;
+    }
+  }
+  return current_rw_;
+}
+
+ResourceVector Cluster::ServiceResources() const {
+  ResourceVector r;
+  r.memory_gb = cfg_.extra_memory_gb;
+  r.storage_gb = BilledStorageGb();
+  r.iops = cfg_.provisioned_iops;
+  r.tcp_gbps = cfg_.provisioned_tcp_gbps;
+  r.rdma_gbps = cfg_.provisioned_rdma_gbps;
+  return r;
+}
+
+double Cluster::BilledStorageGb() const {
+  double logical_gb = static_cast<double>(canonical_tables_.TotalLogicalBytes()) /
+                      (1024.0 * 1024.0 * 1024.0);
+  return logical_gb * cfg_.storage_billing_factor;
+}
+
+sim::Process Cluster::CheckpointLoop() {
+  for (;;) {
+    co_await env_->Delay(cfg_.checkpoint_interval);
+    ComputeNode* rw = current_rw_;
+    if (!rw->available() || local_disk_ == nullptr) continue;
+    std::vector<storage::PageId> dirty =
+        rw->buffer().TakeDirty(static_cast<size_t>(cfg_.checkpoint_batch_pages));
+    if (!dirty.empty()) {
+      co_await local_disk_->Write(static_cast<int64_t>(dirty.size()) *
+                                  BufferPool::kPageBytes);
+    }
+  }
+}
+
+void Cluster::InjectRwRestart(sim::SimTime at) {
+  env_->ScheduleCall(at, [this] {
+    ComputeNode* failed = current_rw_;
+    if (!failed->available()) return;  // already failing
+    int64_t dirty = failed->dirty_pages();
+    int64_t active = failed->active_txns();
+    int64_t backlog = log_mgr_->pending_bytes();
+    failed->SetAvailable(false);
+    failed->ClearLocalBuffer();
+    env_->Spawn(RwRecovery(failed, dirty, active, backlog));
+  });
+}
+
+void Cluster::InjectRoRestart(size_t ro_index, sim::SimTime at) {
+  CB_CHECK_LT(ro_index, ro_nodes_.size());
+  env_->ScheduleCall(at, [this, ro_index] {
+    ComputeNode* node = ro_nodes_[ro_index];
+    if (!node->available()) return;
+    node->SetAvailable(false);
+    node->ClearLocalBuffer();
+    env_->Spawn(RoRecovery(node));
+  });
+}
+
+sim::Process Cluster::RwRecovery(ComputeNode* failed, int64_t dirty_pages,
+                                 int64_t active_txns,
+                                 int64_t log_backlog_bytes) {
+  const RecoveryModel& rm = cfg_.recovery;
+  co_await env_->Delay(rm.detect);
+
+  ComputeNode* promoted = nullptr;
+  if (rm.promote_ro) {
+    for (ComputeNode* ro : ro_nodes_) {
+      if (ro->available()) {
+        promoted = ro;
+        break;
+      }
+    }
+  }
+
+  if (promoted != nullptr) {
+    // CDB4-style auto switch-over (paper Fig. 7): the cluster manager
+    // refuses requests, collects LSNs (prepare), promotes the RO
+    // (switch over), then the new RW rolls back in-flight transactions
+    // while already serving (recovering).
+    promoted->SetAvailable(false);
+    co_await env_->Delay(rm.prepare_phase);
+    co_await env_->Delay(rm.switchover_phase);
+
+    storage::TableSet* replica_of_promoted = promoted->tables();
+    promoted->PromoteToRw(&canonical_tables_, log_mgr_.get());
+    // Swap cluster roles: the promoted node leaves the RO set.
+    for (size_t i = 0; i < ro_nodes_.size(); ++i) {
+      if (ro_nodes_[i] == promoted) {
+        ro_nodes_.erase(ro_nodes_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    current_rw_ = promoted;
+    promoted->SetAvailable(true);
+    // The new RW serves immediately but at reduced effective capacity
+    // while the undo scan and cache re-warming proceed (its ramp starts at
+    // service resume).
+    env_->Spawn(CapacityRamp(promoted));
+
+    co_await env_->Delay(rm.recovering_phase +
+                         rm.per_active_txn_undo * static_cast<double>(active_txns));
+
+    // The failed node restarts, transforms into an RO over the promoted
+    // node's old replica tables, and rejoins.
+    failed->DemoteToRo(replica_of_promoted);
+    co_await env_->Delay(rm.base_restart);
+    failed->SetAvailable(true);
+    ro_nodes_.push_back(failed);
+    co_return;
+  }
+
+  co_await InPlaceRecovery(failed, dirty_pages, active_txns,
+                           log_backlog_bytes);
+}
+
+sim::Process Cluster::InPlaceRecovery(ComputeNode* failed,
+                                      int64_t dirty_pages,
+                                      int64_t active_txns,
+                                      int64_t log_backlog_bytes) {
+  const RecoveryModel& rm = cfg_.recovery;
+  // Restart-in-place recovery. Log-replay CDBs skip the dirty-page redo
+  // entirely (their storage tier already materializes pages); the ARIES
+  // write-back engine pays for every dirty page lost plus undo.
+  sim::SimTime duration = rm.base_restart + rm.service_handshake;
+  duration += rm.per_dirty_page_redo * static_cast<double>(dirty_pages);
+  duration += rm.per_active_txn_undo * static_cast<double>(active_txns);
+  // Redo of the unflushed log tail (256KB/token equivalent rate).
+  duration += sim::Micros(log_backlog_bytes / 64);
+  co_await env_->Delay(duration);
+  failed->SetAvailable(true);
+  env_->Spawn(CapacityRamp(failed));
+}
+
+void Cluster::InjectRwKill(sim::SimTime at) {
+  env_->ScheduleCall(at, [this] {
+    ComputeNode* victim = current_rw_;
+    if (!victim->available()) return;
+    killed_dirty_pages_ = victim->dirty_pages();
+    killed_active_txns_ = victim->active_txns();
+    killed_log_backlog_ = log_mgr_->pending_bytes();
+    victim->SetAvailable(false);
+    victim->ClearLocalBuffer();
+    rw_killed_ = true;
+    // No heartbeat-driven recovery: the service stays down until
+    // ManualStartRw().
+  });
+}
+
+util::Status Cluster::ManualStartRw() {
+  if (!rw_killed_) {
+    return util::Status::FailedPrecondition("RW node was not killed");
+  }
+  rw_killed_ = false;
+  env_->Spawn(InPlaceRecovery(current_rw_, killed_dirty_pages_,
+                              killed_active_txns_, killed_log_backlog_));
+  return util::Status::OK();
+}
+
+sim::Process Cluster::RoRecovery(ComputeNode* node) {
+  const RecoveryModel& rm = cfg_.recovery;
+  co_await env_->Delay(rm.detect + rm.ro_restart + rm.service_handshake);
+  node->SetAvailable(true);
+  env_->Spawn(CapacityRamp(node));
+}
+
+sim::Process Cluster::CapacityRamp(ComputeNode* node) {
+  const RecoveryModel& rm = cfg_.recovery;
+  constexpr int kSteps = 20;
+  for (int step = 1; step <= kSteps; ++step) {
+    double fraction = rm.ramp_start + (1.0 - rm.ramp_start) *
+                                          static_cast<double>(step - 1) /
+                                          (kSteps - 1);
+    node->SetCapacityFraction(fraction);
+    if (step < kSteps) {
+      co_await env_->Delay(rm.tps_rampup * (1.0 / kSteps));
+    }
+  }
+}
+
+int64_t Cluster::TotalCommits() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) total += node->txn().commits();
+  return total;
+}
+
+int64_t Cluster::TotalAborts() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) total += node->txn().aborts();
+  return total;
+}
+
+}  // namespace cloudybench::cloud

@@ -1,0 +1,186 @@
+#include "cloud/compute_node.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cloudybench::cloud {
+
+namespace {
+using storage::BufferPool;
+using util::Status;
+}  // namespace
+
+ComputeNode::ComputeNode(sim::Environment* env, Config config,
+                         storage::TableSet* tables, sim::SlotResource* cpu,
+                         storage::DiskDevice* local_disk,
+                         net::Link* storage_link,
+                         StorageService* storage_service,
+                         RemoteBufferPool* remote_buffer,
+                         storage::LogManager* log)
+    : env_(env),
+      config_(std::move(config)),
+      tables_(tables),
+      cpu_(cpu),
+      buffer_(config_.buffer_bytes),
+      local_disk_(local_disk),
+      storage_link_(storage_link),
+      storage_service_(storage_service),
+      remote_buffer_(remote_buffer),
+      log_(log),
+      locks_(env, config_.lock_wait_timeout),
+      txn_mgr_(this, config_.cpu_costs),
+      allocated_vcores_(config_.vcores),
+      allocated_memory_gb_(config_.memory_gb) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK(tables != nullptr);
+  CB_CHECK(cpu != nullptr);
+  switch (config_.miss_path) {
+    case MissPath::kLocalDisk:
+      CB_CHECK(local_disk != nullptr);
+      break;
+    case MissPath::kDisaggregatedStorage:
+      CB_CHECK(storage_link != nullptr);
+      CB_CHECK(storage_service != nullptr);
+      break;
+    case MissPath::kRemoteBufferThenStorage:
+      CB_CHECK(storage_link != nullptr);
+      CB_CHECK(storage_service != nullptr);
+      CB_CHECK(remote_buffer != nullptr);
+      break;
+  }
+}
+
+sim::Task<void> ComputeNode::ChargeCpu(sim::SimTime demand) {
+  co_await cpu_->Consume(demand);
+}
+
+sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
+                                                bool for_write) {
+  if (!available_) co_return Status::Unavailable(config_.name + " down");
+  storage::PageId pid = Offset(page);
+
+  if (!buffer_.Touch(pid)) {
+    // Miss: pay the architecture's miss path, including its CPU cost —
+    // full page-processing for disk/storage reads, near-free for
+    // one-sided RDMA reads from the remote buffer pool.
+    ++storage_reads_;
+    switch (config_.miss_path) {
+      case MissPath::kLocalDisk:
+        co_await cpu_->Consume(config_.miss_cpu);
+        co_await local_disk_->Read(BufferPool::kPageBytes);
+        break;
+      case MissPath::kDisaggregatedStorage:
+        co_await cpu_->Consume(config_.miss_cpu);
+        co_await storage_link_->Transfer(BufferPool::kPageBytes);
+        co_await storage_service_->ReadPage(BufferPool::kPageBytes);
+        break;
+      case MissPath::kRemoteBufferThenStorage:
+        if (remote_buffer_->Contains(pid)) {
+          co_await cpu_->Consume(config_.remote_hit_cpu);
+          co_await remote_buffer_->Fetch(pid);
+        } else {
+          co_await cpu_->Consume(config_.miss_cpu);
+          co_await storage_link_->Transfer(BufferPool::kPageBytes);
+          co_await storage_service_->ReadPage(BufferPool::kPageBytes);
+          remote_buffer_->Admit(pid);
+        }
+        break;
+    }
+    if (!available_) co_return Status::Unavailable(config_.name + " down");
+    BufferPool::AdmitResult admitted = buffer_.Admit(pid);
+    if (admitted.victim_dirty && config_.write_back) {
+      // Write-back engine: evicting a dirty page forces a device write.
+      co_await local_disk_->Write(BufferPool::kPageBytes);
+    }
+  }
+
+  if (for_write && config_.write_back) {
+    buffer_.MarkDirty(pid);
+    // Dirty-ratio backpressure: past the throttle point every writer also
+    // synchronously flushes one cold dirty page (PostgreSQL backend
+    // flush). This is the mechanism behind RDS's throughput drop under
+    // write-heavy, large-SF workloads (paper §III-B).
+    double dirty_ratio = static_cast<double>(buffer_.dirty_pages()) /
+                         static_cast<double>(buffer_.capacity_pages());
+    if (dirty_ratio > config_.dirty_throttle_ratio) {
+      std::vector<storage::PageId> victim = buffer_.TakeDirty(1);
+      if (!victim.empty()) {
+        ++backend_flushes_;
+        co_await local_disk_->Write(BufferPool::kPageBytes);
+      }
+    }
+  }
+  co_return Status::OK();
+}
+
+sim::Task<util::Status> ComputeNode::CommitRecords(
+    std::vector<storage::LogRecord> records) {
+  if (!config_.is_rw) {
+    co_return Status::FailedPrecondition("commit on read-only node");
+  }
+  if (!available_) co_return Status::Unavailable(config_.name + " down");
+  CB_CHECK(log_ != nullptr);
+  int64_t last_lsn = 0;
+  for (storage::LogRecord& rec : records) {
+    last_lsn = log_->Append(std::move(rec));
+  }
+  co_await log_->WaitDurable(last_lsn);
+  // Durability is the commit point: even if the node crashed the very next
+  // instant, the records are on stable storage and already shipping to the
+  // replicas, so the caller must apply them — returning an error here would
+  // lose a durable commit and diverge primary and replica state.
+  co_return Status::OK();
+}
+
+void ComputeNode::ApplyVcores(double vcores) {
+  bool changed = vcores != allocated_vcores_;
+  allocated_vcores_ = vcores;
+  cpu_->SetCapacity(vcores);
+  if (changed && config_.scaling_stall.us > 0 && available_) {
+    // Connection-dropping resize: briefly unavailable while the instance
+    // moves to its new size.
+    available_ = false;
+    env_->ScheduleCall(env_->Now() + config_.scaling_stall,
+                       [this] { available_ = true; });
+  }
+  if (config_.memory_follows_vcores) {
+    allocated_memory_gb_ = std::max(vcores * config_.memory_gb_per_vcore,
+                                    config_.memory_gb_per_vcore * 0.5);
+    int64_t buffer_bytes = static_cast<int64_t>(
+        allocated_memory_gb_ * config_.buffer_fraction_of_memory *
+        1024.0 * 1024.0 * 1024.0);
+    buffer_.SetCapacity(std::max<int64_t>(buffer_bytes, 16LL << 20));
+  }
+}
+
+ResourceVector ComputeNode::AllocatedResources() const {
+  ResourceVector r;
+  r.vcores = allocated_vcores_;
+  r.memory_gb = allocated_memory_gb_;
+  return r;
+}
+
+void ComputeNode::PromoteToRw(storage::TableSet* canonical,
+                              storage::LogManager* log) {
+  config_.is_rw = true;
+  tables_ = canonical;
+  log_ = log;
+}
+
+void ComputeNode::DemoteToRo(storage::TableSet* replica) {
+  config_.is_rw = false;
+  tables_ = replica;
+  log_ = nullptr;
+}
+
+void ComputeNode::SetCapacityFraction(double fraction) {
+  CB_CHECK(fraction > 0.0 && fraction <= 1.0);
+  cpu_->SetCapacity(allocated_vcores_ * fraction);
+}
+
+void ComputeNode::SetBufferBytes(int64_t bytes) {
+  config_.buffer_bytes = bytes;
+  buffer_.SetCapacity(bytes);
+}
+
+}  // namespace cloudybench::cloud

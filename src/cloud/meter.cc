@@ -1,0 +1,62 @@
+#include "cloud/meter.h"
+
+namespace cloudybench::cloud {
+
+ResourceMeter::ResourceMeter(sim::Environment* env, PriceBook prices,
+                             sim::SimTime sample_interval)
+    : env_(env), prices_(prices), interval_(sample_interval) {
+  CB_CHECK_GT(sample_interval.us, 0);
+}
+
+void ResourceMeter::AddSource(std::function<ResourceVector()> source) {
+  sources_.push_back(std::move(source));
+}
+
+void ResourceMeter::Start() {
+  if (started_) return;
+  started_ = true;
+  env_->Spawn(SampleLoop());
+}
+
+void ResourceMeter::SampleOnce() {
+  ResourceVector total;
+  for (const auto& source : sources_) total += source();
+  double t = env_->Now().ToSeconds();
+  vcores_.Add(t, total.vcores);
+  memory_.Add(t, total.memory_gb);
+  storage_.Add(t, total.storage_gb);
+  iops_.Add(t, total.iops);
+  tcp_gbps_.Add(t, total.tcp_gbps);
+  rdma_gbps_.Add(t, total.rdma_gbps);
+}
+
+sim::Process ResourceMeter::SampleLoop() {
+  for (;;) {
+    SampleOnce();
+    co_await env_->Delay(interval_);
+  }
+}
+
+ResourceVector ResourceMeter::MeanAllocated(double t0, double t1) const {
+  double span = t1 - t0;
+  if (span <= 0) return ResourceVector{};
+  ResourceVector r;
+  r.vcores = vcores_.IntegrateStep(t0, t1) / span;
+  r.memory_gb = memory_.IntegrateStep(t0, t1) / span;
+  r.storage_gb = storage_.IntegrateStep(t0, t1) / span;
+  r.iops = iops_.IntegrateStep(t0, t1) / span;
+  r.tcp_gbps = tcp_gbps_.IntegrateStep(t0, t1) / span;
+  r.rdma_gbps = rdma_gbps_.IntegrateStep(t0, t1) / span;
+  return r;
+}
+
+CostBreakdown ResourceMeter::RucCost(double t0, double t1) const {
+  return prices_.CostFor(MeanAllocated(t0, t1), t1 - t0);
+}
+
+CostBreakdown ResourceMeter::ActualCost(const ActualPricing& pricing,
+                                        double t0, double t1) const {
+  return pricing.CostFor(MeanAllocated(t0, t1), t1 - t0);
+}
+
+}  // namespace cloudybench::cloud

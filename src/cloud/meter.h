@@ -1,0 +1,72 @@
+#ifndef CLOUDYBENCH_CLOUD_METER_H_
+#define CLOUDYBENCH_CLOUD_METER_H_
+
+#include <functional>
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "util/stats.h"
+
+namespace cloudybench::cloud {
+
+/// Samples the cluster's allocated resources on a fixed simulated cadence
+/// and turns the resulting step curves into dollars.
+///
+/// Sources are callbacks (one per node/service) returning their currently
+/// allocated ResourceVector; autoscaling therefore shows up in the series
+/// automatically, and Table VI's "cost during scaling" falls out of the
+/// step integral.
+class ResourceMeter {
+ public:
+  ResourceMeter(sim::Environment* env, PriceBook prices,
+                sim::SimTime sample_interval = sim::Seconds(1));
+
+  ResourceMeter(const ResourceMeter&) = delete;
+  ResourceMeter& operator=(const ResourceMeter&) = delete;
+
+  void AddSource(std::function<ResourceVector()> source);
+
+  /// Spawns the sampling process (idempotent).
+  void Start();
+
+  /// Mean allocation over [t0, t1) seconds.
+  ResourceVector MeanAllocated(double t0, double t1) const;
+
+  /// RUC dollars for the window (step-integrated allocation x unit prices).
+  CostBreakdown RucCost(double t0, double t1) const;
+
+  /// Dollars under a vendor's actual pricing model (minimum billing windows
+  /// applied to the whole window's mean allocation).
+  CostBreakdown ActualCost(const ActualPricing& pricing, double t0,
+                           double t1) const;
+
+  const util::TimeSeries& vcores_series() const { return vcores_; }
+  const util::TimeSeries& memory_series() const { return memory_; }
+  const util::TimeSeries& storage_series() const { return storage_; }
+  const util::TimeSeries& iops_series() const { return iops_; }
+
+  const PriceBook& prices() const { return prices_; }
+
+ private:
+  sim::Process SampleLoop();
+  void SampleOnce();
+
+  sim::Environment* env_;
+  PriceBook prices_;
+  sim::SimTime interval_;
+  bool started_ = false;
+  std::vector<std::function<ResourceVector()>> sources_;
+
+  util::TimeSeries vcores_;
+  util::TimeSeries memory_;
+  util::TimeSeries storage_;
+  util::TimeSeries iops_;
+  util::TimeSeries tcp_gbps_;
+  util::TimeSeries rdma_gbps_;
+};
+
+}  // namespace cloudybench::cloud
+
+#endif  // CLOUDYBENCH_CLOUD_METER_H_

@@ -1,0 +1,56 @@
+#include "cloud/services.h"
+
+namespace cloudybench::cloud {
+
+namespace {
+storage::DiskDevice::Config DeviceConfig(const StorageService::Config& c) {
+  storage::DiskDevice::Config d;
+  d.name = c.name;
+  d.provisioned_iops = c.provisioned_iops;
+  d.read_latency = c.read_latency;
+  d.write_latency = c.write_latency;
+  return d;
+}
+}  // namespace
+
+StorageService::StorageService(sim::Environment* env, Config config)
+    : config_(std::move(config)), device_(env, DeviceConfig(config_)) {
+  CB_CHECK_GE(config_.replication_factor, 1);
+}
+
+sim::Task<void> StorageService::ReadPage(int64_t bytes) {
+  co_await device_.Read(bytes);
+}
+
+sim::Task<void> StorageService::Write(int64_t bytes) {
+  // N-way replication amplifies the bytes the tier must absorb; replicas
+  // persist in parallel, so we charge amplified IOPS but a single latency.
+  co_await device_.Write(bytes * config_.replication_factor);
+}
+
+RemoteBufferPool::RemoteBufferPool(sim::Environment* env,
+                                   int64_t capacity_bytes,
+                                   net::Link* rdma_link,
+                                   sim::SimTime fetch_latency)
+    : env_(env),
+      pool_(capacity_bytes),
+      rdma_link_(rdma_link),
+      fetch_latency_(fetch_latency) {
+  CB_CHECK(rdma_link != nullptr);
+}
+
+sim::Task<void> RemoteBufferPool::Fetch(storage::PageId page) {
+  CB_CHECK(pool_.IsResident(page));
+  pool_.Touch(page);
+  ++fetches_;
+  co_await rdma_link_->Transfer(storage::BufferPool::kPageBytes);
+  co_await env_->Delay(fetch_latency_);
+}
+
+void RemoteBufferPool::Admit(storage::PageId page) {
+  if (!pool_.Touch(page)) {
+    pool_.Admit(page);
+  }
+}
+
+}  // namespace cloudybench::cloud

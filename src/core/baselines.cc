@@ -1,0 +1,237 @@
+#include "core/baselines.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace cloudybench {
+
+namespace {
+using cloud::ComputeNode;
+using storage::Row;
+using storage::SyntheticTable;
+using storage::TableSchema;
+using util::Status;
+}  // namespace
+
+// ------------------------------------------------------------ SysbenchLite
+
+SysbenchLiteWorkload::SysbenchLiteWorkload(Config config) : config_(config) {
+  CB_CHECK_GT(config_.tables, 0);
+  CB_CHECK_GT(config_.rows_per_table, 0);
+}
+
+std::vector<TableSchema> SysbenchLiteWorkload::Schemas() const {
+  std::vector<TableSchema> schemas;
+  for (int i = 0; i < config_.tables; ++i) {
+    TableSchema s;
+    s.name = "sbtest" + std::to_string(i + 1);
+    s.base_rows_per_sf = config_.rows_per_table;
+    s.row_bytes = 190;  // sysbench's CHAR(120) c + CHAR(60) pad + ints
+    s.generator = [](int64_t key) {
+      Row r;
+      r.key = key;
+      r.ref_a = key % 1000;  // the k column
+      return r;
+    };
+    schemas.push_back(std::move(s));
+  }
+  return schemas;
+}
+
+sim::Task<util::Status> SysbenchLiteWorkload::RunOne(cloud::Cluster* cluster,
+                                                     util::Pcg32& rng,
+                                                     TxnType* type_out) {
+  *type_out = TxnType::kOther;
+  ComputeNode* node = cluster->rw();
+  txn::TxnManager& mgr = node->txn();
+  int table_idx = static_cast<int>(rng.NextBounded(
+      static_cast<uint32_t>(config_.tables)));
+  SyntheticTable* table =
+      node->tables()->Find("sbtest" + std::to_string(table_idx + 1));
+  CB_CHECK(table != nullptr);
+  int64_t key = rng.NextInRange(0, config_.rows_per_table - 1);
+
+  txn::Transaction txn = mgr.Begin();
+  Status s;
+  if (rng.NextBounded(100) < static_cast<uint32_t>(config_.select_pct)) {
+    Row row;
+    s = co_await mgr.Get(&txn, table, key, &row);
+  } else {
+    Row row;
+    s = co_await mgr.Get(&txn, table, key, &row, /*for_update=*/true);
+    if (s.ok()) {
+      row.ref_a = (row.ref_a + 1) % 1000;  // UPDATE sbtest SET k = k + 1
+      s = co_await mgr.Update(&txn, table, row);
+    }
+  }
+  if (s.ok() && txn.active()) {
+    s = co_await mgr.Commit(&txn);
+  } else if (txn.active()) {
+    mgr.Abort(&txn);
+  }
+  co_return s;
+}
+
+// --------------------------------------------------------------- TpccLite
+
+TpccLiteWorkload::TpccLiteWorkload(Config config) : config_(config) {
+  CB_CHECK_GT(config_.warehouses, 0);
+}
+
+std::vector<TableSchema> TpccLiteWorkload::Schemas() const {
+  std::vector<TableSchema> schemas(4);
+
+  schemas[0].name = "warehouse";
+  schemas[0].base_rows_per_sf = config_.warehouses;
+  schemas[0].row_bytes = 96;
+  schemas[0].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.amount = 300000.0;  // W_YTD
+    return r;
+  };
+
+  schemas[1].name = "district";
+  schemas[1].base_rows_per_sf = config_.warehouses * kDistrictsPerWarehouse;
+  schemas[1].row_bytes = 96;
+  schemas[1].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.ref_a = key / kDistrictsPerWarehouse;  // D_W_ID
+    r.ref_b = 3001;                          // D_NEXT_O_ID
+    r.amount = 30000.0;                      // D_YTD
+    return r;
+  };
+
+  schemas[2].name = "tpcc_customer";
+  schemas[2].base_rows_per_sf =
+      config_.warehouses * kDistrictsPerWarehouse * kCustomersPerDistrict;
+  schemas[2].row_bytes = 655;  // TPC-C customers are wide
+  schemas[2].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.ref_a = key / kCustomersPerDistrict;  // district id
+    r.amount = -10.0;                       // C_BALANCE
+    return r;
+  };
+
+  schemas[3].name = "tpcc_orders";
+  schemas[3].base_rows_per_sf =
+      config_.warehouses * kDistrictsPerWarehouse * kCustomersPerDistrict;
+  schemas[3].row_bytes = 64;
+  schemas[3].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.ref_a = key;  // O_C_ID (one initial order per customer)
+    r.status = 0;
+    return r;
+  };
+  return schemas;
+}
+
+/// NewOrder: read the district FOR UPDATE, take its next order id, insert
+/// the order. (Order lines are folded into the order row's payload — the
+/// load shape, not TPC-C compliance, is what Fig. 9 needs.)
+sim::Task<util::Status> TpccLiteWorkload::NewOrder(cloud::Cluster* cluster,
+                                                   util::Pcg32& rng) {
+  ComputeNode* node = cluster->rw();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* district = node->tables()->Find("district");
+  SyntheticTable* orders = node->tables()->Find("tpcc_orders");
+
+  txn::Transaction txn = mgr.Begin();
+  int64_t d_id = rng.NextInRange(0, district->base_count() - 1);
+  Row d;
+  Status s = co_await mgr.Get(&txn, district, d_id, &d, /*for_update=*/true);
+  if (s.ok()) {
+    d.ref_b += 1;  // D_NEXT_O_ID++
+    s = co_await mgr.Update(&txn, district, d);
+  }
+  if (s.ok()) {
+    Row order;
+    order.key = orders->AllocateKey();
+    order.ref_a = rng.NextInRange(0, kCustomersPerDistrict - 1) +
+                  d_id * kCustomersPerDistrict;
+    order.amount = static_cast<double>(rng.NextBounded(5000)) / 10.0;
+    s = co_await mgr.Insert(&txn, orders, order);
+  }
+  if (s.ok()) s = co_await mgr.Commit(&txn);
+  if (!s.ok() && txn.active()) mgr.Abort(&txn);
+  co_return s;
+}
+
+/// Payment: update warehouse and district YTD, credit the customer.
+sim::Task<util::Status> TpccLiteWorkload::Payment(cloud::Cluster* cluster,
+                                                  util::Pcg32& rng) {
+  ComputeNode* node = cluster->rw();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* warehouse = node->tables()->Find("warehouse");
+  SyntheticTable* district = node->tables()->Find("district");
+  SyntheticTable* customer = node->tables()->Find("tpcc_customer");
+
+  txn::Transaction txn = mgr.Begin();
+  double amount = 1.0 + static_cast<double>(rng.NextBounded(5000)) / 1000.0;
+  int64_t w_id = rng.NextInRange(0, warehouse->base_count() - 1);
+  Row w;
+  Status s = co_await mgr.Get(&txn, warehouse, w_id, &w, /*for_update=*/true);
+  if (s.ok()) {
+    w.amount += amount;
+    s = co_await mgr.Update(&txn, warehouse, w);
+  }
+  if (s.ok()) {
+    int64_t d_id = w_id * kDistrictsPerWarehouse +
+                   rng.NextInRange(0, kDistrictsPerWarehouse - 1);
+    Row d;
+    s = co_await mgr.Get(&txn, district, d_id, &d, /*for_update=*/true);
+    if (s.ok()) {
+      d.amount += amount;
+      s = co_await mgr.Update(&txn, district, d);
+    }
+    if (s.ok()) {
+      int64_t c_id = d_id * kCustomersPerDistrict +
+                     rng.NextInRange(0, kCustomersPerDistrict - 1);
+      Row c;
+      s = co_await mgr.Get(&txn, customer, c_id, &c, /*for_update=*/true);
+      if (s.ok()) {
+        c.amount -= amount;
+        s = co_await mgr.Update(&txn, customer, c);
+      }
+    }
+  }
+  if (s.ok()) s = co_await mgr.Commit(&txn);
+  if (!s.ok() && txn.active()) mgr.Abort(&txn);
+  co_return s;
+}
+
+/// OrderStatus: read a customer's latest order (read-only).
+sim::Task<util::Status> TpccLiteWorkload::OrderStatus(cloud::Cluster* cluster,
+                                                      util::Pcg32& rng) {
+  ComputeNode* node = cluster->RouteRead();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* orders = node->tables()->Find("tpcc_orders");
+
+  txn::Transaction txn = mgr.Begin();
+  Row order;
+  Status s = co_await mgr.Get(
+      &txn, orders, rng.NextInRange(0, orders->base_count() - 1), &order);
+  if (s.IsNotFound()) s = Status::OK();
+  if (s.ok() && txn.active()) {
+    s = co_await mgr.Commit(&txn);
+  } else if (txn.active()) {
+    mgr.Abort(&txn);
+  }
+  co_return s;
+}
+
+sim::Task<util::Status> TpccLiteWorkload::RunOne(cloud::Cluster* cluster,
+                                                 util::Pcg32& rng,
+                                                 TxnType* type_out) {
+  *type_out = TxnType::kOther;
+  uint32_t pick = rng.NextBounded(100);
+  if (pick < 45) co_return co_await NewOrder(cluster, rng);
+  if (pick < 88) co_return co_await Payment(cluster, rng);
+  co_return co_await OrderStatus(cluster, rng);
+}
+
+}  // namespace cloudybench

@@ -1,0 +1,66 @@
+#ifndef CLOUDYBENCH_CORE_BASELINES_H_
+#define CLOUDYBENCH_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "core/sales_workload.h"
+
+namespace cloudybench {
+
+/// SysBench-style OLTP microbenchmark (the paper's Fig. 9 baseline): three
+/// identical single-key tables of 300,000 rows, uniformly-addressed point
+/// selects and index updates, constant concurrency, no inter-statement
+/// transaction logic.
+class SysbenchLiteWorkload : public TransactionSet {
+ public:
+  struct Config {
+    int tables = 3;
+    int64_t rows_per_table = 300'000;
+    /// oltp_read_write-style mix: point selects vs single-row updates.
+    int select_pct = 70;
+  };
+
+  SysbenchLiteWorkload() : SysbenchLiteWorkload(Config()) {}
+  explicit SysbenchLiteWorkload(Config config);
+
+  std::vector<storage::TableSchema> Schemas() const override;
+  sim::Task<util::Status> RunOne(cloud::Cluster* cluster, util::Pcg32& rng,
+                                 TxnType* type_out) override;
+
+ private:
+  Config config_;
+};
+
+/// Minimal TPC-C (the paper's second Fig. 9 baseline): WAREHOUSE, DISTRICT,
+/// CUSTOMER and ORDERS tables with the NewOrder/Payment/OrderStatus
+/// transaction mix (45/43/12). Implements the core read-write logic of each
+/// transaction against the shared storage engine — enough to drive a
+/// constant, contention-bearing load like OLTP-Bench's TPC-C at SF1.
+class TpccLiteWorkload : public TransactionSet {
+ public:
+  struct Config {
+    int warehouses = 1;  // TPC-C scale factor
+  };
+
+  TpccLiteWorkload() : TpccLiteWorkload(Config()) {}
+  explicit TpccLiteWorkload(Config config);
+
+  std::vector<storage::TableSchema> Schemas() const override;
+  sim::Task<util::Status> RunOne(cloud::Cluster* cluster, util::Pcg32& rng,
+                                 TxnType* type_out) override;
+
+  static constexpr int64_t kDistrictsPerWarehouse = 10;
+  static constexpr int64_t kCustomersPerDistrict = 3000;
+
+ private:
+  sim::Task<util::Status> NewOrder(cloud::Cluster* cluster, util::Pcg32& rng);
+  sim::Task<util::Status> Payment(cloud::Cluster* cluster, util::Pcg32& rng);
+  sim::Task<util::Status> OrderStatus(cloud::Cluster* cluster,
+                                      util::Pcg32& rng);
+
+  Config config_;
+};
+
+}  // namespace cloudybench
+
+#endif  // CLOUDYBENCH_CORE_BASELINES_H_

@@ -1,0 +1,56 @@
+#include "core/collector.h"
+
+namespace cloudybench {
+
+const char* TxnTypeName(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrderline:
+      return "T1-NewOrderline";
+    case TxnType::kOrderPayment:
+      return "T2-OrderPayment";
+    case TxnType::kOrderStatus:
+      return "T3-OrderStatus";
+    case TxnType::kOrderlineDeletion:
+      return "T4-OrderlineDeletion";
+    case TxnType::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+PerformanceCollector::PerformanceCollector(sim::Environment* env,
+                                           sim::SimTime window)
+    : env_(env), window_(window) {
+  CB_CHECK_GT(window.us, 0);
+}
+
+void PerformanceCollector::Start() {
+  if (started_) return;
+  started_ = true;
+  env_->Spawn(SampleLoop());
+}
+
+void PerformanceCollector::RecordCommit(TxnType type, double latency_ms) {
+  ++total_commits_;
+  ++commits_[static_cast<size_t>(type)];
+  latency_[static_cast<size_t>(type)].Add(latency_ms * 1000.0);  // micros
+  latency_all_.Add(latency_ms * 1000.0);
+}
+
+void PerformanceCollector::RecordAbort(TxnType) { ++total_aborts_; }
+
+void PerformanceCollector::RecordUnavailable(TxnType) {
+  ++total_unavailable_;
+}
+
+sim::Process PerformanceCollector::SampleLoop() {
+  for (;;) {
+    co_await env_->Delay(window_);
+    int64_t delta = total_commits_ - last_sampled_commits_;
+    last_sampled_commits_ = total_commits_;
+    tps_.Add(env_->Now().ToSeconds(),
+             static_cast<double>(delta) / window_.ToSeconds());
+  }
+}
+
+}  // namespace cloudybench

@@ -1,0 +1,83 @@
+#ifndef CLOUDYBENCH_CORE_COLLECTOR_H_
+#define CLOUDYBENCH_CORE_COLLECTOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace cloudybench {
+
+/// The four sales-microservice transactions (paper Table II), plus a slot
+/// for baseline workloads' transactions.
+enum class TxnType {
+  kNewOrderline = 0,     // T1, write-only
+  kOrderPayment = 1,     // T2, read-write
+  kOrderStatus = 2,      // T3, read-only
+  kOrderlineDeletion = 3,// T4, deletion
+  kOther = 4,            // baseline workloads (SysBench-lite, TPC-C-lite)
+};
+inline constexpr int kTxnTypes = 5;
+
+const char* TxnTypeName(TxnType type);
+
+/// CloudyBench's performance collector: accumulates commits/errors and
+/// latency distributions per transaction type, and samples a TPS time
+/// series on a fixed cadence. One collector serves one workload stream
+/// (one tenant).
+class PerformanceCollector {
+ public:
+  explicit PerformanceCollector(sim::Environment* env,
+                                sim::SimTime window = sim::Millis(500));
+
+  PerformanceCollector(const PerformanceCollector&) = delete;
+  PerformanceCollector& operator=(const PerformanceCollector&) = delete;
+
+  /// Spawns the TPS sampling process (idempotent).
+  void Start();
+
+  void RecordCommit(TxnType type, double latency_ms);
+  void RecordAbort(TxnType type);
+  void RecordUnavailable(TxnType type);
+
+  int64_t commits() const { return total_commits_; }
+  int64_t aborts() const { return total_aborts_; }
+  int64_t unavailable_errors() const { return total_unavailable_; }
+  int64_t commits_of(TxnType type) const {
+    return commits_[static_cast<size_t>(type)];
+  }
+
+  /// Committed transactions per second, one sample per window.
+  const util::TimeSeries& tps_series() const { return tps_; }
+  double MeanTps(double t0, double t1) const { return tps_.MeanInWindow(t0, t1); }
+
+  const util::LatencyHistogram& latency(TxnType type) const {
+    return latency_[static_cast<size_t>(type)];
+  }
+  /// All-types latency distribution.
+  const util::LatencyHistogram& latency_all() const { return latency_all_; }
+
+  double window_seconds() const { return window_.ToSeconds(); }
+
+ private:
+  sim::Process SampleLoop();
+
+  sim::Environment* env_;
+  sim::SimTime window_;
+  bool started_ = false;
+  int64_t total_commits_ = 0;
+  int64_t total_aborts_ = 0;
+  int64_t total_unavailable_ = 0;
+  int64_t last_sampled_commits_ = 0;
+  std::array<int64_t, kTxnTypes> commits_{};
+  std::array<util::LatencyHistogram, kTxnTypes> latency_{};
+  util::LatencyHistogram latency_all_;
+  util::TimeSeries tps_;
+};
+
+}  // namespace cloudybench
+
+#endif  // CLOUDYBENCH_CORE_COLLECTOR_H_

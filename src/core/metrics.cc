@@ -1,0 +1,83 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cloudybench::metrics {
+
+namespace {
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+}  // namespace
+
+double PScore(double mean_tps, const cloud::CostBreakdown& cost_per_minute) {
+  double denom = cost_per_minute.total();
+  CB_CHECK_GT(denom, 0.0) << "P-Score needs a positive cost";
+  return mean_tps / denom;
+}
+
+double E1Score(double mean_tps, const cloud::CostBreakdown& cost_per_minute) {
+  double denom =
+      cost_per_minute.cpu + cost_per_minute.memory + cost_per_minute.iops;
+  CB_CHECK_GT(denom, 0.0) << "E1-Score needs a positive cost";
+  return mean_tps / denom;
+}
+
+double FScore(const std::vector<double>& service_recovery_seconds) {
+  return Mean(service_recovery_seconds);
+}
+
+double RScore(const std::vector<double>& tps_recovery_seconds) {
+  return Mean(tps_recovery_seconds);
+}
+
+double E2Score(const std::vector<double>& tps_by_nodes, double delta) {
+  CB_CHECK_GE(tps_by_nodes.size(), 2u) << "E2-Score needs >= 2 node counts";
+  CB_CHECK_GT(delta, 0.0);
+  double sum = 0;
+  for (size_t i = 1; i < tps_by_nodes.size(); ++i) {
+    sum += (tps_by_nodes[i] - tps_by_nodes[i - 1]) / delta;
+  }
+  return sum / static_cast<double>(tps_by_nodes.size() - 1);
+}
+
+double CScore(double insert_lag_ms, double update_lag_ms,
+              double delete_lag_ms, int replicas) {
+  CB_CHECK_GT(replicas, 0);
+  return (insert_lag_ms + update_lag_ms + delete_lag_ms) /
+         static_cast<double>(replicas);
+}
+
+double TScore(const std::vector<double>& tenant_tps, double total_cost) {
+  CB_CHECK(!tenant_tps.empty());
+  CB_CHECK_GT(total_cost, 0.0);
+  double log_sum = 0;
+  for (double tps : tenant_tps) {
+    CB_CHECK_GE(tps, 0.0);
+    log_sum += std::log(std::max(tps, 1e-9));
+  }
+  double geomean = std::exp(log_sum / static_cast<double>(tenant_tps.size()));
+  return geomean / total_cost;
+}
+
+double OScore(double p, double t, double e1, double e2, double r, double f,
+              double c, double scale_factor) {
+  // Guard the degenerate cases (a perfect score in a denominator position
+  // would otherwise divide by zero).
+  double numerator = std::max(p, 1e-9) * std::max(t, 1e-9) *
+                     std::max(e1, 1e-9) * std::max(e2, 1e-9);
+  double denominator = std::max(r, 1e-9) * std::max(f, 1e-9) *
+                       std::max(c, 1e-9);
+  return scale_factor * std::log10(numerator / denominator);
+}
+
+void Perfect::FinalizeOScore(double scale_factor) {
+  o = OScore(p, t, e1, e2, r, f, c, scale_factor);
+}
+
+}  // namespace cloudybench::metrics

@@ -1,0 +1,67 @@
+#ifndef CLOUDYBENCH_CORE_METRICS_H_
+#define CLOUDYBENCH_CORE_METRICS_H_
+
+#include <vector>
+
+#include "cloud/pricing.h"
+
+namespace cloudybench {
+
+/// The "PERFECT" metric framework (paper §II-G): Productivity, two
+/// Elasticity scores, Recovery, Fail-over, Consistency (replication lag)
+/// and Tenancy, unified into the O-Score. Free functions mirror the
+/// paper's equations (1)-(8) exactly; all costs are per-minute dollars as
+/// in Table V.
+namespace metrics {
+
+/// Eq. (1): P-Score = mean TPS / (cpu+mem+storage+iops+network cost).
+double PScore(double mean_tps, const cloud::CostBreakdown& cost_per_minute);
+
+/// Eq. (2): E1-Score = mean TPS / (cpu+mem+iops cost) — the components an
+/// autoscaler actually varies.
+double E1Score(double mean_tps, const cloud::CostBreakdown& cost_per_minute);
+
+/// Eq. (3): F-Score = mean(t_s - t_f) over recovery phases (seconds from
+/// failure injection to service resumption). Lower is better.
+double FScore(const std::vector<double>& service_recovery_seconds);
+
+/// Eq. (4): R-Score = mean(t_r - t_s) (seconds from service resumption to
+/// reaching the pre-failure target TPS). Lower is better.
+double RScore(const std::vector<double>& tps_recovery_seconds);
+
+/// Eq. (5): E2-Score = mean over i of (TPS_i - TPS_{i-1}) / delta, where
+/// tps_by_nodes[i] is throughput with i RO nodes (index 0 = none) and
+/// `delta` is the scaling factor (nodes added per step).
+double E2Score(const std::vector<double>& tps_by_nodes, double delta = 1.0);
+
+/// Eq. (6): C-Score = (mean insert lag + mean update lag + mean delete
+/// lag) / #replicas, in milliseconds. Lower is better.
+double CScore(double insert_lag_ms, double update_lag_ms,
+              double delete_lag_ms, int replicas);
+
+/// Eq. (7): T-Score = geomean(tenant TPS) / total tenant cost.
+double TScore(const std::vector<double>& tenant_tps, double total_cost);
+
+/// Eq. (8): O-Score = SF * lg(P*T*E1*E2 / (R*F*C)).
+double OScore(double p, double t, double e1, double e2, double r, double f,
+              double c, double scale_factor = 1.0);
+
+/// All seven component scores plus the unified score, for Table IX rows.
+struct Perfect {
+  double p = 0;
+  double e1 = 0;
+  double e2 = 0;
+  double r = 0;
+  double f = 0;
+  double c = 0;
+  double t = 0;
+  double o = 0;
+
+  /// Computes o from the components (equal weights, as published).
+  void FinalizeOScore(double scale_factor = 1.0);
+};
+
+}  // namespace metrics
+}  // namespace cloudybench
+
+#endif  // CLOUDYBENCH_CORE_METRICS_H_

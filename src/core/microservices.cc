@@ -1,0 +1,242 @@
+#include "core/microservices.h"
+
+#include "util/logging.h"
+
+namespace cloudybench {
+
+namespace {
+using cloud::ComputeNode;
+using storage::Row;
+using storage::SyntheticTable;
+using storage::TableSchema;
+using util::Status;
+}  // namespace
+
+namespace erp {
+
+std::vector<TableSchema> Schemas() {
+  std::vector<TableSchema> schemas(4);
+
+  // ITEM: key=I_ID, amount=I_PRICE.
+  schemas[0].name = kItemTable;
+  schemas[0].base_rows_per_sf = kItemsPerSf;
+  schemas[0].row_bytes = 88;
+  schemas[0].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.amount = 1.0 + static_cast<double>(key % 500);
+    return r;
+  };
+
+  // STOCK: key=S_I_ID (1:1 with ITEM), ref_a=S_QUANTITY.
+  schemas[1].name = kStockTable;
+  schemas[1].base_rows_per_sf = kItemsPerSf;
+  schemas[1].row_bytes = 56;
+  schemas[1].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.ref_a = 1000;  // initial quantity
+    return r;
+  };
+
+  // BOM: key=B_ID = product*kBomPerProduct + slot;
+  // ref_a=B_COMPONENT (item id), ref_b=B_QTY.
+  schemas[2].name = kBomTable;
+  schemas[2].base_rows_per_sf = kProductsPerSf * kBomPerProduct;
+  schemas[2].row_bytes = 48;
+  schemas[2].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    // Deterministic component assignment, distinct per BOM line.
+    r.ref_a = (key * 7919 + key % kBomPerProduct) % kItemsPerSf;
+    r.ref_b = 1 + key % 3;  // quantity per unit
+    return r;
+  };
+
+  // WORKORDER: key=WO_ID, ref_a=WO_I_ID (product), ref_b=WO_QTY, status.
+  schemas[3].name = kWorkorderTable;
+  schemas[3].base_rows_per_sf = kInitialWorkordersPerSf;
+  schemas[3].row_bytes = 64;
+  schemas[3].generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.ref_a = key % kProductsPerSf;
+    r.ref_b = 1 + key % 5;
+    r.status = kWoStatusDone;  // historical, already completed
+    return r;
+  };
+  return schemas;
+}
+
+}  // namespace erp
+
+ErpTransactionSet::ErpTransactionSet(ErpWorkloadConfig config)
+    : config_(config), sales_([&] {
+        SalesWorkloadConfig sales_cfg = config.sales;
+        sales_cfg.seed = config.seed;
+        return sales_cfg;
+      }()) {
+  CB_CHECK_GT(config_.sales_pct + config_.inventory_pct +
+                  config_.manufacturing_pct,
+              0);
+}
+
+std::vector<TableSchema> ErpTransactionSet::Schemas() const {
+  // One shared database: sales tables first, then the ERP extension —
+  // table ids are assigned by registration order, so ordering is part of
+  // the schema contract.
+  std::vector<TableSchema> schemas = sales::Schemas();
+  for (TableSchema& schema : erp::Schemas()) {
+    schemas.push_back(std::move(schema));
+  }
+  return schemas;
+}
+
+sim::Task<util::Status> ErpTransactionSet::RunOne(cloud::Cluster* cluster,
+                                                  util::Pcg32& rng,
+                                                  TxnType* type_out) {
+  int total =
+      config_.sales_pct + config_.inventory_pct + config_.manufacturing_pct;
+  int pick = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(total)));
+  if (pick < config_.sales_pct) {
+    co_return co_await sales_.RunOne(cluster, rng, type_out);
+  }
+  *type_out = TxnType::kOther;
+  if (pick < config_.sales_pct + config_.inventory_pct) {
+    if (rng.NextBounded(100) < static_cast<uint32_t>(config_.stock_level_pct)) {
+      co_return co_await RunStockLevel(cluster, rng);
+    }
+    co_return co_await RunRestock(cluster, rng);
+  }
+  if (rng.NextBounded(100) < static_cast<uint32_t>(config_.new_workorder_pct) ||
+      open_workorders_.empty()) {
+    co_return co_await RunNewWorkOrder(cluster, rng);
+  }
+  co_return co_await RunCompleteWorkOrder(cluster, rng);
+}
+
+/// T5: SELECT i_price, s_quantity FROM item JOIN stock — read-only, routed
+/// to a replica like T3.
+sim::Task<util::Status> ErpTransactionSet::RunStockLevel(
+    cloud::Cluster* cluster, util::Pcg32& rng) {
+  ComputeNode* node = cluster->RouteRead();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* item = node->tables()->Find(erp::kItemTable);
+  SyntheticTable* stock = node->tables()->Find(erp::kStockTable);
+
+  txn::Transaction txn = mgr.Begin();
+  int64_t item_id = rng.NextInRange(0, item->base_count() - 1);
+  Row item_row, stock_row;
+  Status s = co_await mgr.Get(&txn, item, item_id, &item_row);
+  if (s.ok()) s = co_await mgr.Get(&txn, stock, item_id, &stock_row);
+  if (s.IsNotFound()) s = Status::OK();  // replica lag tolerance
+  if (s.ok() && txn.active()) {
+    s = co_await mgr.Commit(&txn);
+  } else if (txn.active()) {
+    mgr.Abort(&txn);
+  }
+  co_return s;
+}
+
+/// T6: UPDATE stock SET s_quantity = s_quantity + ? WHERE s_i_id = ?.
+sim::Task<util::Status> ErpTransactionSet::RunRestock(cloud::Cluster* cluster,
+                                                      util::Pcg32& rng) {
+  ComputeNode* node = cluster->rw();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* stock = node->tables()->Find(erp::kStockTable);
+
+  txn::Transaction txn = mgr.Begin();
+  int64_t item_id = rng.NextInRange(0, stock->base_count() - 1);
+  Row row;
+  Status s = co_await mgr.Get(&txn, stock, item_id, &row, /*for_update=*/true);
+  if (s.ok()) {
+    row.ref_a += 100;  // received quantity
+    row.updated = node->env()->Now().us;
+    s = co_await mgr.Update(&txn, stock, row);
+  }
+  if (s.ok()) s = co_await mgr.Commit(&txn);
+  if (!s.ok() && txn.active()) mgr.Abort(&txn);
+  co_return s;
+}
+
+/// T7: read the product's BOM lines, deduct each component's stock, insert
+/// the work order. Components are locked in ascending BOM order, keeping
+/// the workload deadlock-free by ordering.
+sim::Task<util::Status> ErpTransactionSet::RunNewWorkOrder(
+    cloud::Cluster* cluster, util::Pcg32& rng) {
+  ComputeNode* node = cluster->rw();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* bom = node->tables()->Find(erp::kBomTable);
+  SyntheticTable* stock = node->tables()->Find(erp::kStockTable);
+  SyntheticTable* workorder = node->tables()->Find(erp::kWorkorderTable);
+
+  txn::Transaction txn = mgr.Begin();
+  int64_t product = rng.NextInRange(0, erp::kProductsPerSf - 1);
+  int64_t qty = 1 + rng.NextInRange(0, 4);
+  Status s = Status::OK();
+  for (int64_t line = 0; line < erp::kBomPerProduct && s.ok(); ++line) {
+    Row bom_row;
+    s = co_await mgr.Get(&txn, bom, product * erp::kBomPerProduct + line,
+                         &bom_row);
+    if (!s.ok()) break;
+    Row stock_row;
+    s = co_await mgr.Get(&txn, stock, bom_row.ref_a, &stock_row,
+                         /*for_update=*/true);
+    if (!s.ok()) break;
+    stock_row.ref_a -= bom_row.ref_b * qty;  // consume components
+    s = co_await mgr.Update(&txn, stock, stock_row);
+  }
+  int64_t wo_id = 0;
+  if (s.ok()) {
+    Row wo;
+    wo.key = workorder->AllocateKey();
+    wo.ref_a = product;
+    wo.ref_b = qty;
+    wo.status = erp::kWoStatusOpen;
+    wo_id = wo.key;
+    s = co_await mgr.Insert(&txn, workorder, wo);
+  }
+  if (s.ok()) s = co_await mgr.Commit(&txn);
+  if (!s.ok() && txn.active()) mgr.Abort(&txn);
+  if (s.ok()) open_workorders_.push_back(wo_id);
+  co_return s;
+}
+
+/// T8: mark the oldest open work order done and credit the finished
+/// product's stock.
+sim::Task<util::Status> ErpTransactionSet::RunCompleteWorkOrder(
+    cloud::Cluster* cluster, util::Pcg32&) {
+  CB_CHECK(!open_workorders_.empty());
+  int64_t wo_id = open_workorders_.front();
+  open_workorders_.pop_front();
+
+  ComputeNode* node = cluster->rw();
+  txn::TxnManager& mgr = node->txn();
+  SyntheticTable* workorder = node->tables()->Find(erp::kWorkorderTable);
+  SyntheticTable* stock = node->tables()->Find(erp::kStockTable);
+
+  txn::Transaction txn = mgr.Begin();
+  Row wo;
+  Status s = co_await mgr.Get(&txn, workorder, wo_id, &wo,
+                              /*for_update=*/true);
+  if (s.ok()) {
+    wo.status = erp::kWoStatusDone;
+    s = co_await mgr.Update(&txn, workorder, wo);
+  }
+  if (s.ok()) {
+    // The finished product is itself a stockable item.
+    Row product_stock;
+    int64_t product_item = wo.ref_a % erp::kItemsPerSf;
+    s = co_await mgr.Get(&txn, stock, product_item, &product_stock,
+                         /*for_update=*/true);
+    if (s.ok()) {
+      product_stock.ref_a += wo.ref_b;
+      s = co_await mgr.Update(&txn, stock, product_stock);
+    }
+  }
+  if (s.ok()) s = co_await mgr.Commit(&txn);
+  if (!s.ok() && txn.active()) mgr.Abort(&txn);
+  co_return s;
+}
+
+}  // namespace cloudybench

@@ -1,0 +1,98 @@
+#ifndef CLOUDYBENCH_CORE_MICROSERVICES_H_
+#define CLOUDYBENCH_CORE_MICROSERVICES_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/sales_workload.h"
+
+namespace cloudybench {
+
+/// The full SaaS ERP scenario of the paper's Fig. 2: Sales plus the two
+/// microservices the paper defers to future work — Inventory and
+/// Manufacturing — sharing one schema/database exactly as the paper
+/// describes SaaS tenants doing.
+///
+/// Inventory service:
+///   ITEM(I_ID, I_PRICE, I_NAME...)           item catalog
+///   STOCK(S_I_ID -> key, S_QUANTITY, ...)    per-item stock level
+///   T5 StockLevel  (read-only)   check an item's stock and price
+///   T6 Restock     (read-write)  receive goods: stock += qty
+///
+/// Manufacturing service:
+///   BOM(B_ID, B_PRODUCT, B_COMPONENT, B_QTY)  bill of materials
+///   WORKORDER(WO_ID, WO_I_ID, WO_QTY, WO_STATUS)
+///   T7 NewWorkOrder      read the product's BOM, deduct each component's
+///                        stock, insert the work order
+///   T8 CompleteWorkOrder mark a work order done and credit the finished
+///                        product's stock
+namespace erp {
+inline constexpr int64_t kItemsPerSf = 100'000;
+inline constexpr int64_t kBomPerProduct = 4;   // components per product
+inline constexpr int64_t kProductsPerSf = 20'000;
+inline constexpr int64_t kInitialWorkordersPerSf = 10'000;
+
+inline constexpr const char* kItemTable = "item";
+inline constexpr const char* kStockTable = "stock";
+inline constexpr const char* kBomTable = "bom";
+inline constexpr const char* kWorkorderTable = "workorder";
+
+inline constexpr int32_t kWoStatusOpen = 0;
+inline constexpr int32_t kWoStatusDone = 1;
+
+/// Inventory + Manufacturing tables (Sales' tables come from
+/// sales::Schemas()).
+std::vector<storage::TableSchema> Schemas();
+}  // namespace erp
+
+/// Transaction mix across the three microservices. Sales transactions are
+/// delegated to an embedded SalesTransactionSet; inventory and
+/// manufacturing weights select T5-T8.
+struct ErpWorkloadConfig {
+  /// Service weights (relative).
+  int sales_pct = 60;
+  int inventory_pct = 25;
+  int manufacturing_pct = 15;
+  /// Within inventory: reads vs restocks.
+  int stock_level_pct = 80;
+  /// Within manufacturing: new vs complete work orders.
+  int new_workorder_pct = 60;
+  SalesWorkloadConfig sales = SalesWorkloadConfig::ReadWrite();
+  uint64_t seed = 42;
+};
+
+/// The combined three-microservice workload (extends the paper's evaluation
+/// scope per its §II-A future-work note; every evaluator runs unchanged on
+/// it because it is just another TransactionSet).
+class ErpTransactionSet : public TransactionSet {
+ public:
+  explicit ErpTransactionSet(ErpWorkloadConfig config);
+
+  std::vector<storage::TableSchema> Schemas() const override;
+  sim::Task<util::Status> RunOne(cloud::Cluster* cluster, util::Pcg32& rng,
+                                 TxnType* type_out) override;
+  uint64_t Seed() const override { return config_.seed; }
+
+  const ErpWorkloadConfig& config() const { return config_; }
+  /// Work orders created and not yet completed.
+  size_t open_workorders() const { return open_workorders_.size(); }
+
+ private:
+  sim::Task<util::Status> RunStockLevel(cloud::Cluster* cluster,
+                                        util::Pcg32& rng);
+  sim::Task<util::Status> RunRestock(cloud::Cluster* cluster,
+                                     util::Pcg32& rng);
+  sim::Task<util::Status> RunNewWorkOrder(cloud::Cluster* cluster,
+                                          util::Pcg32& rng);
+  sim::Task<util::Status> RunCompleteWorkOrder(cloud::Cluster* cluster,
+                                               util::Pcg32& rng);
+
+  ErpWorkloadConfig config_;
+  SalesTransactionSet sales_;
+  std::deque<int64_t> open_workorders_;
+};
+
+}  // namespace cloudybench
+
+#endif  // CLOUDYBENCH_CORE_MICROSERVICES_H_

@@ -1,0 +1,153 @@
+#include "core/patterns.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cloudybench {
+
+const char* ElasticityPatternName(ElasticityPattern pattern) {
+  switch (pattern) {
+    case ElasticityPattern::kSinglePeak:
+      return "Single Peak";
+    case ElasticityPattern::kLargeSpike:
+      return "Large Spike";
+    case ElasticityPattern::kSingleValley:
+      return "Single Valley";
+    case ElasticityPattern::kZeroValley:
+      return "Zero Valley";
+  }
+  return "?";
+}
+
+std::vector<ElasticityPattern> AllElasticityPatterns() {
+  return {ElasticityPattern::kSinglePeak, ElasticityPattern::kLargeSpike,
+          ElasticityPattern::kSingleValley, ElasticityPattern::kZeroValley};
+}
+
+std::vector<double> ElasticityFractions(ElasticityPattern pattern) {
+  // The paper's typical proportions (§II-C):
+  //   (a) (0%, 100%, 0%)   (b) (10%, 80%, 10%)
+  //   (c) (40%, 20%, 40%)  (d) (50%, 0%, 50%)
+  switch (pattern) {
+    case ElasticityPattern::kSinglePeak:
+      return {0.0, 1.0, 0.0};
+    case ElasticityPattern::kLargeSpike:
+      return {0.1, 0.8, 0.1};
+    case ElasticityPattern::kSingleValley:
+      return {0.4, 0.2, 0.4};
+    case ElasticityPattern::kZeroValley:
+      return {0.5, 0.0, 0.5};
+  }
+  return {};
+}
+
+std::vector<int> ElasticitySchedule(ElasticityPattern pattern, int tau) {
+  CB_CHECK_GT(tau, 0);
+  std::vector<int> schedule;
+  for (double fraction : ElasticityFractions(pattern)) {
+    schedule.push_back(static_cast<int>(std::lround(fraction * tau)));
+  }
+  return schedule;
+}
+
+std::vector<int> ParetoElasticitySchedule(int tau, int slots,
+                                          util::Pcg32& rng, double shape) {
+  CB_CHECK_GT(tau, 0);
+  CB_CHECK_GT(slots, 0);
+  std::vector<int> schedule;
+  schedule.reserve(static_cast<size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    schedule.push_back(static_cast<int>(
+        std::lround(util::ParetoShare(rng, shape) * tau)));
+  }
+  return schedule;
+}
+
+const char* TenancyPatternName(TenancyPattern pattern) {
+  switch (pattern) {
+    case TenancyPattern::kHighContention:
+      return "High Contention";
+    case TenancyPattern::kLowContention:
+      return "Low Contention";
+    case TenancyPattern::kStaggeredHigh:
+      return "Staggered High";
+    case TenancyPattern::kStaggeredLow:
+      return "Staggered Low";
+  }
+  return "?";
+}
+
+std::vector<TenancyPattern> AllTenancyPatterns() {
+  return {TenancyPattern::kHighContention, TenancyPattern::kLowContention,
+          TenancyPattern::kStaggeredHigh, TenancyPattern::kStaggeredLow};
+}
+
+namespace {
+/// Tenant demand weights: tenant i demands ~2x tenant i-1 (for 3 tenants
+/// this is {1,2,4}/7 ~ the paper's 10%/30%/60% shares), normalized.
+std::vector<double> TenantWeights(int tenants) {
+  std::vector<double> weights(static_cast<size_t>(tenants));
+  double total = 0;
+  for (int i = 0; i < tenants; ++i) {
+    weights[static_cast<size_t>(i)] = std::pow(2.0, i);
+    total += weights[static_cast<size_t>(i)];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+}  // namespace
+
+std::vector<std::vector<int>> TenancySchedule(TenancyPattern pattern,
+                                              int tenants, int slots,
+                                              int tau) {
+  CB_CHECK_GT(tenants, 0);
+  CB_CHECK_GT(slots, 0);
+  CB_CHECK_GT(tau, 0);
+  std::vector<double> weights = TenantWeights(tenants);
+  std::vector<std::vector<int>> schedule(
+      static_cast<size_t>(tenants),
+      std::vector<int>(static_cast<size_t>(slots), 0));
+
+  auto constant_total = [&](double total_fraction) {
+    for (int i = 0; i < tenants; ++i) {
+      int c = static_cast<int>(std::lround(weights[static_cast<size_t>(i)] *
+                                           total_fraction * tau));
+      for (int j = 0; j < slots; ++j) {
+        schedule[static_cast<size_t>(i)][static_cast<size_t>(j)] = c;
+      }
+    }
+  };
+
+  switch (pattern) {
+    case TenancyPattern::kHighContention:
+      // Aggregate demand 120% of the threshold, every slot.
+      constant_total(1.2);
+      break;
+    case TenancyPattern::kLowContention:
+      // Aggregate demand 80% of the threshold.
+      constant_total(0.8);
+      break;
+    case TenancyPattern::kStaggeredHigh:
+      // Tenants take turns, each demanding ~120% of the threshold in its
+      // own slot (paper pattern (c): {(363,0,0),(0,429,0),(0,0,396)}).
+      for (int j = 0; j < slots; ++j) {
+        int i = j % tenants;
+        schedule[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            static_cast<int>(std::lround(1.2 * tau));
+      }
+      break;
+    case TenancyPattern::kStaggeredLow:
+      // Tenants take turns at low demand (paper pattern (d):
+      // {(10,0,0),(0,20,0),(0,0,30)} with tau=100).
+      for (int j = 0; j < slots; ++j) {
+        int i = j % tenants;
+        schedule[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            static_cast<int>(std::lround(0.1 * (i + 1) * tau));
+      }
+      break;
+  }
+  return schedule;
+}
+
+}  // namespace cloudybench

@@ -1,0 +1,60 @@
+#ifndef CLOUDYBENCH_CORE_PATTERNS_H_
+#define CLOUDYBENCH_CORE_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cloudybench {
+
+/// The four basic elasticity patterns (paper §II-C, Fig. 3). Each pattern is
+/// a sequence of per-slot concurrency fractions of tau — the concurrency at
+/// which the tested database saturates — so patterns scale with the SUT.
+enum class ElasticityPattern {
+  kSinglePeak,   // (0%, 100%, 0%)    e.g. an ETL maintenance job
+  kLargeSpike,   // (10%, 80%, 10%)   e.g. ordering a hot-selling product
+  kSingleValley, // (40%, 20%, 40%)   e.g. declined sales on price change
+  kZeroValley,   // (50%, 0%, 50%)    pause-and-resume (out of stock)
+};
+
+const char* ElasticityPatternName(ElasticityPattern pattern);
+std::vector<ElasticityPattern> AllElasticityPatterns();
+
+/// Per-slot fractions of tau for a pattern (the paper's typical
+/// proportions).
+std::vector<double> ElasticityFractions(ElasticityPattern pattern);
+
+/// Concrete per-slot concurrency schedule: fraction x tau, rounded.
+std::vector<int> ElasticitySchedule(ElasticityPattern pattern, int tau);
+
+/// A randomized pattern whose proportions are drawn from a Pareto
+/// distribution (the paper's default when no explicit proportions are
+/// given), with `slots` time slots.
+std::vector<int> ParetoElasticitySchedule(int tau, int slots,
+                                          util::Pcg32& rng,
+                                          double shape = 1.5);
+
+/// The four multi-tenancy contention patterns (paper §II-D, Fig. 4).
+enum class TenancyPattern {
+  kHighContention,  // all tenants demand together; total > threshold
+  kLowContention,   // all tenants demand together; total < threshold
+  kStaggeredHigh,   // tenants take turns, each near full capacity
+  kStaggeredLow,    // tenants take turns at low demand
+};
+
+const char* TenancyPatternName(TenancyPattern pattern);
+std::vector<TenancyPattern> AllTenancyPatterns();
+
+/// Per-tenant, per-slot concurrency schedule for `tenants` tenants over
+/// `slots` slots, built from tau exactly as §II-D describes (base tenant
+/// shares 10%/30%/60% shifted by +/-delta for the contention patterns, and
+/// one-hot slot assignment for the staggered patterns). Result[i][j] is
+/// tenant i's concurrency in slot j.
+std::vector<std::vector<int>> TenancySchedule(TenancyPattern pattern,
+                                              int tenants, int slots,
+                                              int tau);
+
+}  // namespace cloudybench
+
+#endif  // CLOUDYBENCH_CORE_PATTERNS_H_

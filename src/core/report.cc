@@ -1,0 +1,107 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace cloudybench {
+
+namespace {
+using util::FormatDouble;
+
+std::string F0(double v) { return FormatDouble(v, 0); }
+std::string F2(double v) { return FormatDouble(v, 2); }
+std::string F4(double v) { return FormatDouble(v, 4); }
+}  // namespace
+
+ReportWriter::ReportWriter(std::string csv_dir)
+    : csv_dir_(std::move(csv_dir)),
+      oltp_({"label", "tps", "p50_ms", "p99_ms", "commits", "aborts",
+             "cost_per_min", "p_score", "hit_rate"}),
+      elasticity_({"label", "mean_tps", "total_cost", "cost_per_min",
+                   "e1_score", "scaling_events"}),
+      lag_({"label", "insert_ms", "update_ms", "delete_ms", "c_score"}),
+      failover_({"label", "f_seconds", "r_seconds", "pre_failure_tps",
+                 "target_tps", "recovered"}),
+      tenancy_({"label", "total_tps", "geomean_input_tps", "cost_per_min",
+                "t_score"}) {}
+
+void ReportWriter::AddOltp(const std::string& label,
+                           const OltpResult& result) {
+  oltp_.AddRow({label, F0(result.mean_tps), F2(result.p50_latency_ms),
+                F2(result.p99_latency_ms),
+                std::to_string(result.commits), std::to_string(result.aborts),
+                F4(result.cost_per_minute.total()), F0(result.p_score),
+                F2(result.buffer_hit_rate)});
+  ++oltp_rows_;
+}
+
+void ReportWriter::AddElasticity(const std::string& label,
+                                 const ElasticityResult& result) {
+  elasticity_.AddRow({label, F0(result.mean_tps),
+                      F4(result.total_cost.total()),
+                      F4(result.cost_per_minute.total()), F0(result.e1_score),
+                      std::to_string(result.scaling_events.size())});
+  ++elasticity_rows_;
+}
+
+void ReportWriter::AddLag(const std::string& label,
+                          const LagTimeResult& result) {
+  lag_.AddRow({label, F2(result.insert_lag_ms), F2(result.update_lag_ms),
+               F2(result.delete_lag_ms), F2(result.c_score)});
+  ++lag_rows_;
+}
+
+void ReportWriter::AddFailover(const std::string& label,
+                               const FailoverResult& result) {
+  failover_.AddRow({label, F2(result.f_seconds), F2(result.r_seconds),
+                    F0(result.pre_failure_tps), F0(result.target_tps),
+                    result.tps_recovered ? "yes" : "no"});
+  ++failover_rows_;
+}
+
+void ReportWriter::AddTenancy(const std::string& label,
+                              const TenancyResult& result) {
+  double product = 1.0;
+  for (double tps : result.tenant_tps) product *= std::max(tps, 1e-9);
+  double geomean =
+      std::pow(product, 1.0 / static_cast<double>(result.tenant_tps.size()));
+  tenancy_.AddRow({label, F0(result.total_tps), F0(geomean),
+                   F4(result.cost_per_minute.total()), F0(result.t_score)});
+  ++tenancy_rows_;
+}
+
+void ReportWriter::Print() const {
+  if (oltp_rows_ > 0) oltp_.Print("[oltp]");
+  if (elasticity_rows_ > 0) elasticity_.Print("[elasticity]");
+  if (lag_rows_ > 0) lag_.Print("[lag]");
+  if (failover_rows_ > 0) failover_.Print("[failover]");
+  if (tenancy_rows_ > 0) tenancy_.Print("[tenancy]");
+}
+
+util::Status ReportWriter::WriteFile(const std::string& name,
+                                     const util::TablePrinter& table) const {
+  std::string path = csv_dir_ + "/" + name;
+  std::ofstream out(path);
+  if (!out) return util::Status::Internal("cannot write " + path);
+  out << table.ToCsv();
+  return util::Status::OK();
+}
+
+util::Status ReportWriter::WriteCsvFiles() const {
+  if (csv_dir_.empty()) return util::Status::OK();
+  if (oltp_rows_ > 0) CB_RETURN_IF_ERROR(WriteFile("oltp.csv", oltp_));
+  if (elasticity_rows_ > 0) {
+    CB_RETURN_IF_ERROR(WriteFile("elasticity.csv", elasticity_));
+  }
+  if (lag_rows_ > 0) CB_RETURN_IF_ERROR(WriteFile("lag.csv", lag_));
+  if (failover_rows_ > 0) {
+    CB_RETURN_IF_ERROR(WriteFile("failover.csv", failover_));
+  }
+  if (tenancy_rows_ > 0) CB_RETURN_IF_ERROR(WriteFile("tenancy.csv", tenancy_));
+  return util::Status::OK();
+}
+
+}  // namespace cloudybench

@@ -1,0 +1,59 @@
+#ifndef CLOUDYBENCH_CORE_REPORT_H_
+#define CLOUDYBENCH_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evaluators.h"
+#include "core/tenancy.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace cloudybench {
+
+/// Renders evaluator results as aligned tables (for terminals) and CSV
+/// files (for plotting). The bench binaries hand-format their paper-shaped
+/// tables; this is the reusable facility for library users and for the
+/// testbed's `output.csv_dir` option.
+class ReportWriter {
+ public:
+  /// `csv_dir` empty disables file output (tables still render).
+  explicit ReportWriter(std::string csv_dir = "");
+
+  /// Appends one labelled OLTP result (e.g. one SUT x mode cell).
+  void AddOltp(const std::string& label, const OltpResult& result);
+  void AddElasticity(const std::string& label, const ElasticityResult& result);
+  void AddLag(const std::string& label, const LagTimeResult& result);
+  void AddFailover(const std::string& label, const FailoverResult& result);
+  void AddTenancy(const std::string& label, const TenancyResult& result);
+
+  /// Renders every non-empty section to stdout.
+  void Print() const;
+
+  /// Writes one CSV per non-empty section into csv_dir
+  /// (oltp.csv, elasticity.csv, lag.csv, failover.csv, tenancy.csv).
+  /// No-op success when csv_dir is empty.
+  util::Status WriteCsvFiles() const;
+
+  bool csv_enabled() const { return !csv_dir_.empty(); }
+
+ private:
+  util::Status WriteFile(const std::string& name,
+                         const util::TablePrinter& table) const;
+
+  std::string csv_dir_;
+  util::TablePrinter oltp_;
+  util::TablePrinter elasticity_;
+  util::TablePrinter lag_;
+  util::TablePrinter failover_;
+  util::TablePrinter tenancy_;
+  int oltp_rows_ = 0;
+  int elasticity_rows_ = 0;
+  int lag_rows_ = 0;
+  int failover_rows_ = 0;
+  int tenancy_rows_ = 0;
+};
+
+}  // namespace cloudybench
+
+#endif  // CLOUDYBENCH_CORE_REPORT_H_

@@ -1,0 +1,48 @@
+#include "net/network.h"
+
+namespace cloudybench::net {
+
+const char* FabricName(Fabric fabric) {
+  switch (fabric) {
+    case Fabric::kTcpIp:
+      return "TCP/IP";
+    case Fabric::kRdma:
+      return "RDMA";
+  }
+  return "?";
+}
+
+LinkConfig LinkConfig::Tcp10G(std::string name) {
+  LinkConfig c;
+  c.name = std::move(name);
+  c.fabric = Fabric::kTcpIp;
+  c.bandwidth_gbps = 10.0;
+  c.latency = sim::Micros(50);  // kernel TCP stack within one VPC
+  return c;
+}
+
+LinkConfig LinkConfig::Rdma10G(std::string name) {
+  LinkConfig c;
+  c.name = std::move(name);
+  c.fabric = Fabric::kRdma;
+  c.bandwidth_gbps = 10.0;
+  c.latency = sim::Micros(2);  // kernel-bypass one-sided verbs
+  return c;
+}
+
+Link::Link(sim::Environment* env, LinkConfig config)
+    : env_(env),
+      config_(std::move(config)),
+      bandwidth_(env, config_.bandwidth_gbps * 1e9 / 8.0) {
+  CB_CHECK_GT(config_.bandwidth_gbps, 0.0);
+}
+
+sim::Task<void> Link::Transfer(int64_t bytes) {
+  CB_CHECK_GE(bytes, 0);
+  bytes_transferred_ += bytes;
+  ++messages_;
+  co_await bandwidth_.Acquire(static_cast<double>(bytes));
+  co_await env_->Delay(config_.latency);
+}
+
+}  // namespace cloudybench::net

@@ -1,0 +1,72 @@
+#ifndef CLOUDYBENCH_NET_NETWORK_H_
+#define CLOUDYBENCH_NET_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/environment.h"
+#include "sim/resource.h"
+#include "sim/sim_time.h"
+#include "sim/task.h"
+
+namespace cloudybench::net {
+
+/// Which fabric a link runs on. Pricing differs (paper Table III: RDMA
+/// bandwidth costs 3x TCP/IP) and so do latencies.
+enum class Fabric { kTcpIp, kRdma };
+
+const char* FabricName(Fabric fabric);
+
+struct LinkConfig {
+  std::string name;
+  Fabric fabric = Fabric::kTcpIp;
+  /// Provisioned bandwidth; also the capacity billed by the price book.
+  double bandwidth_gbps = 10.0;
+  /// One-way propagation + stack latency per message.
+  sim::SimTime latency = sim::Micros(50);
+
+  /// Paper Table IV fabrics: 10 Gbps TCP/IP for RDS/CDB1/CDB2/CDB3 and
+  /// 10 Gbps RDMA for CDB4 (≈25x lower latency; kernel-bypass).
+  static LinkConfig Tcp10G(std::string name);
+  static LinkConfig Rdma10G(std::string name);
+};
+
+/// A simulated point-to-point link: messages queue on a bandwidth
+/// RateResource (bytes/second) and then pay the propagation latency.
+/// Transfers of concurrent senders serialize deterministically FIFO.
+class Link {
+ public:
+  Link(sim::Environment* env, LinkConfig config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Delivers `bytes` across the link; resumes when the last byte arrives.
+  sim::Task<void> Transfer(int64_t bytes);
+
+  const LinkConfig& config() const { return config_; }
+  double bandwidth_gbps() const { return config_.bandwidth_gbps; }
+  Fabric fabric() const { return config_.fabric; }
+
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+  int64_t messages() const { return messages_; }
+
+  /// Mean utilization over [t0, t1) against provisioned bandwidth; requires
+  /// callers to snapshot bytes_transferred() (the meter does).
+  static double Gbps(int64_t bytes, double seconds) {
+    if (seconds <= 0) return 0.0;
+    return static_cast<double>(bytes) * 8.0 / 1e9 / seconds;
+  }
+
+ private:
+  sim::Environment* env_;
+  LinkConfig config_;
+  sim::RateResource bandwidth_;  // bytes per second
+  int64_t bytes_transferred_ = 0;
+  int64_t messages_ = 0;
+};
+
+}  // namespace cloudybench::net
+
+#endif  // CLOUDYBENCH_NET_NETWORK_H_

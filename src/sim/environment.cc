@@ -1,0 +1,101 @@
+#include "sim/environment.h"
+
+#include <utility>
+
+namespace cloudybench::sim {
+
+namespace internal_task {
+
+void ScheduleHandleAt(Environment* env, SimTime at, std::coroutine_handle<> h) {
+  env->ScheduleHandle(at, h);
+}
+
+SimTime EnvNow(Environment* env) { return env->Now(); }
+
+void NotifyDetachedFinished(Environment* env, std::coroutine_handle<> h) {
+  env->detached_live_.erase(h.address());
+  env->finished_.push_back(h);
+}
+
+}  // namespace internal_task
+
+Environment::~Environment() {
+  // Reclaim finished-but-uncollected frames first.
+  CollectFinished();
+  // Destroy still-suspended detached roots. Destroying a root frame also
+  // destroys any inline-awaited child frames it owns, so the event queue may
+  // hold dangling handles afterwards — we drop the queue without touching
+  // them.
+  for (void* addr : detached_live_) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+  detached_live_.clear();
+}
+
+void Environment::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {
+  CB_CHECK_GE(at.us, now_.us) << "cannot schedule into the past";
+  queue_.push(Event{at, next_seq_++, h, nullptr});
+}
+
+void Environment::ScheduleCall(SimTime at, std::function<void()> fn) {
+  CB_CHECK_GE(at.us, now_.us) << "cannot schedule into the past";
+  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+ProcessRef Environment::Spawn(Process process) {
+  auto h = process.Release();
+  CB_CHECK(h) << "spawning an empty process";
+  auto& promise = h.promise();
+  promise.env = this;
+  promise.detached = true;
+  promise.state = std::make_shared<ProcessState>();
+  ProcessRef ref = promise.state;
+  detached_live_.insert(h.address());
+  h.resume();        // run until the first suspension (or completion)
+  CollectFinished();
+  return ref;
+}
+
+void Environment::DispatchEvent(Event ev) {
+  now_ = ev.at;
+  ++dispatched_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+  CollectFinished();
+}
+
+void Environment::CollectFinished() {
+  while (!finished_.empty()) {
+    std::coroutine_handle<> h = finished_.back();
+    finished_.pop_back();
+    h.destroy();
+  }
+}
+
+bool Environment::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  DispatchEvent(std::move(ev));
+  return true;
+}
+
+void Environment::Run() {
+  while (Step()) {
+  }
+}
+
+void Environment::RunUntil(SimTime t) {
+  CB_CHECK_GE(t.us, now_.us);
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    DispatchEvent(std::move(ev));
+  }
+  now_ = t;
+}
+
+}  // namespace cloudybench::sim

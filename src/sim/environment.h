@@ -1,0 +1,127 @@
+#ifndef CLOUDYBENCH_SIM_ENVIRONMENT_H_
+#define CLOUDYBENCH_SIM_ENVIRONMENT_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/sim_time.h"
+#include "sim/task.h"
+
+namespace cloudybench::sim {
+
+/// Deterministic discrete-event simulation environment.
+///
+/// All simulated activity — workload workers, log replayers, autoscalers,
+/// heartbeats — runs as coroutine processes scheduled on a single event
+/// queue ordered by (time, insertion sequence). Identical seeds therefore
+/// produce identical experiments, which the property tests rely on.
+///
+/// Typical experiment shape:
+///
+///   Environment env;
+///   env.Spawn(WorkerLoop(&env, ...));
+///   env.RunUntil(Seconds(600));   // the measurement window
+///   // metrics read here; leftover processes reclaimed by ~Environment.
+class Environment {
+ public:
+  Environment() = default;
+  ~Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Low-level: resume `h` at time `at` (>= Now()).
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> h);
+
+  /// Runs `fn` at time `at`. Used for one-shot control actions (failure
+  /// injection, timeouts) that are not coroutines themselves.
+  void ScheduleCall(SimTime at, std::function<void()> fn);
+
+  /// Starts a detached process; the environment owns and reclaims the frame.
+  ProcessRef Spawn(Process process);
+
+  /// Awaitable that suspends the caller for `d` of simulated time.
+  auto Delay(SimTime d) {
+    struct Awaiter {
+      Environment* env;
+      SimTime at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        env->ScheduleHandle(at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    CB_CHECK_GE(d.us, 0);
+    return Awaiter{this, now_ + d};
+  }
+
+  /// Awaitable that completes when the spawned process finishes.
+  auto Join(ProcessRef ref) {
+    struct Awaiter {
+      ProcessRef ref;
+      bool await_ready() const noexcept { return ref->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ref->joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    CB_CHECK(ref != nullptr);
+    return Awaiter{std::move(ref)};
+  }
+
+  /// Dispatches the next event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue drains.
+  void Run();
+
+  /// Dispatches every event with time <= t, then advances the clock to t.
+  /// Events beyond t stay queued (and are discarded at teardown if the
+  /// experiment ends here) — this is how experiments define a measurement
+  /// window without requiring every process to support clean shutdown.
+  void RunUntil(SimTime t);
+  void RunFor(SimTime d) { RunUntil(now_ + d); }
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  friend void internal_task::NotifyDetachedFinished(Environment*,
+                                                    std::coroutine_handle<>);
+
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::coroutine_handle<> handle;       // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at.us != b.at.us) return a.at.us > b.at.us;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DispatchEvent(Event ev);
+  void CollectFinished();
+
+  SimTime now_{0};
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Frames of detached processes that reached final suspend and can be
+  // destroyed once the current dispatch step unwinds.
+  std::vector<std::coroutine_handle<>> finished_;
+  // Live detached frames, destroyed at teardown if still suspended.
+  std::unordered_set<void*> detached_live_;
+};
+
+}  // namespace cloudybench::sim
+
+#endif  // CLOUDYBENCH_SIM_ENVIRONMENT_H_

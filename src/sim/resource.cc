@@ -1,0 +1,83 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+namespace cloudybench::sim {
+
+namespace {
+int SlotsForCapacity(double capacity) {
+  if (capacity <= 0.0) return 0;
+  return static_cast<int>(std::ceil(capacity - 1e-9));
+}
+}  // namespace
+
+SlotResource::SlotResource(Environment* env, double capacity)
+    : env_(env), capacity_(capacity), slots_(SlotsForCapacity(capacity)) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK_GE(capacity, 0.0);
+}
+
+double SlotResource::speed() const {
+  CB_CHECK_GT(slots_, 0);
+  return capacity_ / static_cast<double>(slots_);
+}
+
+void SlotResource::SetCapacity(double capacity) {
+  CB_CHECK_GE(capacity, 0.0);
+  capacity_ = capacity;
+  slots_ = SlotsForCapacity(capacity);
+  GrantWaiters();
+}
+
+void SlotResource::GrantWaiters() {
+  while (!waiting_.empty() && active_ < slots_) {
+    std::coroutine_handle<> h = waiting_.front();
+    waiting_.pop_front();
+    ++active_;
+    env_->ScheduleHandle(env_->Now(), h);
+  }
+}
+
+void SlotResource::Release() {
+  CB_CHECK_GT(active_, 0);
+  --active_;
+  GrantWaiters();
+}
+
+Task<void> SlotResource::Consume(SimTime demand) {
+  CB_CHECK_GE(demand.us, 0);
+  co_await Acquire();
+  // Speed is captured at grant time; a capacity change mid-service does not
+  // retroactively stretch in-flight work (documented approximation).
+  double sp = speed();
+  auto scaled = SimTime{static_cast<int64_t>(static_cast<double>(demand.us) / sp)};
+  co_await env_->Delay(scaled);
+  busy_core_seconds_ += demand.ToSeconds();
+  Release();
+}
+
+RateResource::RateResource(Environment* env, double rate_per_second)
+    : env_(env), rate_(rate_per_second) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK_GT(rate_per_second, 0.0);
+}
+
+void RateResource::SetRate(double rate_per_second) {
+  CB_CHECK_GT(rate_per_second, 0.0);
+  rate_ = rate_per_second;
+}
+
+Task<void> RateResource::Acquire(double units) {
+  CB_CHECK_GE(units, 0.0);
+  SimTime now = env_->Now();
+  SimTime start = std::max(now, next_free_);
+  SimTime busy = Seconds(units / rate_);
+  next_free_ = start + busy;
+  consumed_ += units;
+  SimTime done = next_free_;
+  if (done > now) {
+    co_await env_->Delay(done - now);
+  }
+}
+
+}  // namespace cloudybench::sim

@@ -1,0 +1,119 @@
+#ifndef CLOUDYBENCH_SIM_RESOURCE_H_
+#define CLOUDYBENCH_SIM_RESOURCE_H_
+
+#include <cmath>
+#include <coroutine>
+#include <deque>
+
+#include "sim/environment.h"
+#include "sim/sim_time.h"
+#include "sim/task.h"
+
+namespace cloudybench::sim {
+
+/// A pool of CPU execution slots whose total capacity (in vCores) can be
+/// changed at runtime — this is what an autoscaler scales.
+///
+/// capacity -> slots/speed mapping: slots = ceil(capacity), each slot runs at
+/// speed capacity/slots <= 1, so a 0.5-vCore serverless instance is one slot
+/// at half speed and a 2.5-vCore instance is three slots at 0.833x. Capacity
+/// zero (paused database, CDB3's scale-to-zero) grants nothing until raised.
+///
+/// `Consume(demand)` is the workhorse: queue FIFO for a slot, hold it for
+/// demand/speed of simulated time, release. Busy core-seconds are accounted
+/// for utilization metering.
+class SlotResource {
+ public:
+  SlotResource(Environment* env, double capacity);
+
+  SlotResource(const SlotResource&) = delete;
+  SlotResource& operator=(const SlotResource&) = delete;
+
+  double capacity() const { return capacity_; }
+  int slots() const { return slots_; }
+  /// Per-slot speed multiplier in (0, 1]; valid only when slots() > 0.
+  double speed() const;
+
+  /// Changes capacity; newly freed slots are granted to FIFO waiters at the
+  /// current instant. In-flight holders are unaffected (their speed was
+  /// captured at grant time).
+  void SetCapacity(double capacity);
+
+  /// Executes `demand` core-microseconds of work. The awaiting coroutine is
+  /// suspended for queueing time + demand/speed.
+  Task<void> Consume(SimTime demand);
+
+  /// Low-level slot protocol for callers that interleave other awaits while
+  /// holding a slot. Pair every granted Acquire() with exactly one Release().
+  auto Acquire() {
+    struct Awaiter {
+      SlotResource* r;
+      bool await_ready() noexcept {
+        if (r->waiting_.empty() && r->active_ < r->slots_) {
+          ++r->active_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        r->waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+  void Release();
+
+  int active() const { return active_; }
+  size_t waiting() const { return waiting_.size(); }
+
+  /// Total core-seconds of work completed so far (for utilization = delta
+  /// busy / (capacity * delta time)).
+  double busy_core_seconds() const { return busy_core_seconds_; }
+
+ private:
+  void GrantWaiters();
+
+  Environment* env_;
+  double capacity_;
+  int slots_;
+  int active_ = 0;
+  double busy_core_seconds_ = 0.0;
+  std::deque<std::coroutine_handle<>> waiting_;
+};
+
+/// A token-bucket rate limit with units/second throughput and deterministic
+/// FIFO reservations — models an IOPS budget or a network link's bandwidth.
+///
+/// Acquire(n) computes the caller's completion time on a virtual queue
+/// (reservations serialize at `rate`); the caller is delayed until then.
+class RateResource {
+ public:
+  RateResource(Environment* env, double rate_per_second);
+
+  RateResource(const RateResource&) = delete;
+  RateResource& operator=(const RateResource&) = delete;
+
+  double rate() const { return rate_; }
+  /// Rate changes apply to future reservations.
+  void SetRate(double rate_per_second);
+
+  /// Reserves `units` of throughput and suspends until they are granted.
+  Task<void> Acquire(double units);
+
+  /// Total units consumed (for metering, e.g. used IOPS).
+  double consumed() const { return consumed_; }
+
+  /// Whether an Acquire issued now would have to wait (backlogged device).
+  bool backlogged() const { return next_free_ > env_->Now(); }
+
+ private:
+  Environment* env_;
+  double rate_;
+  double consumed_ = 0.0;
+  SimTime next_free_{0};
+};
+
+}  // namespace cloudybench::sim
+
+#endif  // CLOUDYBENCH_SIM_RESOURCE_H_

@@ -1,0 +1,57 @@
+#ifndef CLOUDYBENCH_SIM_SIM_TIME_H_
+#define CLOUDYBENCH_SIM_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace cloudybench::sim {
+
+/// A point or span of simulated time with microsecond resolution.
+///
+/// CloudyBench experiments run entirely in virtual time: a "minute" time slot
+/// of the paper's workload patterns costs only as many wall cycles as there
+/// are events in it, so the benches reproduce ten-minute cloud experiments in
+/// milliseconds while keeping every rate and duration metric meaningful.
+struct SimTime {
+  int64_t us = 0;
+
+  constexpr double ToSeconds() const { return static_cast<double>(us) / 1e6; }
+  constexpr double ToMillis() const { return static_cast<double>(us) / 1e3; }
+  constexpr double ToMicros() const { return static_cast<double>(us); }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{us + o.us}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{us - o.us}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    us += o.us;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    us -= o.us;
+    return *this;
+  }
+  constexpr SimTime operator*(double k) const {
+    return SimTime{static_cast<int64_t>(static_cast<double>(us) * k)};
+  }
+};
+
+constexpr SimTime Micros(int64_t v) { return SimTime{v}; }
+constexpr SimTime Millis(double v) {
+  return SimTime{static_cast<int64_t>(v * 1e3)};
+}
+constexpr SimTime Seconds(double v) {
+  return SimTime{static_cast<int64_t>(v * 1e6)};
+}
+constexpr SimTime Minutes(double v) {
+  return SimTime{static_cast<int64_t>(v * 60e6)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToSeconds() << "s";
+}
+
+}  // namespace cloudybench::sim
+
+#endif  // CLOUDYBENCH_SIM_SIM_TIME_H_

@@ -1,0 +1,103 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cloudybench::storage {
+
+BufferPool::BufferPool(int64_t capacity_bytes) {
+  CB_CHECK_GT(capacity_bytes, 0);
+  capacity_pages_ = std::max<int64_t>(1, capacity_bytes / kPageBytes);
+}
+
+bool BufferPool::Touch(PageId page) {
+  auto it = index_.find(page);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void BufferPool::EvictOne(AdmitResult* result) {
+  CB_CHECK(!lru_.empty());
+  Frame victim = lru_.back();
+  index_.erase(victim.page);
+  lru_.pop_back();
+  if (victim.dirty) {
+    --dirty_count_;
+    ++forced_dirty_evictions_;
+  }
+  if (result != nullptr) {
+    result->evicted = true;
+    result->victim = victim.page;
+    result->victim_dirty = victim.dirty;
+  }
+}
+
+BufferPool::AdmitResult BufferPool::Admit(PageId page) {
+  AdmitResult result;
+  if (index_.count(page) > 0) return result;  // raced in already
+  if (static_cast<int64_t>(index_.size()) >= capacity_pages_) {
+    EvictOne(&result);
+  }
+  lru_.push_front(Frame{page, false});
+  index_[page] = lru_.begin();
+  return result;
+}
+
+void BufferPool::MarkDirty(PageId page) {
+  auto it = index_.find(page);
+  if (it == index_.end()) return;
+  if (!it->second->dirty) {
+    it->second->dirty = true;
+    ++dirty_count_;
+  }
+}
+
+void BufferPool::MarkClean(PageId page) {
+  auto it = index_.find(page);
+  if (it == index_.end()) return;
+  if (it->second->dirty) {
+    it->second->dirty = false;
+    --dirty_count_;
+  }
+}
+
+bool BufferPool::IsDirty(PageId page) const {
+  auto it = index_.find(page);
+  return it != index_.end() && it->second->dirty;
+}
+
+std::vector<PageId> BufferPool::TakeDirty(size_t max_pages) {
+  std::vector<PageId> taken;
+  // Walk from LRU toward MRU so the checkpointer cleans cold pages first.
+  for (auto it = lru_.rbegin(); it != lru_.rend() && taken.size() < max_pages;
+       ++it) {
+    if (it->dirty) {
+      it->dirty = false;
+      --dirty_count_;
+      taken.push_back(it->page);
+    }
+  }
+  return taken;
+}
+
+void BufferPool::SetCapacity(int64_t capacity_bytes) {
+  CB_CHECK_GT(capacity_bytes, 0);
+  capacity_pages_ = std::max<int64_t>(1, capacity_bytes / kPageBytes);
+  while (static_cast<int64_t>(index_.size()) > capacity_pages_) {
+    EvictOne(nullptr);
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace cloudybench::storage

@@ -1,0 +1,100 @@
+#ifndef CLOUDYBENCH_STORAGE_BUFFER_POOL_H_
+#define CLOUDYBENCH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/row.h"
+
+namespace cloudybench::storage {
+
+/// LRU page cache descriptor table.
+///
+/// Row contents live in the SyntheticTables; the buffer pool models *which*
+/// pages are memory-resident, so a miss is what costs an I/O in the engine
+/// above. Dirty-page tracking drives the two write-back behaviours the paper
+/// contrasts: AWS RDS must flush dirty pages (checkpointing overhead, slow
+/// ARIES restart), while storage-disaggregated CDBs ship redo instead and
+/// never write pages back.
+class BufferPool {
+ public:
+  static constexpr int32_t kPageBytes = 8192;
+
+  explicit BufferPool(int64_t capacity_bytes);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Result of admitting a page after a miss.
+  struct AdmitResult {
+    bool evicted = false;
+    PageId victim;
+    bool victim_dirty = false;
+  };
+
+  /// Looks up `page`; on hit it becomes most-recently-used.
+  bool Touch(PageId page);
+
+  /// Inserts `page` (caller has performed the miss I/O), evicting the LRU
+  /// page if full. The caller is responsible for writing back a dirty
+  /// victim when the engine runs in write-back mode.
+  AdmitResult Admit(PageId page);
+
+  /// Marks a resident page dirty; no-op when not resident (the engine may
+  /// have evicted it between access and mark in pathological interleavings).
+  void MarkDirty(PageId page);
+  /// Clears the dirty bit (page written back).
+  void MarkClean(PageId page);
+
+  bool IsResident(PageId page) const { return index_.count(page) > 0; }
+  bool IsDirty(PageId page) const;
+
+  /// Takes up to `max_pages` dirty pages in LRU order and clears their dirty
+  /// bits — the checkpointer's unit of work.
+  std::vector<PageId> TakeDirty(size_t max_pages);
+
+  /// Resizes the pool (memory autoscaling); shrinking evicts LRU pages.
+  /// Evicted dirty pages are counted in `forced_dirty_evictions`.
+  void SetCapacity(int64_t capacity_bytes);
+
+  /// Drops every page (cold restart after a node failure). Dirty state is
+  /// discarded — recovering it is the job of the recovery model.
+  void Clear();
+
+  int64_t capacity_pages() const { return capacity_pages_; }
+  int64_t capacity_bytes() const { return capacity_pages_ * kPageBytes; }
+  int64_t resident_pages() const { return static_cast<int64_t>(index_.size()); }
+  int64_t dirty_pages() const { return dirty_count_; }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double hit_rate() const {
+    int64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total)
+                     : 0.0;
+  }
+  int64_t forced_dirty_evictions() const { return forced_dirty_evictions_; }
+
+ private:
+  struct Frame {
+    PageId page;
+    bool dirty = false;
+  };
+  using LruList = std::list<Frame>;
+
+  void EvictOne(AdmitResult* result);
+
+  int64_t capacity_pages_;
+  LruList lru_;  // front = MRU, back = LRU
+  std::unordered_map<PageId, LruList::iterator, PageIdHash> index_;
+  int64_t dirty_count_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t forced_dirty_evictions_ = 0;
+};
+
+}  // namespace cloudybench::storage
+
+#endif  // CLOUDYBENCH_STORAGE_BUFFER_POOL_H_

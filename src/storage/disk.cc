@@ -1,0 +1,30 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudybench::storage {
+
+DiskDevice::DiskDevice(sim::Environment* env, Config config)
+    : env_(env), config_(std::move(config)), iops_(env, config_.provisioned_iops) {}
+
+double DiskDevice::TokensFor(int64_t bytes) {
+  constexpr double kBytesPerIo = 256.0 * 1024.0;
+  return std::max(1.0, std::ceil(static_cast<double>(bytes) / kBytesPerIo));
+}
+
+sim::Task<void> DiskDevice::Read(int64_t bytes) {
+  ++reads_;
+  co_await iops_.Acquire(TokensFor(bytes));
+  co_await env_->Delay(config_.read_latency);
+}
+
+sim::Task<void> DiskDevice::Write(int64_t bytes) {
+  ++writes_;
+  co_await iops_.Acquire(TokensFor(bytes));
+  co_await env_->Delay(config_.write_latency);
+}
+
+void DiskDevice::SetProvisionedIops(double iops) { iops_.SetRate(iops); }
+
+}  // namespace cloudybench::storage

@@ -1,0 +1,61 @@
+#ifndef CLOUDYBENCH_STORAGE_DISK_H_
+#define CLOUDYBENCH_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/environment.h"
+#include "sim/resource.h"
+#include "sim/sim_time.h"
+#include "sim/task.h"
+
+namespace cloudybench::storage {
+
+/// A block device (local NVMe, or one replica set of a cloud storage
+/// service) with a provisioned IOPS budget and fixed access latencies.
+///
+/// Each call costs one I/O token per 256 KiB (minimum one) against the IOPS
+/// RateResource, plus the device latency. Provisioned IOPS is also what the
+/// price book bills (paper Table III: $0.00015 per 100 IOPS-hour).
+class DiskDevice {
+ public:
+  struct Config {
+    std::string name;
+    double provisioned_iops = 1000;
+    sim::SimTime read_latency = sim::Micros(100);   // NVMe-class default
+    sim::SimTime write_latency = sim::Micros(150);
+  };
+
+  DiskDevice(sim::Environment* env, Config config);
+
+  DiskDevice(const DiskDevice&) = delete;
+  DiskDevice& operator=(const DiskDevice&) = delete;
+
+  sim::Task<void> Read(int64_t bytes);
+  sim::Task<void> Write(int64_t bytes);
+
+  /// Autoscaling of provisioned IOPS (serverless storage tiers).
+  void SetProvisionedIops(double iops);
+  double provisioned_iops() const { return iops_.rate(); }
+
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  /// Total I/O tokens consumed — used by the meter for utilization.
+  double io_consumed() const { return iops_.consumed(); }
+  bool backlogged() const { return iops_.backlogged(); }
+
+  const Config& config() const { return config_; }
+
+ private:
+  static double TokensFor(int64_t bytes);
+
+  sim::Environment* env_;
+  Config config_;
+  sim::RateResource iops_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+};
+
+}  // namespace cloudybench::storage
+
+#endif  // CLOUDYBENCH_STORAGE_DISK_H_

@@ -1,0 +1,70 @@
+#ifndef CLOUDYBENCH_STORAGE_ROW_H_
+#define CLOUDYBENCH_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace cloudybench::storage {
+
+/// Identifies a table within an engine instance.
+using TableId = int32_t;
+
+/// A generic row. CloudyBench's sales microservice tables (CUSTOMER, ORDERS,
+/// ORDERLINE — §II-A of the paper) and the baseline workloads (SysBench-like
+/// tables, TPC-C-lite) all map their columns onto this fixed layout, which
+/// keeps the storage engine non-templated and rows trivially copyable:
+///
+///   CUSTOMER:  key=C_ID,  amount=C_CREDIT,                updated=C_UPDATEDDATE
+///   ORDERS:    key=O_ID,  ref_a=O_C_ID, amount=O_TOTALAMOUNT,
+///              status=O_STATUS, ref_b=O_DATE,             updated=O_UPDATEDDATE
+///   ORDERLINE: key=OL_ID, ref_a=OL_O_ID, ref_b=OL_I_ID, amount=OL_AMOUNT
+///
+/// `payload_bytes` accounts for the remaining textual columns (names,
+/// addresses, item descriptions) without materializing them.
+struct Row {
+  int64_t key = 0;
+  int64_t ref_a = 0;
+  int64_t ref_b = 0;
+  double amount = 0.0;
+  int32_t status = 0;
+  int64_t updated = 0;
+
+  friend bool operator==(const Row&, const Row&) = default;
+
+  /// Stable content hash for replica-equivalence property tests.
+  uint64_t Hash() const {
+    auto mix = [](uint64_t h, uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return h;
+    };
+    uint64_t h = static_cast<uint64_t>(key);
+    h = mix(h, static_cast<uint64_t>(ref_a));
+    h = mix(h, static_cast<uint64_t>(ref_b));
+    uint64_t amount_bits;
+    static_assert(sizeof(amount_bits) == sizeof(amount));
+    __builtin_memcpy(&amount_bits, &amount, sizeof(amount_bits));
+    h = mix(h, amount_bits);
+    h = mix(h, static_cast<uint64_t>(static_cast<uint32_t>(status)));
+    h = mix(h, static_cast<uint64_t>(updated));
+    return h;
+  }
+};
+
+/// Identifies a buffer-pool page: table + page number within the table.
+struct PageId {
+  TableId table = 0;
+  int64_t page_no = 0;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(p.table) << 48) ^
+                                p.page_no);
+  }
+};
+
+}  // namespace cloudybench::storage
+
+#endif  // CLOUDYBENCH_STORAGE_ROW_H_

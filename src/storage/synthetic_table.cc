@@ -1,0 +1,137 @@
+#include "storage/synthetic_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cloudybench::storage {
+
+namespace {
+constexpr int32_t kPageBytes = 8192;
+}
+
+SyntheticTable::SyntheticTable(TableSchema schema, int64_t scale_factor)
+    : schema_(std::move(schema)) {
+  CB_CHECK_GT(scale_factor, 0);
+  CB_CHECK_GT(schema_.row_bytes, 0);
+  CB_CHECK(schema_.generator != nullptr) << "table needs a row generator";
+  base_count_ = schema_.base_rows_per_sf * scale_factor;
+  CB_CHECK_GT(base_count_, 0);
+  next_key_ = base_count_;
+  live_rows_ = base_count_;
+  rows_per_page_ = std::max(1, kPageBytes / schema_.row_bytes);
+}
+
+std::optional<Row> SyntheticTable::Get(int64_t key) const {
+  auto it = overlay_.find(key);
+  if (it != overlay_.end()) return it->second;
+  if (tombstones_.count(key) > 0) return std::nullopt;
+  if (InBase(key)) return schema_.generator(key);
+  return std::nullopt;
+}
+
+bool SyntheticTable::Exists(int64_t key) const {
+  if (overlay_.count(key) > 0) return true;
+  if (tombstones_.count(key) > 0) return false;
+  return InBase(key);
+}
+
+util::Status SyntheticTable::Insert(const Row& row) {
+  if (Exists(row.key)) {
+    return util::Status::AlreadyExists(schema_.name + " key " +
+                                       std::to_string(row.key));
+  }
+  overlay_[row.key] = row;
+  tombstones_.erase(row.key);
+  next_key_ = std::max(next_key_, row.key + 1);
+  ++live_rows_;
+  return util::Status::OK();
+}
+
+util::Status SyntheticTable::Update(const Row& row) {
+  if (!Exists(row.key)) {
+    return util::Status::NotFound(schema_.name + " key " +
+                                  std::to_string(row.key));
+  }
+  overlay_[row.key] = row;
+  return util::Status::OK();
+}
+
+util::Status SyntheticTable::Delete(int64_t key) {
+  if (!Exists(key)) {
+    return util::Status::NotFound(schema_.name + " key " +
+                                  std::to_string(key));
+  }
+  overlay_.erase(key);
+  if (InBase(key)) tombstones_.insert(key);
+  --live_rows_;
+  return util::Status::OK();
+}
+
+uint64_t SyntheticTable::StateHash() const {
+  // XOR of per-entry hashes is order independent across unordered_map
+  // iteration, which is exactly what we need.
+  uint64_t h = 0;
+  for (const auto& [key, row] : overlay_) {
+    h ^= row.Hash() * 0x2545f4914f6cdd1dULL;
+  }
+  for (int64_t key : tombstones_) {
+    h ^= (static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL) *
+         0xff51afd7ed558ccdULL;
+  }
+  h ^= static_cast<uint64_t>(next_key_) * 0xc4ceb9fe1a85ec53ULL;
+  return h;
+}
+
+void SyntheticTable::CopyContentsFrom(const SyntheticTable& other) {
+  CB_CHECK_EQ(base_count_, other.base_count_)
+      << "schema/SF mismatch in CopyContentsFrom";
+  overlay_ = other.overlay_;
+  tombstones_ = other.tombstones_;
+  next_key_ = other.next_key_;
+  live_rows_ = other.live_rows_;
+}
+
+void TableSet::CopyContentsFrom(const TableSet& other) {
+  CB_CHECK_EQ(tables_.size(), other.tables_.size());
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    tables_[i]->CopyContentsFrom(*other.tables_[i]);
+  }
+}
+
+SyntheticTable* TableSet::Create(TableSchema schema, int64_t scale_factor) {
+  CB_CHECK(by_name_.count(schema.name) == 0)
+      << "duplicate table " << schema.name;
+  schema.id = static_cast<TableId>(tables_.size());
+  auto table = std::make_unique<SyntheticTable>(std::move(schema), scale_factor);
+  SyntheticTable* raw = table.get();
+  by_name_[raw->name()] = raw;
+  tables_.push_back(std::move(table));
+  return raw;
+}
+
+SyntheticTable* TableSet::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+SyntheticTable* TableSet::FindById(TableId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= tables_.size()) return nullptr;
+  return tables_[static_cast<size_t>(id)].get();
+}
+
+int64_t TableSet::TotalLogicalBytes() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->logical_bytes();
+  return total;
+}
+
+uint64_t TableSet::StateHash() const {
+  uint64_t h = 0;
+  for (const auto& t : tables_) {
+    h = h * 1099511628211ULL ^ t->StateHash();
+  }
+  return h;
+}
+
+}  // namespace cloudybench::storage

@@ -1,0 +1,93 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cloudybench::storage {
+
+const char* LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kInsert:
+      return "INSERT";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kDelete:
+      return "DELETE";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+  }
+  return "?";
+}
+
+LogManager::LogManager(sim::Environment* env, DiskDevice* device)
+    : env_(env), device_(device) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK(device != nullptr);
+}
+
+int64_t LogManager::Append(LogRecord record) {
+  record.lsn = next_lsn_++;
+  ++records_appended_;
+  pending_.push_back(std::move(record));
+  return pending_.back().lsn;
+}
+
+int64_t LogManager::pending_bytes() const {
+  int64_t bytes = 0;
+  for (const LogRecord& r : pending_) bytes += r.size_bytes();
+  return bytes;
+}
+
+sim::Task<void> LogManager::WaitDurable(int64_t lsn) {
+  if (lsn <= flushed_lsn_) co_return;
+  sim::Waiter waiter(env_);
+  waiters_.push_back(DurableWaiter{lsn, &waiter});
+  if (!flushing_) {
+    flushing_ = true;
+    env_->Spawn(FlushLoop());
+  }
+  co_await waiter;
+}
+
+sim::Process LogManager::FlushLoop() {
+  while (flushed_lsn_ < next_lsn_ - 1) {
+    // Everything appended so far joins this batch (group commit).
+    int64_t target = next_lsn_ - 1;
+    int64_t batch_bytes = 0;
+    for (const LogRecord& r : pending_) {
+      if (r.lsn > target) break;
+      batch_bytes += r.size_bytes();
+    }
+    co_await device_->Write(batch_bytes);
+    ++flush_batches_;
+    flushed_lsn_ = target;
+
+    // Ship durable records in LSN order, stamping the commit instant.
+    while (!pending_.empty() && pending_.front().lsn <= target) {
+      LogRecord rec = std::move(pending_.front());
+      pending_.pop_front();
+      rec.commit_time = env_->Now();
+      for (const auto& listener : ship_listeners_) listener(rec);
+    }
+
+    // Wake committers whose records are durable.
+    auto it = waiters_.begin();
+    while (it != waiters_.end()) {
+      if (it->lsn <= flushed_lsn_) {
+        it->waiter->Complete(0);
+        it = waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  flushing_ = false;
+}
+
+void LogManager::AddShipListener(
+    std::function<void(const LogRecord&)> listener) {
+  ship_listeners_.push_back(std::move(listener));
+}
+
+}  // namespace cloudybench::storage

@@ -1,0 +1,54 @@
+#ifndef CLOUDYBENCH_TXN_ENGINE_H_
+#define CLOUDYBENCH_TXN_ENGINE_H_
+
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/sim_time.h"
+#include "sim/task.h"
+#include "storage/row.h"
+#include "storage/synthetic_table.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "util/status.h"
+
+namespace cloudybench::txn {
+
+/// The seam between the transaction layer and the cloud substrate.
+///
+/// TxnManager drives transaction logic (locking, write-set staging, commit
+/// protocol); the Engine — implemented by cloud::ComputeNode — supplies the
+/// physical behaviour that differs across the paper's five architectures:
+/// how a page access costs (local buffer hit, local NVMe, disaggregated
+/// storage over TCP, remote buffer pool over RDMA), how CPU is charged
+/// against the node's scalable vCores, and where commit log records go
+/// (local WAL, log service, storage-service log tier).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual sim::Environment* env() = 0;
+  virtual storage::TableSet* tables() = 0;
+  virtual LockManager* lock_manager() = 0;
+
+  /// True while the node can serve requests (false during fail-over).
+  virtual bool available() const = 0;
+
+  /// Charges `demand` of CPU work against the node's vCores (queueing under
+  /// load, stretching under fractional serverless capacity).
+  virtual sim::Task<void> ChargeCpu(sim::SimTime demand) = 0;
+
+  /// Performs one page access: buffer-pool lookup plus the architecture's
+  /// miss path. Returns kUnavailable when the node is down.
+  virtual sim::Task<util::Status> AccessPage(storage::PageId page,
+                                             bool for_write) = 0;
+
+  /// Makes a committing transaction's records durable and ships them to
+  /// replicas. Only valid on the read-write node.
+  virtual sim::Task<util::Status> CommitRecords(
+      std::vector<storage::LogRecord> records) = 0;
+};
+
+}  // namespace cloudybench::txn
+
+#endif  // CLOUDYBENCH_TXN_ENGINE_H_

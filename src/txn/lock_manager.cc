@@ -1,0 +1,130 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cloudybench::txn {
+
+LockManager::LockManager(sim::Environment* env, sim::SimTime wait_timeout)
+    : env_(env), wait_timeout_(wait_timeout) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK_GT(wait_timeout.us, 0);
+}
+
+bool LockManager::GrantableNow(const LockEntry& entry, int64_t txn,
+                               LockMode mode, bool upgrade) const {
+  if (upgrade) {
+    // S->X upgrade: grantable once the requester is the sole holder.
+    return entry.holders.size() == 1 && entry.holders.count(txn) == 1;
+  }
+  if (entry.holders.empty()) return true;
+  if (mode == LockMode::kExclusive) return false;
+  for (const auto& [holder, held_mode] : entry.holders) {
+    if (held_mode == LockMode::kExclusive) return false;
+  }
+  return true;
+}
+
+void LockManager::AddHolder(LockEntry& entry, int64_t txn, LockMode mode) {
+  auto it = entry.holders.find(txn);
+  if (it == entry.holders.end()) {
+    entry.holders.emplace(txn, mode);
+  } else if (mode == LockMode::kExclusive) {
+    it->second = LockMode::kExclusive;  // upgrade; never downgrade
+  }
+  ++grants_;
+}
+
+sim::Task<util::Status> LockManager::Lock(int64_t txn_id, TableKey key,
+                                          LockMode mode) {
+  LockEntry& entry = locks_[key];
+  auto held = entry.holders.find(txn_id);
+  bool holds_any = held != entry.holders.end();
+  if (holds_any) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      co_return util::Status::OK();  // already sufficient
+    }
+  }
+  bool upgrade = holds_any && mode == LockMode::kExclusive;
+
+  // Fast path: immediate grant when compatible and not jumping a queue.
+  if ((upgrade || entry.queue.empty()) &&
+      GrantableNow(entry, txn_id, mode, upgrade)) {
+    AddHolder(entry, txn_id, mode);
+    co_return util::Status::OK();
+  }
+
+  // Queue and wait. Upgrades go to the front so the upgrader cannot be
+  // starved behind requests that are incompatible with its own S hold.
+  ++waits_;
+  sim::Waiter waiter(env_);
+  uint64_t node_id = next_node_id_++;
+  WaitNode node{node_id, txn_id, mode, upgrade, &waiter};
+  if (upgrade) {
+    entry.queue.push_front(node);
+  } else {
+    entry.queue.push_back(node);
+  }
+  env_->ScheduleCall(env_->Now() + wait_timeout_,
+                     [this, key, node_id] { CancelWait(key, node_id); });
+
+  int outcome = co_await waiter;
+  if (outcome == kGranted) co_return util::Status::OK();
+  ++timeouts_;
+  co_return util::Status::Aborted("lock wait timeout");
+}
+
+void LockManager::GrantFromQueue(const TableKey& key, LockEntry& entry) {
+  while (!entry.queue.empty()) {
+    WaitNode& front = entry.queue.front();
+    if (!GrantableNow(entry, front.txn, front.mode, front.upgrade)) break;
+    WaitNode node = front;
+    entry.queue.pop_front();
+    AddHolder(entry, node.txn, node.mode);
+    node.waiter->Complete(kGranted);
+    // Shared grants batch: the loop continues while compatible.
+    if (node.mode == LockMode::kExclusive) break;
+  }
+  if (entry.holders.empty() && entry.queue.empty()) {
+    locks_.erase(key);
+  }
+}
+
+void LockManager::CancelWait(TableKey key, uint64_t node_id) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  auto& queue = it->second.queue;
+  for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+    if (qit->id == node_id) {
+      sim::Waiter* waiter = qit->waiter;
+      queue.erase(qit);
+      waiter->Complete(kTimedOut);
+      // Removing a blocker at the head may unblock followers.
+      GrantFromQueue(key, it->second);
+      return;
+    }
+  }
+}
+
+void LockManager::Release(int64_t txn_id, TableKey key) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  it->second.holders.erase(txn_id);
+  GrantFromQueue(key, it->second);
+}
+
+void LockManager::ReleaseAll(int64_t txn_id,
+                             const std::vector<TableKey>& keys) {
+  for (const TableKey& key : keys) Release(txn_id, key);
+}
+
+bool LockManager::Holds(int64_t txn_id, TableKey key, LockMode mode) const {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  auto held = it->second.holders.find(txn_id);
+  if (held == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || held->second == LockMode::kExclusive;
+}
+
+}  // namespace cloudybench::txn

@@ -1,0 +1,268 @@
+#include "txn/txn_manager.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cloudybench::txn {
+
+namespace {
+using storage::LogRecord;
+using storage::LogRecordType;
+using storage::Row;
+using storage::SyntheticTable;
+using util::Status;
+}  // namespace
+
+TxnManager::TxnManager(Engine* engine, CpuCosts costs)
+    : engine_(engine), costs_(costs) {
+  CB_CHECK(engine != nullptr);
+}
+
+Transaction TxnManager::Begin() {
+  Transaction txn;
+  txn.id_ = next_txn_id_++;
+  txn.active_ = true;
+  ++active_txns_;
+  return txn;
+}
+
+const Transaction::WriteOp* TxnManager::FindStaged(const Transaction& txn,
+                                                   storage::TableId table,
+                                                   int64_t key) const {
+  for (auto it = txn.writes_.rbegin(); it != txn.writes_.rend(); ++it) {
+    if (it->table == table && it->key == key) return &*it;
+  }
+  return nullptr;
+}
+
+bool TxnManager::VisiblyExists(const Transaction& txn, SyntheticTable* table,
+                               int64_t key) const {
+  const Transaction::WriteOp* staged = FindStaged(txn, table->id(), key);
+  if (staged != nullptr) return staged->type != LogRecordType::kDelete;
+  return table->Exists(key);
+}
+
+sim::Task<util::Status> TxnManager::LockKey(Transaction* txn, TableKey key,
+                                            LockMode mode) {
+  Status s = co_await engine_->lock_manager()->Lock(txn->id_, key, mode);
+  if (s.ok()) {
+    // Track each key once; ReleaseAll is idempotent per key anyway but the
+    // held list should stay small.
+    bool known = false;
+    for (const TableKey& held : txn->held_locks_) {
+      if (held == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) txn->held_locks_.push_back(key);
+  }
+  co_return s;
+}
+
+sim::Task<util::Status> TxnManager::Get(Transaction* txn,
+                                        SyntheticTable* table, int64_t key,
+                                        Row* out, bool for_update) {
+  CB_CHECK(txn->active_);
+  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  if (!engine_->available()) {
+    Abort(txn);
+    co_return Status::Unavailable("node down");
+  }
+  co_await engine_->ChargeCpu(costs_.read);
+  Status locked = co_await LockKey(
+      txn, TableKey{table->id(), key},
+      for_update ? LockMode::kExclusive : LockMode::kShared);
+  if (!locked.ok()) {
+    Abort(txn);
+    co_return locked;
+  }
+  Status page = co_await engine_->AccessPage(
+      storage::PageId{table->id(), table->PageOf(key)}, false);
+  if (!page.ok()) {
+    Abort(txn);
+    co_return page;
+  }
+  // Read-your-own-writes.
+  const Transaction::WriteOp* staged = FindStaged(*txn, table->id(), key);
+  if (staged != nullptr) {
+    if (staged->type == LogRecordType::kDelete) {
+      co_return Status::NotFound("deleted in this transaction");
+    }
+    *out = staged->row;
+    co_return Status::OK();
+  }
+  std::optional<Row> row = table->Get(key);
+  if (!row.has_value()) co_return Status::NotFound(table->name());
+  *out = *row;
+  co_return Status::OK();
+}
+
+sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
+                                           SyntheticTable* table, Row row) {
+  CB_CHECK(txn->active_);
+  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  if (!engine_->available()) {
+    Abort(txn);
+    co_return Status::Unavailable("node down");
+  }
+  co_await engine_->ChargeCpu(costs_.write);
+  Status locked =
+      co_await LockKey(txn, TableKey{table->id(), row.key}, LockMode::kExclusive);
+  if (!locked.ok()) {
+    Abort(txn);
+    co_return locked;
+  }
+  Status page = co_await engine_->AccessPage(
+      storage::PageId{table->id(), table->PageOf(row.key)}, true);
+  if (!page.ok()) {
+    Abort(txn);
+    co_return page;
+  }
+  if (VisiblyExists(*txn, table, row.key)) {
+    co_return Status::AlreadyExists(table->name() + " key " +
+                                    std::to_string(row.key));
+  }
+  txn->writes_.push_back(Transaction::WriteOp{LogRecordType::kInsert,
+                                              table->id(), row.key, row});
+  co_return Status::OK();
+}
+
+sim::Task<util::Status> TxnManager::Update(Transaction* txn,
+                                           SyntheticTable* table, Row row) {
+  CB_CHECK(txn->active_);
+  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  if (!engine_->available()) {
+    Abort(txn);
+    co_return Status::Unavailable("node down");
+  }
+  co_await engine_->ChargeCpu(costs_.write);
+  Status locked =
+      co_await LockKey(txn, TableKey{table->id(), row.key}, LockMode::kExclusive);
+  if (!locked.ok()) {
+    Abort(txn);
+    co_return locked;
+  }
+  Status page = co_await engine_->AccessPage(
+      storage::PageId{table->id(), table->PageOf(row.key)}, true);
+  if (!page.ok()) {
+    Abort(txn);
+    co_return page;
+  }
+  if (!VisiblyExists(*txn, table, row.key)) {
+    co_return Status::NotFound(table->name() + " key " +
+                               std::to_string(row.key));
+  }
+  txn->writes_.push_back(Transaction::WriteOp{LogRecordType::kUpdate,
+                                              table->id(), row.key, row});
+  co_return Status::OK();
+}
+
+sim::Task<util::Status> TxnManager::Delete(Transaction* txn,
+                                           SyntheticTable* table,
+                                           int64_t key) {
+  CB_CHECK(txn->active_);
+  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  if (!engine_->available()) {
+    Abort(txn);
+    co_return Status::Unavailable("node down");
+  }
+  co_await engine_->ChargeCpu(costs_.write);
+  Status locked =
+      co_await LockKey(txn, TableKey{table->id(), key}, LockMode::kExclusive);
+  if (!locked.ok()) {
+    Abort(txn);
+    co_return locked;
+  }
+  Status page = co_await engine_->AccessPage(
+      storage::PageId{table->id(), table->PageOf(key)}, true);
+  if (!page.ok()) {
+    Abort(txn);
+    co_return page;
+  }
+  if (!VisiblyExists(*txn, table, key)) {
+    co_return Status::NotFound(table->name() + " key " + std::to_string(key));
+  }
+  txn->writes_.push_back(
+      Transaction::WriteOp{LogRecordType::kDelete, table->id(), key, Row{}});
+  co_return Status::OK();
+}
+
+sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
+  CB_CHECK(txn->active_);
+  if (txn->writes_.empty()) {
+    // Read-only autocommit: no COMMIT statement crosses the wire.
+    engine_->lock_manager()->ReleaseAll(txn->id_, txn->held_locks_);
+    txn->active_ = false;
+    --active_txns_;
+    ++commits_;
+    co_return Status::OK();
+  }
+
+  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  co_await engine_->ChargeCpu(costs_.commit);
+  if (!engine_->available()) {
+    Abort(txn);
+    co_return Status::Unavailable("node down at commit");
+  }
+
+  std::vector<LogRecord> records;
+  records.reserve(txn->writes_.size() + 1);
+  for (const Transaction::WriteOp& op : txn->writes_) {
+    LogRecord rec;
+    rec.txn_id = txn->id_;
+    rec.type = op.type;
+    rec.table = op.table;
+    rec.key = op.key;
+    rec.after = op.row;
+    records.push_back(rec);
+  }
+  LogRecord commit_rec;
+  commit_rec.txn_id = txn->id_;
+  commit_rec.type = LogRecordType::kCommit;
+  records.push_back(commit_rec);
+
+  Status durable = co_await engine_->CommitRecords(std::move(records));
+  if (!durable.ok()) {
+    Abort(txn);
+    co_return durable;
+  }
+
+  // Apply the write set. Locks guarantee these succeed.
+  storage::TableSet* tables = engine_->tables();
+  for (const Transaction::WriteOp& op : txn->writes_) {
+    SyntheticTable* table = tables->FindById(op.table);
+    CB_CHECK(table != nullptr);
+    switch (op.type) {
+      case LogRecordType::kInsert:
+        CB_CHECK_OK(table->Insert(op.row));
+        break;
+      case LogRecordType::kUpdate:
+        CB_CHECK_OK(table->Update(op.row));
+        break;
+      case LogRecordType::kDelete:
+        CB_CHECK_OK(table->Delete(op.key));
+        break;
+      case LogRecordType::kCommit:
+        break;
+    }
+  }
+
+  engine_->lock_manager()->ReleaseAll(txn->id_, txn->held_locks_);
+  txn->active_ = false;
+  --active_txns_;
+  ++commits_;
+  co_return Status::OK();
+}
+
+void TxnManager::Abort(Transaction* txn) {
+  if (!txn->active_) return;
+  engine_->lock_manager()->ReleaseAll(txn->id_, txn->held_locks_);
+  txn->writes_.clear();
+  txn->active_ = false;
+  --active_txns_;
+  ++aborts_;
+}
+
+}  // namespace cloudybench::txn

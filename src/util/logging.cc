@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cloudybench::util {
+
+namespace {
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace cloudybench::util

@@ -1,0 +1,88 @@
+#ifndef CLOUDYBENCH_UTIL_LOGGING_H_
+#define CLOUDYBENCH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace cloudybench::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is emitted; defaults to kInfo. Benches set
+/// kWarning so table output stays clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+struct Voidify {
+  void operator&(NullStream&) {}
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace cloudybench::util
+
+#define CB_LOG_INTERNAL_(level)                                            \
+  ::cloudybench::util::internal_logging::LogMessage(                       \
+      ::cloudybench::util::LogLevel::level, __FILE__, __LINE__)            \
+      .stream()
+
+#define CB_LOG_ENABLED_(level) \
+  (::cloudybench::util::LogLevel::level >= ::cloudybench::util::GetLogLevel())
+
+/// Usage: CB_LOG(kInfo) << "loaded " << n << " rows";
+#define CB_LOG(level)                                                 \
+  !CB_LOG_ENABLED_(level)                                             \
+      ? (void)0                                                       \
+      : ::cloudybench::util::internal_logging::Voidify() &            \
+            CB_LOG_INTERNAL_(level)
+
+/// Invariant check. Always on (benchmark correctness depends on invariants);
+/// failure logs the streamed message and aborts.
+#define CB_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                         \
+         : ::cloudybench::util::internal_logging::Voidify() &              \
+               CB_LOG_INTERNAL_(kFatal) << "CHECK failed: " #cond << " "
+
+#define CB_CHECK_EQ(a, b) CB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CB_CHECK_NE(a, b) CB_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CB_CHECK_LE(a, b) CB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CB_CHECK_LT(a, b) CB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CB_CHECK_GE(a, b) CB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CB_CHECK_GT(a, b) CB_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression is OK.
+#define CB_CHECK_OK(expr)                                        \
+  do {                                                           \
+    const ::cloudybench::util::Status _cb_st = (expr);           \
+    CB_CHECK(_cb_st.ok()) << _cb_st.ToString();                  \
+  } while (false)
+
+#endif  // CLOUDYBENCH_UTIL_LOGGING_H_

@@ -1,0 +1,118 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cloudybench::util {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1) | 1) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  CB_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t m = static_cast<uint64_t>(Next()) * bound;
+  uint32_t low = static_cast<uint32_t>(m);
+  if (low < bound) {
+    uint32_t threshold = (~bound + 1u) % bound;
+    while (low < threshold) {
+      m = static_cast<uint64_t>(Next()) * bound;
+      low = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+int64_t Pcg32::NextInRange(int64_t lo, int64_t hi) {
+  CB_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span <= UINT32_MAX) {
+    return lo + NextBounded(static_cast<uint32_t>(span));
+  }
+  // Compose two 32-bit draws for wide ranges.
+  uint64_t draw = (static_cast<uint64_t>(Next()) << 32) | Next();
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Pcg32::NextDouble() {
+  return Next() * (1.0 / 4294967296.0);
+}
+
+bool Pcg32::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CB_CHECK_GT(n, 0u);
+  CB_CHECK(theta > 0.0 && theta < 1.0) << "zipf theta must be in (0,1)";
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  // Exact sum is O(n); for big n use the standard integral approximation
+  // (YCSB clamps similarly). Error is well below sampling noise.
+  constexpr uint64_t kExactLimit = 1'000'000;
+  double sum = 0.0;
+  uint64_t exact = n < kExactLimit ? n : kExactLimit;
+  for (uint64_t i = 1; i <= exact; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    // integral of x^-theta from exact to n.
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(static_cast<double>(exact), 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next(Pcg32& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+LatestKChooser::LatestKChooser(int64_t k, int64_t initial_max_id)
+    : k_(k), max_id_(initial_max_id) {
+  CB_CHECK_GT(k, 0);
+  CB_CHECK_GE(initial_max_id, k);
+}
+
+void LatestKChooser::Observe(int64_t id) {
+  if (id > max_id_) max_id_ = id;
+}
+
+int64_t LatestKChooser::Next(Pcg32& rng) const {
+  return max_id_ - rng.NextInRange(0, k_ - 1);
+}
+
+double ParetoShare(Pcg32& rng, double shape) {
+  CB_CHECK_GT(shape, 0.0);
+  // Bounded Pareto on [1, 10] scaled into (0, 1].
+  double u = rng.NextDouble();
+  double lo = 1.0, hi = 10.0;
+  double lo_a = std::pow(lo, shape), hi_a = std::pow(hi, shape);
+  double x = std::pow(-(u * hi_a - u * lo_a - hi_a) / (hi_a * lo_a), -1.0 / shape);
+  return x / hi;
+}
+
+}  // namespace cloudybench::util

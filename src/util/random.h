@@ -1,0 +1,109 @@
+#ifndef CLOUDYBENCH_UTIL_RANDOM_H_
+#define CLOUDYBENCH_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cloudybench::util {
+
+/// PCG32 (XSH-RR) pseudo-random generator. Small, fast, and deterministic
+/// across platforms — the whole testbed is seeded so every experiment can be
+/// replayed bit-for-bit.
+class Pcg32 {
+ public:
+  using result_type = uint32_t;
+
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT32_MAX; }
+
+  uint32_t operator()() { return Next(); }
+  uint32_t Next();
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipf-distributed generator over [0, n), most popular item is 0.
+/// Uses the YCSB/Gray "scrambled-free" analytic approximation, which is
+/// O(1) per sample after O(1) setup (no n-sized tables), so large key
+/// spaces (SF100) cost nothing.
+class ZipfGenerator {
+ public:
+  /// theta in (0,1); 0.99 is the YCSB default ("heavily skewed").
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Pcg32& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// The paper's "latest-k" access distribution (§II-B): parameters are drawn
+/// from the k most recently inserted/updated ids so that "the more skewed
+/// the distribution is, the more likely the fresh data is read". The window
+/// tracks the moving tail of the id space.
+class LatestKChooser {
+ public:
+  /// `k` is the window size (e.g. latest-10). `initial_max_id` is the
+  /// largest id loaded by the data generator.
+  LatestKChooser(int64_t k, int64_t initial_max_id);
+
+  /// Observes that `id` was just written (insert/update).
+  void Observe(int64_t id);
+
+  /// Picks an id uniformly from the latest-k window.
+  int64_t Next(Pcg32& rng) const;
+
+  int64_t max_id() const { return max_id_; }
+  int64_t k() const { return k_; }
+
+ private:
+  int64_t k_;
+  int64_t max_id_;
+};
+
+/// Samples a bounded Pareto share in (0, 1]; the paper uses a Pareto
+/// distribution to pick the default peak/valley proportions of elasticity
+/// patterns (§II-C).
+double ParetoShare(Pcg32& rng, double shape);
+
+/// Fisher-Yates shuffle.
+template <typename T>
+void Shuffle(std::vector<T>& items, Pcg32& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace cloudybench::util
+
+#endif  // CLOUDYBENCH_UTIL_RANDOM_H_

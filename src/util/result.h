@@ -1,0 +1,73 @@
+#ifndef CLOUDYBENCH_UTIL_RESULT_H_
+#define CLOUDYBENCH_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace cloudybench::util {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the style
+/// of absl::StatusOr. A Result constructed from an OK status is a bug
+/// (checked), because callers must always be able to rely on
+/// `ok() == has value`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose: `return value;`).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Constructs from an error (implicit on purpose: `return status;`).
+  Result(Status status) : status_(std::move(status)) {
+    CB_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; checked against misuse on the error path.
+  const T& value() const& {
+    CB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cloudybench::util
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define CB_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto CB_CONCAT_(_cb_result_, __LINE__) = (expr);  \
+  if (!CB_CONCAT_(_cb_result_, __LINE__).ok())      \
+    return CB_CONCAT_(_cb_result_, __LINE__).status(); \
+  lhs = std::move(CB_CONCAT_(_cb_result_, __LINE__)).value()
+
+#define CB_CONCAT_INNER_(a, b) a##b
+#define CB_CONCAT_(a, b) CB_CONCAT_INNER_(a, b)
+
+#endif  // CLOUDYBENCH_UTIL_RESULT_H_

@@ -1,0 +1,200 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cloudybench::util {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(double micros) const {
+  if (micros < 1.0) return 0;
+  // Geometric buckets from 1us covering ~9 decades in kBuckets steps.
+  constexpr double kGrowth = 1.042;  // 512 buckets * log(1.042) ~ 9.1 decades
+  int b = static_cast<int>(std::log(micros) / std::log(kGrowth)) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::BucketLow(int b) const {
+  if (b <= 0) return 0.0;
+  constexpr double kGrowth = 1.042;
+  return std::pow(kGrowth, b - 1);
+}
+
+void LatencyHistogram::Add(double micros) {
+  CB_CHECK_GE(micros, 0.0);
+  ++buckets_[static_cast<size_t>(BucketFor(micros))];
+  ++count_;
+  sum_ += micros;
+  max_ = std::max(max_, micros);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  CB_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  int64_t target = static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::max<int64_t>(target, 1);
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      // Midpoint of the bucket; the last bucket reports the recorded max.
+      if (i == kBuckets - 1) return max_;
+      return (BucketLow(i) + BucketLow(i + 1)) / 2.0;
+    }
+  }
+  return max_;
+}
+
+void TimeSeries::Add(double time_s, double value) {
+  if (!points_.empty()) {
+    CB_CHECK_GE(time_s, points_.back().time_s) << "TimeSeries must be appended in time order";
+  }
+  points_.push_back(Point{time_s, value});
+}
+
+void TimeSeries::Clear() { points_.clear(); }
+
+double TimeSeries::MeanInWindow(double t0, double t1) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time_s >= t0 && p.time_s < t1) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::MaxInWindow(double t0, double t1) const {
+  double mx = 0.0;
+  bool any = false;
+  for (const Point& p : points_) {
+    if (p.time_s >= t0 && p.time_s < t1) {
+      mx = any ? std::max(mx, p.value) : p.value;
+      any = true;
+    }
+  }
+  return any ? mx : 0.0;
+}
+
+double TimeSeries::IntegrateStep(double t0, double t1) const {
+  if (points_.empty() || t1 <= t0) return 0.0;
+  double total = 0.0;
+  // Value before the first sample is taken as the first sample's value.
+  double prev_v = points_.front().value;
+  double prev_t = t0;
+  for (const Point& p : points_) {
+    if (p.time_s <= t0) {
+      prev_v = p.value;
+      continue;
+    }
+    if (p.time_s >= t1) break;
+    total += prev_v * (p.time_s - prev_t);
+    prev_t = p.time_s;
+    prev_v = p.value;
+  }
+  total += prev_v * (t1 - prev_t);
+  return total;
+}
+
+double TimeSeries::FirstTimeAtLeast(double t0, double threshold) const {
+  for (const Point& p : points_) {
+    if (p.time_s >= t0 && p.value >= threshold) return p.time_s;
+  }
+  return -1.0;
+}
+
+double TimeSeries::FirstSustainedAtLeast(double t0, double threshold,
+                                         int consecutive) const {
+  CB_CHECK_GT(consecutive, 0);
+  int run = 0;
+  double run_start = -1.0;
+  for (const Point& p : points_) {
+    if (p.time_s < t0) continue;
+    if (p.value >= threshold) {
+      if (run == 0) run_start = p.time_s;
+      if (++run >= consecutive) return run_start;
+    } else {
+      run = 0;
+    }
+  }
+  return -1.0;
+}
+
+double TimeSeries::FirstTimeAtMost(double t0, double threshold) const {
+  for (const Point& p : points_) {
+    if (p.time_s >= t0 && p.value <= threshold) return p.time_s;
+  }
+  return -1.0;
+}
+
+std::vector<double> TimeSeries::SlotMeans(double slot_s, int n_slots) const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n_slots));
+  for (int i = 0; i < n_slots; ++i) {
+    out.push_back(MeanInWindow(i * slot_s, (i + 1) * slot_s));
+  }
+  return out;
+}
+
+}  // namespace cloudybench::util

@@ -1,0 +1,107 @@
+#ifndef CLOUDYBENCH_UTIL_STATS_H_
+#define CLOUDYBENCH_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudybench::util {
+
+/// Streaming mean/min/max/stddev (Welford). Used for per-slot TPS, lag
+/// times, and every aggregate the metrics layer consumes.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-bucketed latency histogram (microsecond domain) with percentile
+/// queries. Bucket width grows ~4.6%/bucket, giving <5% percentile error
+/// over nine decades — the same tradeoff HdrHistogram-style recorders make.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(double micros);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// p in [0, 100].
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50); }
+  double p95() const { return Percentile(95); }
+  double p99() const { return Percentile(99); }
+  double max() const { return max_; }
+
+ private:
+  static constexpr int kBuckets = 512;
+  int BucketFor(double micros) const;
+  double BucketLow(int b) const;
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A (time, value) series sampled in simulated seconds. Backbone of the
+/// PerformanceCollector: TPS curves, allocated-vCore curves, cost curves.
+class TimeSeries {
+ public:
+  struct Point {
+    double time_s;
+    double value;
+  };
+
+  void Add(double time_s, double value);
+  void Clear();
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  /// Mean of values with time in [t0, t1).
+  double MeanInWindow(double t0, double t1) const;
+  /// Max of values with time in [t0, t1); 0 when empty.
+  double MaxInWindow(double t0, double t1) const;
+  /// Step-function integral of value dt over [t0, t1): treats each sample as
+  /// holding until the next. Used to turn allocated-resource curves into
+  /// resource-hours for costing.
+  double IntegrateStep(double t0, double t1) const;
+  /// First time >= t0 at which value crosses >= threshold; -1 if never.
+  double FirstTimeAtLeast(double t0, double threshold) const;
+  /// First time >= t0 from which `consecutive` successive samples are all
+  /// >= threshold (a sustained crossing, robust to one-window bursts);
+  /// -1 if never.
+  double FirstSustainedAtLeast(double t0, double threshold,
+                               int consecutive) const;
+  /// First time >= t0 at which value drops <= threshold; -1 if never.
+  double FirstTimeAtMost(double t0, double threshold) const;
+  /// Resamples into fixed-width slot means over [0, n_slots*slot_s).
+  std::vector<double> SlotMeans(double slot_s, int n_slots) const;
+
+ private:
+  std::vector<Point> points_;  // appended in nondecreasing time order
+};
+
+}  // namespace cloudybench::util
+
+#endif  // CLOUDYBENCH_UTIL_STATS_H_

@@ -1,0 +1,121 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+#include <cerrno>
+
+namespace cloudybench::util {
+
+std::string_view TrimView(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(Trim(s.substr(start)));
+      break;
+    }
+    parts.push_back(Trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  std::string buf(TrimView(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  std::string buf(TrimView(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(std::string_view s, bool* out) {
+  std::string v = ToLower(TrimView(s));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    *out = true;
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  return StringPrintf("%.*f", precision, v);
+}
+
+std::string FormatBytes(int64_t bytes) {
+  constexpr int64_t kKb = 1024;
+  constexpr int64_t kMb = kKb * 1024;
+  constexpr int64_t kGb = kMb * 1024;
+  if (bytes >= kGb && bytes % kGb == 0) return StringPrintf("%lldGB", static_cast<long long>(bytes / kGb));
+  if (bytes >= kGb) return StringPrintf("%.1fGB", static_cast<double>(bytes) / static_cast<double>(kGb));
+  if (bytes >= kMb) return StringPrintf("%lldMB", static_cast<long long>(bytes / kMb));
+  if (bytes >= kKb) return StringPrintf("%lldKB", static_cast<long long>(bytes / kKb));
+  return StringPrintf("%lldB", static_cast<long long>(bytes));
+}
+
+}  // namespace cloudybench::util

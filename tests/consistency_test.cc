@@ -1,0 +1,166 @@
+// System-level consistency properties:
+//  * money conservation — every committed T2 moves exactly its order's
+//    O_TOTALAMOUNT into C_CREDIT, so aggregate credit growth must equal the
+//    client-side sum of committed payment amounts, across any interleaving,
+//    any SUT, and even across a fail-over;
+//  * lock-manager reference model — random lock/release traffic never
+//    violates S/X compatibility.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cluster.h"
+#include "core/collector.h"
+#include "core/sales_workload.h"
+#include "core/workload_manager.h"
+#include "sim/environment.h"
+#include "sut/profiles.h"
+#include "txn/lock_manager.h"
+
+namespace cloudybench {
+namespace {
+
+using sut::SutKind;
+
+/// Aggregate C_CREDIT growth across the customer table must equal the sum
+/// of order amounts the workload committed via T2 (tracked client-side):
+/// a lost, duplicated or partial payment breaks the equality. Hot orders
+/// may be paid repeatedly — each payment moves its amount again.
+void ExpectMoneyConserved(storage::TableSet* db, double expected_paid) {
+  storage::SyntheticTable* customer = db->Find(sales::kCustomerTable);
+  double credit_delta = 0;
+  for (int64_t key = 0; key < customer->base_count(); ++key) {
+    auto row = customer->Get(key);
+    if (row.has_value()) {
+      credit_delta += row->amount - 1000.0;  // initial C_CREDIT is 1000
+    }
+  }
+  EXPECT_NEAR(credit_delta, expected_paid, 1e-6);
+}
+
+class MoneyConservationTest : public ::testing::TestWithParam<SutKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSuts, MoneyConservationTest,
+                         ::testing::ValuesIn(sut::AllSuts()),
+                         [](const ::testing::TestParamInfo<SutKind>& info) {
+                           std::string name = sut::SutName(info.param);
+                           for (char& c : name) {
+                             if (c == ' ') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(MoneyConservationTest, T2TransfersBalanceExactly) {
+  SalesWorkloadConfig cfg;
+  cfg.ratios = {0, 100, 0, 0};  // all T2 (Order Payment)
+  cfg.distribution = AccessDistribution::kLatest;
+  cfg.latest_k = 50;  // hot set -> heavy lock contention on purpose
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(GetParam());
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cloud::Cluster cluster(&env, cluster_cfg, 1);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(30);
+  env.RunUntil(sim::Seconds(2));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(12));  // drain txns and replication
+  ASSERT_GT(collector.commits(), 200);
+
+  ExpectMoneyConserved(cluster.canonical(), txns.total_paid_amount());
+  // The replica must conserve the same money.
+  ExpectMoneyConserved(cluster.replayer(0)->replica_tables(),
+                       txns.total_paid_amount());
+}
+
+TEST(MoneyConservationTest, HoldsAcrossFailover) {
+  SalesWorkloadConfig cfg;
+  cfg.ratios = {0, 100, 0, 0};
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(SutKind::kCdb4);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cloud::Cluster cluster(&env, cluster_cfg, 1);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(30);
+  cluster.InjectRwRestart(sim::Seconds(2));  // mid-traffic RO->RW promotion
+  env.RunUntil(sim::Seconds(10));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(20));
+  ASSERT_GT(collector.commits(), 200);
+  ASSERT_GT(collector.unavailable_errors(), 0);  // the outage was real
+  // Transactions in flight at the crash either happened entirely or not at
+  // all — conservation survives the promotion.
+  ExpectMoneyConserved(cluster.canonical(), txns.total_paid_amount());
+}
+
+// ------------------------------------------------ lock reference model
+
+TEST(LockModelTest, RandomTrafficNeverViolatesCompatibility) {
+  sim::Environment env;
+  txn::LockManager locks(&env, sim::Seconds(2));
+
+  // Reference model: per key, the set of (txn, mode) holders we believe in.
+  struct KeyState {
+    std::map<int64_t, txn::LockMode> holders;
+  };
+  auto model = std::make_shared<std::map<int64_t, KeyState>>();
+
+  auto verify = [model] {
+    for (const auto& [key, state] : *model) {
+      int exclusive = 0;
+      for (const auto& [txn_id, mode] : state.holders) {
+        if (mode == txn::LockMode::kExclusive) ++exclusive;
+      }
+      if (exclusive > 0) {
+        ASSERT_EQ(state.holders.size(), 1u)
+            << "X lock shared on key " << key;
+      }
+    }
+  };
+
+  auto actor = [&env, &locks, model, &verify](int64_t txn_id,
+                                              uint64_t seed) -> sim::Process {
+    util::Pcg32 rng(seed);
+    for (int step = 0; step < 200; ++step) {
+      int64_t key = rng.NextInRange(0, 7);  // few keys: heavy contention
+      txn::LockMode mode = rng.NextBool(0.5) ? txn::LockMode::kExclusive
+                                             : txn::LockMode::kShared;
+      util::Status s =
+          co_await locks.Lock(txn_id, txn::TableKey{0, key}, mode);
+      if (s.ok()) {
+        auto& holders = (*model)[key].holders;
+        auto it = holders.find(txn_id);
+        if (it == holders.end() || mode == txn::LockMode::kExclusive) {
+          holders[txn_id] =
+              it != holders.end() && it->second == txn::LockMode::kExclusive
+                  ? txn::LockMode::kExclusive
+                  : mode;
+        }
+        verify();
+        co_await env.Delay(sim::Micros(rng.NextBounded(500)));
+        (*model)[key].holders.erase(txn_id);
+        locks.Release(txn_id, txn::TableKey{0, key});
+      }
+      // Timed-out requests hold nothing; continue.
+    }
+  };
+
+  for (int64_t t = 1; t <= 8; ++t) {
+    env.Spawn(actor(t, static_cast<uint64_t>(t) * 31));
+  }
+  env.Run();
+  // All traffic drained; the lock table must be empty.
+  EXPECT_EQ(locks.locked_keys(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudybench

@@ -1,0 +1,206 @@
+// Tests for the ERP extension (Inventory + Manufacturing microservices —
+// the paper's §II-A future work) and the Zipf access distribution.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cluster.h"
+#include "core/collector.h"
+#include "core/microservices.h"
+#include "core/workload_manager.h"
+#include "sim/environment.h"
+#include "sut/profiles.h"
+
+namespace cloudybench {
+namespace {
+
+struct ErpRig {
+  explicit ErpRig(ErpWorkloadConfig cfg, sut::SutKind kind = sut::SutKind::kCdb4)
+      : txns(cfg), collector(&env) {
+    cloud::ClusterConfig cluster_cfg = sut::MakeProfile(kind);
+    sut::FreezeAtMaxCapacity(&cluster_cfg);
+    cluster = std::make_unique<cloud::Cluster>(&env, cluster_cfg, 1);
+    cluster->Load(txns.Schemas(), 1);
+    collector.Start();
+    manager = std::make_unique<WorkloadManager>(&env, cluster.get(), &txns,
+                                                &collector);
+  }
+  sim::Environment env;
+  ErpTransactionSet txns;
+  PerformanceCollector collector;
+  std::unique_ptr<cloud::Cluster> cluster;
+  std::unique_ptr<WorkloadManager> manager;
+};
+
+TEST(ErpSchemaTest, SevenTablesAcrossThreeServices) {
+  ErpTransactionSet txns{ErpWorkloadConfig{}};
+  std::vector<storage::TableSchema> schemas = txns.Schemas();
+  ASSERT_EQ(schemas.size(), 7u);  // 3 sales + 4 ERP
+  EXPECT_EQ(schemas[0].name, sales::kCustomerTable);
+  EXPECT_EQ(schemas[3].name, erp::kItemTable);
+  EXPECT_EQ(schemas[6].name, erp::kWorkorderTable);
+}
+
+TEST(ErpSchemaTest, BomLinesReferenceValidItems) {
+  std::vector<storage::TableSchema> schemas = erp::Schemas();
+  const storage::TableSchema& bom = schemas[2];
+  for (int64_t key = 0; key < 1000; ++key) {
+    storage::Row line = bom.generator(key);
+    EXPECT_GE(line.ref_a, 0);
+    EXPECT_LT(line.ref_a, erp::kItemsPerSf);
+    EXPECT_GE(line.ref_b, 1);
+  }
+  // BOM lines of one product are distinct components.
+  storage::Row a = bom.generator(40);
+  storage::Row b = bom.generator(41);
+  EXPECT_NE(a.ref_a, b.ref_a);
+}
+
+TEST(ErpWorkloadTest, MixedServicesCommitAndBalance) {
+  ErpWorkloadConfig cfg;
+  cfg.sales_pct = 40;
+  cfg.inventory_pct = 30;
+  cfg.manufacturing_pct = 30;
+  ErpRig rig(cfg);
+  rig.manager->SetConcurrency(40);
+  rig.env.RunUntil(sim::Seconds(3));
+  rig.manager->StopAll();
+  rig.env.RunUntil(sim::Seconds(6));
+  ASSERT_GT(rig.collector.commits(), 1000);
+  // Both sales and ERP transactions committed.
+  int64_t erp_commits = rig.collector.commits_of(TxnType::kOther);
+  int64_t sales_commits = rig.collector.commits() - erp_commits;
+  EXPECT_GT(erp_commits, 200);
+  EXPECT_GT(sales_commits, 200);
+
+  // Manufacturing consumed component stock and created work orders.
+  storage::SyntheticTable* workorder =
+      rig.cluster->canonical()->Find(erp::kWorkorderTable);
+  storage::SyntheticTable* stock =
+      rig.cluster->canonical()->Find(erp::kStockTable);
+  EXPECT_GT(workorder->live_rows(), erp::kInitialWorkordersPerSf);
+  EXPECT_GT(stock->overlay_rows(), 0u);
+}
+
+TEST(ErpWorkloadTest, CompletedWorkOrdersAreMarkedDone) {
+  ErpWorkloadConfig cfg;
+  cfg.sales_pct = 0;
+  cfg.inventory_pct = 0;
+  cfg.manufacturing_pct = 100;
+  cfg.new_workorder_pct = 50;
+  ErpRig rig(cfg);
+  rig.manager->SetConcurrency(10);
+  rig.env.RunUntil(sim::Seconds(3));
+  rig.manager->StopAll();
+  rig.env.RunUntil(sim::Seconds(4));
+  storage::SyntheticTable* workorder =
+      rig.cluster->canonical()->Find(erp::kWorkorderTable);
+  int64_t created = workorder->live_rows() - erp::kInitialWorkordersPerSf;
+  ASSERT_GT(created, 10);
+  // Completed = created - still open; those rows carry kWoStatusDone.
+  int64_t open = static_cast<int64_t>(rig.txns.open_workorders());
+  EXPECT_LT(open, created);
+  int64_t done_seen = 0;
+  for (int64_t key = erp::kInitialWorkordersPerSf;
+       key < workorder->max_key() + 1; ++key) {
+    auto row = workorder->Get(key);
+    if (row.has_value() && row->status == erp::kWoStatusDone) ++done_seen;
+  }
+  EXPECT_EQ(done_seen, created - open);
+}
+
+TEST(ErpWorkloadTest, ReplicaConvergesWithErpTraffic) {
+  ErpWorkloadConfig cfg;
+  ErpRig rig(cfg, sut::SutKind::kCdb3);
+  rig.manager->SetConcurrency(20);
+  rig.env.RunUntil(sim::Seconds(2));
+  rig.manager->StopAll();
+  rig.env.RunUntil(sim::Seconds(10));
+  EXPECT_EQ(rig.cluster->replayer(0)->applied_lsn(),
+            rig.cluster->log_manager()->appended_lsn());
+  EXPECT_EQ(rig.cluster->canonical()->StateHash(),
+            rig.cluster->replayer(0)->replica_tables()->StateHash());
+}
+
+TEST(ErpWorkloadTest, DeterministicAcrossRuns) {
+  auto fingerprint = [] {
+    ErpWorkloadConfig cfg;
+    cfg.seed = 7;
+    ErpRig rig(cfg);
+    rig.manager->SetConcurrency(16);
+    rig.env.RunUntil(sim::Seconds(2));
+    rig.manager->StopAll();
+    rig.env.RunUntil(sim::Seconds(4));
+    return rig.cluster->canonical()->StateHash() ^
+           static_cast<uint64_t>(rig.collector.commits());
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+// -------------------------------------------------------------- Zipf dist
+
+TEST(ZipfWorkloadTest, SkewsTowardTheFreshEndOfTheOrderSpace) {
+  SalesWorkloadConfig cfg;
+  cfg.ratios = {0, 100, 0, 0};  // T2 only
+  cfg.distribution = AccessDistribution::kZipf;
+  cfg.zipf_theta = 0.99;
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(sut::SutKind::kCdb4);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cloud::Cluster cluster(&env, cluster_cfg, 0);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(8);
+  env.RunUntil(sim::Seconds(2));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(3));
+  ASSERT_GT(collector.commits(), 200);
+
+  storage::SyntheticTable* orders =
+      cluster.canonical()->Find(sales::kOrdersTable);
+  // Most updated orders cluster near the top (fresh) end of the id space.
+  int64_t top_decile_cut = orders->base_count() * 9 / 10;
+  int64_t hot = 0, total = 0;
+  for (int64_t key = 0; key < orders->base_count(); ++key) {
+    // Scanning 300k Get()s is slow; sample the overlay instead.
+    break;
+  }
+  // The overlay holds exactly the touched orders.
+  total = static_cast<int64_t>(orders->overlay_rows());
+  for (int64_t key = top_decile_cut; key < orders->base_count(); ++key) {
+    if (orders->Get(key)->status == sales::kStatusPaid) ++hot;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.5);
+}
+
+TEST(ZipfWorkloadTest, LowerThetaTouchesMoreDistinctOrders) {
+  auto distinct_for = [](double theta) {
+    SalesWorkloadConfig cfg;
+    cfg.ratios = {0, 100, 0, 0};
+    cfg.distribution = AccessDistribution::kZipf;
+    cfg.zipf_theta = theta;
+    SalesTransactionSet txns(cfg);
+    sim::Environment env;
+    cloud::ClusterConfig cluster_cfg = sut::MakeProfile(sut::SutKind::kCdb4);
+    sut::FreezeAtMaxCapacity(&cluster_cfg);
+    cloud::Cluster cluster(&env, cluster_cfg, 0);
+    cluster.Load(txns.Schemas(), 1);
+    PerformanceCollector collector(&env);
+    collector.Start();
+    WorkloadManager manager(&env, &cluster, &txns, &collector);
+    manager.SetConcurrency(8);
+    env.RunUntil(sim::Seconds(2));
+    manager.StopAll();
+    env.RunUntil(sim::Seconds(3));
+    return cluster.canonical()->Find(sales::kOrdersTable)->overlay_rows();
+  };
+  EXPECT_GT(distinct_for(0.5), distinct_for(0.99));
+}
+
+}  // namespace
+}  // namespace cloudybench

@@ -1,0 +1,313 @@
+// Property-based tests (parameterized gtest sweeps) over the invariants
+// DESIGN.md calls out: determinism, replica equivalence across replay
+// modes, autoscaler bounds under random load, buffer-size monotonicity at
+// the cluster level, pattern-generation invariants, and metric
+// monotonicities.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cluster.h"
+#include "core/evaluators.h"
+#include "core/metrics.h"
+#include "core/patterns.h"
+#include "core/sales_workload.h"
+#include "core/workload_manager.h"
+#include "sim/environment.h"
+#include "sut/profiles.h"
+
+namespace cloudybench {
+namespace {
+
+using sut::SutKind;
+
+// ------------------------------------------------- determinism (per SUT)
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<SutKind, uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SutsAndSeeds, DeterminismTest,
+    ::testing::Combine(::testing::ValuesIn(sut::AllSuts()),
+                       ::testing::Values(1u, 99u)));
+
+uint64_t RunFingerprint(SutKind kind, uint64_t seed) {
+  SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
+  cfg.seed = seed;
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(kind);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cloud::Cluster cluster(&env, cluster_cfg, 1);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(30);
+  env.RunUntil(sim::Seconds(2));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(6));
+  return cluster.canonical()->StateHash() ^
+         (static_cast<uint64_t>(collector.commits()) << 32) ^
+         env.dispatched_events();
+}
+
+TEST_P(DeterminismTest, IdenticalRunsProduceIdenticalState) {
+  auto [kind, seed] = GetParam();
+  EXPECT_EQ(RunFingerprint(kind, seed), RunFingerprint(kind, seed));
+}
+
+TEST_P(DeterminismTest, DifferentSeedsDiverge) {
+  auto [kind, seed] = GetParam();
+  EXPECT_NE(RunFingerprint(kind, seed), RunFingerprint(kind, seed + 1));
+}
+
+// ------------------------------------ replay-mode equivalence (per lanes)
+
+class ReplayEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, ReplayEquivalenceTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST_P(ReplayEquivalenceTest, ReplicaConvergesToPrimaryForAnyLaneCount) {
+  // Whatever the parallelism, per-key ordering must make the replica's
+  // final state equal the primary's.
+  SalesWorkloadConfig cfg = SalesWorkloadConfig::IudMix(40, 40, 20);
+  cfg.seed = 5;
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(SutKind::kCdb3);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cluster_cfg.replay.mode = repl::ReplayMode::kParallel;
+  cluster_cfg.replay.parallel_lanes = GetParam();
+  cloud::Cluster cluster(&env, cluster_cfg, 1);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(20);
+  env.RunUntil(sim::Seconds(2));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(12));  // drain replication
+  ASSERT_GT(collector.commits(), 500);
+  EXPECT_EQ(cluster.replayer(0)->applied_lsn(),
+            cluster.log_manager()->appended_lsn());
+  EXPECT_EQ(cluster.canonical()->StateHash(),
+            cluster.replayer(0)->replica_tables()->StateHash());
+}
+
+// ------------------------------------- autoscaler bounds (per policy)
+
+class PolicyBoundsTest
+    : public ::testing::TestWithParam<cloud::ScalingPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyBoundsTest,
+    ::testing::Values(cloud::ScalingPolicy::kReactiveUpGradualDown,
+                      cloud::ScalingPolicy::kOnDemand,
+                      cloud::ScalingPolicy::kCuPauseResume));
+
+TEST_P(PolicyBoundsTest, CapacityStaysWithinBoundsUnderRandomLoad) {
+  SalesWorkloadConfig wl = SalesWorkloadConfig::ReadWrite();
+  SalesTransactionSet txns(wl);
+  sim::Environment env;
+  cloud::ClusterConfig cfg = sut::MakeProfile(SutKind::kCdb3, 0.05);
+  cfg.autoscaler.policy = GetParam();
+  cfg.autoscaler.scale_to_zero =
+      GetParam() == cloud::ScalingPolicy::kCuPauseResume;
+  cfg.node.memory_follows_vcores = true;
+  cfg.node.vcores = cfg.autoscaler.min_vcores;
+  cloud::Cluster cluster(&env, cfg, 0);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+
+  util::Pcg32 rng(11);
+  for (int slot = 0; slot < 12; ++slot) {
+    manager.SetConcurrency(static_cast<int>(rng.NextBounded(80)));
+    env.RunFor(sim::Seconds(2));
+    double vcores = cluster.rw()->allocated_vcores();
+    EXPECT_LE(vcores, cfg.autoscaler.max_vcores + 1e-9);
+    // Zero only for scale-to-zero pause.
+    if (vcores < cfg.autoscaler.min_vcores - 1e-9) {
+      EXPECT_EQ(vcores, 0.0);
+      EXPECT_TRUE(cfg.autoscaler.scale_to_zero);
+    }
+    // Quantized capacity.
+    double quanta = vcores / cfg.autoscaler.quantum_vcores;
+    EXPECT_NEAR(quanta, std::round(quanta), 1e-9);
+  }
+  manager.StopAll();
+}
+
+// -------------------------------------------- buffer-size monotonicity
+
+class BufferSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BufferSweepTest,
+                         ::testing::Values(64, 256, 1024));
+
+int64_t StorageReadsWithBufferMb(int64_t mb) {
+  SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
+  cfg.route_reads_to_replicas = false;
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(SutKind::kCdb1);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cluster_cfg.node.buffer_bytes = mb << 20;
+  cloud::Cluster cluster(&env, cluster_cfg, 0);
+  cluster.Load(txns.Schemas(), 1);
+  cluster.PrewarmBuffers();
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(40);
+  env.RunUntil(sim::Seconds(2));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(3));
+  return cluster.rw()->storage_reads();
+}
+
+TEST(BufferMonotonicityTest, LargerBufferNeverReadsStorageMore) {
+  int64_t reads_64 = StorageReadsWithBufferMb(64);
+  int64_t reads_256 = StorageReadsWithBufferMb(256);
+  int64_t reads_1024 = StorageReadsWithBufferMb(1024);
+  EXPECT_GE(reads_64, reads_256);
+  EXPECT_GE(reads_256, reads_1024);
+}
+
+TEST_P(BufferSweepTest, SweepRunsProduceCommits) {
+  EXPECT_GE(StorageReadsWithBufferMb(GetParam()), 0);
+}
+
+// ------------------------------------------ pattern invariants (sweeps)
+
+class TenancyScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TenancyScheduleProperty,
+    ::testing::Combine(::testing::Values(2, 3, 5),    // tenants
+                       ::testing::Values(3, 6),       // slots
+                       ::testing::Values(100, 330))); // tau
+
+TEST_P(TenancyScheduleProperty, InvariantsHoldForAllShapes) {
+  auto [tenants, slots, tau] = GetParam();
+  for (TenancyPattern pattern : AllTenancyPatterns()) {
+    auto schedule = TenancySchedule(pattern, tenants, slots, tau);
+    ASSERT_EQ(schedule.size(), static_cast<size_t>(tenants));
+    for (const auto& row : schedule) {
+      ASSERT_EQ(row.size(), static_cast<size_t>(slots));
+      for (int c : row) EXPECT_GE(c, 0);
+    }
+    bool contention = pattern == TenancyPattern::kHighContention ||
+                      pattern == TenancyPattern::kStaggeredHigh;
+    for (int slot = 0; slot < slots; ++slot) {
+      int total = 0;
+      for (int t = 0; t < tenants; ++t) {
+        total += schedule[static_cast<size_t>(t)][static_cast<size_t>(slot)];
+      }
+      if (contention) {
+        EXPECT_GT(total, tau) << TenancyPatternName(pattern);
+      } else {
+        EXPECT_LT(total, tau) << TenancyPatternName(pattern);
+      }
+    }
+  }
+}
+
+class ElasticityScheduleProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Taus, ElasticityScheduleProperty,
+                         ::testing::Values(10, 110, 500));
+
+TEST_P(ElasticityScheduleProperty, FractionsScaleWithTau) {
+  int tau = GetParam();
+  for (ElasticityPattern pattern : AllElasticityPatterns()) {
+    std::vector<double> fractions = ElasticityFractions(pattern);
+    std::vector<int> schedule = ElasticitySchedule(pattern, tau);
+    ASSERT_EQ(schedule.size(), fractions.size());
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      EXPECT_NEAR(schedule[i], fractions[i] * tau, 0.51);
+      EXPECT_LE(schedule[i], tau);
+    }
+  }
+}
+
+// ------------------------------------------ metric monotonicity sweeps
+
+class OScoreMonotonicity : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Components, OScoreMonotonicity,
+                         ::testing::Range(0, 7));
+
+TEST_P(OScoreMonotonicity, ImprovingAnyComponentImprovesOScore) {
+  double v[7] = {1e5, 8e4, 6e4, 20, 24, 15, 14};  // p t e1 e2 r f c
+  auto score = [&](const double* x) {
+    return metrics::OScore(x[0], x[1], x[2], x[3], x[4], x[5], x[6]);
+  };
+  double base = score(v);
+  double improved[7];
+  std::copy(v, v + 7, improved);
+  int i = GetParam();
+  bool higher_is_better = i < 4;  // p, t, e1, e2
+  improved[i] = higher_is_better ? v[i] * 2 : v[i] / 2;
+  EXPECT_GT(score(improved), base) << "component " << i;
+}
+
+class PScoreProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PScoreProperty,
+    ::testing::Combine(::testing::Values(1000.0, 20000.0),
+                       ::testing::Values(0.01, 0.08)));
+
+TEST_P(PScoreProperty, ScalesLinearlyInTpsInverselyInCost) {
+  auto [tps, cost_total] = GetParam();
+  cloud::CostBreakdown cost{cost_total, 0, 0, 0, 0};
+  double base = metrics::PScore(tps, cost);
+  EXPECT_NEAR(metrics::PScore(tps * 2, cost), base * 2, 1e-9);
+  cloud::CostBreakdown doubled{cost_total * 2, 0, 0, 0, 0};
+  EXPECT_NEAR(metrics::PScore(tps, doubled), base / 2, 1e-9);
+}
+
+// -------------------------------- latest-k freshness correlation property
+
+class LatestWindowTest : public ::testing::TestWithParam<int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Windows, LatestWindowTest,
+                         ::testing::Values(10, 100, 1000));
+
+TEST_P(LatestWindowTest, SmallerWindowTouchesFewerDistinctOrders) {
+  int64_t k = GetParam();
+  SalesWorkloadConfig cfg;
+  cfg.ratios = {0, 100, 0, 0};  // T2 only
+  cfg.distribution = AccessDistribution::kLatest;
+  cfg.latest_k = k;
+  SalesTransactionSet txns(cfg);
+  sim::Environment env;
+  cloud::ClusterConfig cluster_cfg = sut::MakeProfile(SutKind::kCdb4);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  cloud::Cluster cluster(&env, cluster_cfg, 0);
+  cluster.Load(txns.Schemas(), 1);
+  PerformanceCollector collector(&env);
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(8);
+  env.RunUntil(sim::Seconds(1));
+  manager.StopAll();
+  env.RunUntil(sim::Seconds(2));
+  ASSERT_GT(collector.commits(), 100);
+  // Distinct orders touched = overlay rows of the orders table; bounded by
+  // the window (plus customers in their own table).
+  storage::SyntheticTable* orders =
+      cluster.canonical()->Find(sales::kOrdersTable);
+  EXPECT_LE(static_cast<int64_t>(orders->overlay_rows()), k);
+}
+
+}  // namespace
+}  // namespace cloudybench

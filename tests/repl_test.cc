@@ -1,0 +1,256 @@
+// Unit tests for the replication layer (Replayer in isolation) and the
+// cloud service tier (StorageService, RemoteBufferPool).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/services.h"
+#include "net/network.h"
+#include "repl/replayer.h"
+#include "sim/environment.h"
+#include "sim/resource.h"
+#include "storage/synthetic_table.h"
+
+namespace cloudybench::repl {
+namespace {
+
+using storage::LogRecord;
+using storage::LogRecordType;
+using storage::Row;
+using storage::TableSchema;
+
+TableSchema Schema() {
+  TableSchema s;
+  s.name = "t";
+  s.base_rows_per_sf = 1000;
+  s.row_bytes = 64;
+  s.generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.amount = 1.0;
+    return r;
+  };
+  return s;
+}
+
+struct ReplayRig {
+  explicit ReplayRig(ReplayConfig config)
+      : link(&env, net::LinkConfig::Tcp10G("ship")),
+        cpu(&env, 2.0) {
+    tables.Create(Schema(), 1);
+    replayer = std::make_unique<Replayer>(&env, &tables, &link, &cpu, config);
+  }
+
+  LogRecord MakeUpdate(int64_t lsn, int64_t key, double amount) {
+    LogRecord rec;
+    rec.lsn = lsn;
+    rec.type = LogRecordType::kUpdate;
+    rec.table = 0;
+    rec.key = key;
+    rec.after = Row{key, 0, 0, amount, 0, 0};
+    rec.commit_time = env.Now();
+    return rec;
+  }
+
+  sim::Environment env;
+  net::Link link;
+  sim::SlotResource cpu;
+  storage::TableSet tables;
+  std::unique_ptr<Replayer> replayer;
+};
+
+TEST(ReplayerTest, AppliesRecordsAndAdvancesWatermark) {
+  ReplayConfig config;
+  config.mode = ReplayMode::kSequential;
+  ReplayRig rig(config);
+  EXPECT_EQ(rig.replayer->applied_lsn(), 0);
+
+  rig.replayer->Ship(rig.MakeUpdate(1, 5, 42.0));
+  rig.replayer->Ship(rig.MakeUpdate(2, 6, 43.0));
+  EXPECT_EQ(rig.replayer->applied_lsn(), 0);  // not yet applied
+  rig.env.RunUntil(sim::Seconds(1));
+  EXPECT_EQ(rig.replayer->applied_lsn(), 2);
+  EXPECT_EQ(rig.replayer->records_applied(), 2);
+  EXPECT_DOUBLE_EQ(rig.tables.FindById(0)->Get(5)->amount, 42.0);
+}
+
+TEST(ReplayerTest, CommitRecordsAdvanceWatermarkWithoutApplying) {
+  ReplayConfig config;
+  ReplayRig rig(config);
+  LogRecord commit;
+  commit.lsn = 1;
+  commit.type = LogRecordType::kCommit;
+  rig.replayer->Ship(commit);
+  EXPECT_EQ(rig.replayer->applied_lsn(), 1);  // immediate: no data to apply
+  EXPECT_EQ(rig.replayer->records_applied(), 0);
+}
+
+TEST(ReplayerTest, WatermarkIsContiguousUnderParallelLanes) {
+  ReplayConfig config;
+  config.mode = ReplayMode::kParallel;
+  config.parallel_lanes = 4;
+  ReplayRig rig(config);
+  for (int64_t lsn = 1; lsn <= 50; ++lsn) {
+    rig.replayer->Ship(rig.MakeUpdate(lsn, lsn % 17, 1.0));
+  }
+  // Watermark can only report L when every record <= L is applied.
+  while (rig.env.Step()) {
+    int64_t applied = rig.replayer->applied_lsn();
+    EXPECT_GE(applied, 0);
+    EXPECT_LE(applied, 50);
+  }
+  EXPECT_EQ(rig.replayer->applied_lsn(), 50);
+}
+
+TEST(ReplayerTest, InsertUpdateDeleteRoundTrip) {
+  ReplayConfig config;
+  ReplayRig rig(config);
+  LogRecord ins;
+  ins.lsn = 1;
+  ins.type = LogRecordType::kInsert;
+  ins.table = 0;
+  ins.key = 5000;
+  ins.after = Row{5000, 0, 0, 9.0, 0, 0};
+  ins.commit_time = rig.env.Now();
+  rig.replayer->Ship(ins);
+  rig.replayer->Ship(rig.MakeUpdate(2, 5000, 10.0));
+  LogRecord del;
+  del.lsn = 3;
+  del.type = LogRecordType::kDelete;
+  del.table = 0;
+  del.key = 5000;
+  del.commit_time = rig.env.Now();
+  rig.replayer->Ship(del);
+  rig.env.RunUntil(sim::Seconds(1));
+  EXPECT_EQ(rig.replayer->applied_lsn(), 3);
+  EXPECT_FALSE(rig.tables.FindById(0)->Exists(5000));
+  EXPECT_GT(rig.replayer->InsertLag().count(), 0);
+  EXPECT_GT(rig.replayer->UpdateLag().count(), 0);
+  EXPECT_GT(rig.replayer->DeleteLag().count(), 0);
+}
+
+TEST(ReplayerTest, ShipIntervalBatchesDelayApplication) {
+  ReplayConfig fast;
+  fast.ship_interval = sim::Micros(0);
+  ReplayRig rig_fast(fast);
+  rig_fast.replayer->Ship(rig_fast.MakeUpdate(1, 1, 1.0));
+  rig_fast.env.RunUntil(sim::Seconds(2));
+  double fast_lag = rig_fast.replayer->UpdateLag().mean();
+
+  ReplayConfig slow;
+  slow.ship_interval = sim::Millis(500);
+  ReplayRig rig_slow(slow);
+  rig_slow.replayer->Ship(rig_slow.MakeUpdate(1, 1, 1.0));
+  rig_slow.env.RunUntil(sim::Seconds(2));
+  double slow_lag = rig_slow.replayer->UpdateLag().mean();
+
+  EXPECT_LT(fast_lag, 1.0);     // sub-millisecond path
+  EXPECT_GE(slow_lag, 400.0);   // held to the next 500 ms boundary
+}
+
+TEST(ReplayerTest, ExtraHopLatencyAddsToLag) {
+  ReplayConfig direct;
+  ReplayRig rig_a(direct);
+  rig_a.replayer->Ship(rig_a.MakeUpdate(1, 1, 1.0));
+  rig_a.env.RunUntil(sim::Seconds(1));
+
+  ReplayConfig hop;
+  hop.extra_hop_latency = sim::Millis(5);
+  ReplayRig rig_b(hop);
+  rig_b.replayer->Ship(rig_b.MakeUpdate(1, 1, 1.0));
+  rig_b.env.RunUntil(sim::Seconds(1));
+
+  EXPECT_NEAR(rig_b.replayer->UpdateLag().mean() -
+                  rig_a.replayer->UpdateLag().mean(),
+              5.0, 0.5);
+}
+
+TEST(ReplayModeTest, Names) {
+  EXPECT_STREQ(ReplayModeName(ReplayMode::kSequential), "sequential");
+  EXPECT_STREQ(ReplayModeName(ReplayMode::kParallel), "parallel");
+  EXPECT_STREQ(ReplayModeName(ReplayMode::kRemoteInvalidation),
+               "remote-invalidation");
+}
+
+}  // namespace
+}  // namespace cloudybench::repl
+
+namespace cloudybench::cloud {
+namespace {
+
+sim::Process DoWrite(StorageService* svc, int64_t bytes, double* done_at,
+                     sim::Environment* env) {
+  co_await svc->Write(bytes);
+  *done_at = env->Now().ToSeconds();
+}
+
+TEST(StorageServiceTest, ReplicationAmplifiesWriteIops) {
+  sim::Environment env;
+  StorageService::Config cfg;
+  cfg.provisioned_iops = 100;
+  cfg.replication_factor = 6;  // Aurora-style
+  cfg.write_latency = sim::Micros(0);
+  StorageService svc(&env, cfg);
+  double t = 0;
+  // 256 KiB x 6 replicas = 6 tokens at 100/s.
+  env.Spawn(DoWrite(&svc, 256 * 1024, &t, &env));
+  env.Run();
+  EXPECT_NEAR(t, 0.06, 0.001);
+  EXPECT_DOUBLE_EQ(svc.device()->io_consumed(), 6.0);
+}
+
+TEST(StorageServiceTest, ReadsAreNotAmplified) {
+  sim::Environment env;
+  StorageService::Config cfg;
+  cfg.provisioned_iops = 100;
+  cfg.replication_factor = 6;
+  cfg.read_latency = sim::Micros(0);
+  StorageService svc(&env, cfg);
+  env.Spawn([](StorageService* s) -> sim::Process {
+    co_await s->ReadPage(8192);
+  }(&svc));
+  env.Run();
+  EXPECT_DOUBLE_EQ(svc.device()->io_consumed(), 1.0);
+}
+
+TEST(RemoteBufferPoolTest, FetchRequiresResidencyAndCounts) {
+  sim::Environment env;
+  net::LinkConfig link_cfg = net::LinkConfig::Rdma10G("rdma");
+  net::Link link(&env, link_cfg);
+  RemoteBufferPool pool(&env, 8LL << 20, &link, sim::Micros(2));
+  storage::PageId p{0, 7};
+  EXPECT_FALSE(pool.Contains(p));
+  pool.Admit(p);
+  EXPECT_TRUE(pool.Contains(p));
+  double t = -1;
+  env.Spawn([](RemoteBufferPool* rb, storage::PageId page, double* out,
+               sim::Environment* e) -> sim::Process {
+    co_await rb->Fetch(page);
+    *out = e->Now().ToSeconds();
+  }(&pool, p, &t, &env));
+  env.Run();
+  EXPECT_GT(t, 0);          // paid RDMA transfer + latency
+  EXPECT_LT(t, 0.001);      // but microseconds, not milliseconds
+  EXPECT_EQ(pool.fetches(), 1);
+  pool.CountInvalidation();
+  EXPECT_EQ(pool.invalidations(), 1);
+}
+
+TEST(RemoteBufferPoolTest, AdmitIsIdempotentAndLru) {
+  sim::Environment env;
+  net::Link link(&env, net::LinkConfig::Rdma10G("rdma"));
+  RemoteBufferPool pool(&env, storage::BufferPool::kPageBytes * 2, &link,
+                        sim::Micros(2));
+  pool.Admit({0, 1});
+  pool.Admit({0, 1});  // no double count
+  EXPECT_EQ(pool.resident_pages(), 1);
+  pool.Admit({0, 2});
+  pool.Admit({0, 3});  // evicts LRU {0,1}
+  EXPECT_EQ(pool.resident_pages(), 2);
+  EXPECT_FALSE(pool.Contains({0, 1}));
+}
+
+}  // namespace
+}  // namespace cloudybench::cloud

@@ -1,0 +1,458 @@
+// Tests for the discrete-event simulation kernel: event ordering, coroutine
+// processes, inline task calls, join, waiters, and the two resource types.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.h"
+#include "sim/resource.h"
+#include "sim/sim_time.h"
+#include "sim/task.h"
+#include "util/random.h"
+
+namespace cloudybench::sim {
+namespace {
+
+// ------------------------------------------------------------- SimTime
+
+TEST(SimTimeTest, ConstructorsAndArithmetic) {
+  EXPECT_EQ(Micros(5).us, 5);
+  EXPECT_EQ(Millis(2).us, 2000);
+  EXPECT_EQ(Seconds(1.5).us, 1'500'000);
+  EXPECT_EQ(Minutes(2).us, 120'000'000);
+  EXPECT_EQ((Seconds(1) + Millis(500)).ToSeconds(), 1.5);
+  EXPECT_EQ((Seconds(2) - Seconds(1)).us, 1'000'000);
+  EXPECT_LT(Seconds(1), Seconds(2));
+  EXPECT_EQ(Seconds(4) * 0.5, Seconds(2));
+}
+
+// -------------------------------------------------------- Event ordering
+
+TEST(EnvironmentTest, CallsRunInTimeOrder) {
+  Environment env;
+  std::vector<int> order;
+  env.ScheduleCall(Seconds(3), [&] { order.push_back(3); });
+  env.ScheduleCall(Seconds(1), [&] { order.push_back(1); });
+  env.ScheduleCall(Seconds(2), [&] { order.push_back(2); });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.Now(), Seconds(3));
+}
+
+TEST(EnvironmentTest, SameTimeIsFifo) {
+  Environment env;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    env.ScheduleCall(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EnvironmentTest, RunUntilStopsAtBoundary) {
+  Environment env;
+  int fired = 0;
+  env.ScheduleCall(Seconds(1), [&] { ++fired; });
+  env.ScheduleCall(Seconds(5), [&] { ++fired; });
+  env.RunUntil(Seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(env.Now(), Seconds(2));
+  EXPECT_EQ(env.pending_events(), 1u);
+  env.RunFor(Seconds(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(env.Now(), Seconds(12));
+}
+
+// ------------------------------------------------------------ Processes
+
+Process DelayTwice(Environment* env, std::vector<double>* log) {
+  log->push_back(env->Now().ToSeconds());
+  co_await env->Delay(Seconds(1));
+  log->push_back(env->Now().ToSeconds());
+  co_await env->Delay(Seconds(2));
+  log->push_back(env->Now().ToSeconds());
+}
+
+TEST(ProcessTest, DelaysAdvanceVirtualTime) {
+  Environment env;
+  std::vector<double> log;
+  ProcessRef ref = env.Spawn(DelayTwice(&env, &log));
+  env.Run();
+  EXPECT_EQ(log, (std::vector<double>{0.0, 1.0, 3.0}));
+  EXPECT_TRUE(ref->done);
+}
+
+Process Immediate(int* out) {
+  *out = 7;
+  co_return;
+}
+
+TEST(ProcessTest, ProcessWithNoAwaitCompletesAtSpawn) {
+  Environment env;
+  int v = 0;
+  ProcessRef ref = env.Spawn(Immediate(&v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ref->done);
+}
+
+Process Joiner(Environment* env, ProcessRef target, double* join_time) {
+  co_await env->Join(std::move(target));
+  *join_time = env->Now().ToSeconds();
+}
+
+Process SleepFor(Environment* env, SimTime d) { co_await env->Delay(d); }
+
+TEST(ProcessTest, JoinWakesAtCompletion) {
+  Environment env;
+  double join_time = -1;
+  ProcessRef sleeper = env.Spawn(SleepFor(&env, Seconds(5)));
+  env.Spawn(Joiner(&env, sleeper, &join_time));
+  env.Run();
+  EXPECT_DOUBLE_EQ(join_time, 5.0);
+}
+
+TEST(ProcessTest, JoinOnFinishedProcessDoesNotBlock) {
+  Environment env;
+  int v = 0;
+  ProcessRef done = env.Spawn(Immediate(&v));
+  double join_time = -1;
+  env.Spawn(Joiner(&env, done, &join_time));
+  env.Run();
+  EXPECT_DOUBLE_EQ(join_time, 0.0);
+}
+
+// Inline Task<T> calls.
+
+Task<int> AddAfterDelay(Environment* env, int a, int b) {
+  co_await env->Delay(Millis(10));
+  co_return a + b;
+}
+
+Process CallerProcess(Environment* env, int* out, double* t) {
+  int sum = co_await AddAfterDelay(env, 2, 3);
+  int sum2 = co_await AddAfterDelay(env, sum, 10);
+  *out = sum2;
+  *t = env->Now().ToSeconds();
+}
+
+TEST(TaskTest, InlineCallsReturnValuesAndTakeSimTime) {
+  Environment env;
+  int out = 0;
+  double t = 0;
+  env.Spawn(CallerProcess(&env, &out, &t));
+  env.Run();
+  EXPECT_EQ(out, 15);
+  EXPECT_DOUBLE_EQ(t, 0.02);
+}
+
+TEST(TaskTest, UnstartedTaskIsDestroyedCleanly) {
+  Environment env;
+  {
+    Task<int> t = AddAfterDelay(&env, 1, 2);
+    // never awaited, never spawned
+  }
+  SUCCEED();
+}
+
+TEST(EnvironmentTest, TeardownReclaimsRunningProcesses) {
+  std::vector<double> log;
+  {
+    Environment env;
+    env.Spawn(DelayTwice(&env, &log));
+    env.RunUntil(Millis(500));  // process still pending its first delay
+  }
+  EXPECT_EQ(log.size(), 1u);  // no crash, no further progress
+}
+
+// --------------------------------------------------------------- Waiter
+
+Process AwaitWaiter(Waiter* w, int* code, Environment* env, double* t) {
+  *code = co_await *w;
+  *t = env->Now().ToSeconds();
+}
+
+TEST(WaiterTest, CompletionResumesWithCode) {
+  Environment env;
+  Waiter w(&env);
+  int code = -1;
+  double t = -1;
+  env.Spawn(AwaitWaiter(&w, &code, &env, &t));
+  env.ScheduleCall(Seconds(2), [&] { w.Complete(42); });
+  env.Run();
+  EXPECT_EQ(code, 42);
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(WaiterTest, CompleteBeforeAwaitIsImmediate) {
+  Environment env;
+  Waiter w(&env);
+  w.Complete(5);
+  w.Complete(9);  // first completion wins
+  int code = -1;
+  double t = -1;
+  env.Spawn(AwaitWaiter(&w, &code, &env, &t));
+  env.Run();
+  EXPECT_EQ(code, 5);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+// --------------------------------------------------------- SlotResource
+
+Process ConsumeCpu(SlotResource* cpu, SimTime demand, double* done_at,
+                   Environment* env) {
+  co_await cpu->Consume(demand);
+  *done_at = env->Now().ToSeconds();
+}
+
+TEST(SlotResourceTest, SingleSlotSerializesWork) {
+  Environment env;
+  SlotResource cpu(&env, 1.0);
+  double t1 = 0, t2 = 0;
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t1, &env));
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t2, &env));
+  env.Run();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_core_seconds(), 2.0);
+}
+
+TEST(SlotResourceTest, ParallelSlotsOverlap) {
+  Environment env;
+  SlotResource cpu(&env, 2.0);
+  double t1 = 0, t2 = 0, t3 = 0;
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t1, &env));
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t2, &env));
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t3, &env));
+  env.Run();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 1.0);
+  EXPECT_DOUBLE_EQ(t3, 2.0);
+}
+
+TEST(SlotResourceTest, FractionalCapacityStretchesService) {
+  Environment env;
+  SlotResource cpu(&env, 0.5);  // one slot at half speed
+  EXPECT_EQ(cpu.slots(), 1);
+  EXPECT_DOUBLE_EQ(cpu.speed(), 0.5);
+  double t = 0;
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t, &env));
+  env.Run();
+  EXPECT_DOUBLE_EQ(t, 2.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_core_seconds(), 1.0);  // work, not wall time
+}
+
+TEST(SlotResourceTest, CapacityMapping) {
+  Environment env;
+  SlotResource a(&env, 4.0);
+  EXPECT_EQ(a.slots(), 4);
+  EXPECT_DOUBLE_EQ(a.speed(), 1.0);
+  SlotResource b(&env, 2.5);
+  EXPECT_EQ(b.slots(), 3);
+  EXPECT_NEAR(b.speed(), 2.5 / 3, 1e-12);
+  SlotResource c(&env, 0.0);
+  EXPECT_EQ(c.slots(), 0);
+}
+
+TEST(SlotResourceTest, ZeroCapacityPausesUntilRaised) {
+  Environment env;
+  SlotResource cpu(&env, 0.0);
+  double t = -1;
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t, &env));
+  env.RunUntil(Seconds(10));
+  EXPECT_DOUBLE_EQ(t, -1);  // still paused
+  EXPECT_EQ(cpu.waiting(), 1u);
+  env.ScheduleCall(Seconds(10), [&] { cpu.SetCapacity(1.0); });
+  env.Run();
+  EXPECT_DOUBLE_EQ(t, 11.0);
+}
+
+TEST(SlotResourceTest, CapacityIncreaseDrainsQueue) {
+  Environment env;
+  SlotResource cpu(&env, 1.0);
+  std::vector<double> done(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    env.Spawn(ConsumeCpu(&cpu, Seconds(1), &done[static_cast<size_t>(i)], &env));
+  }
+  env.ScheduleCall(Millis(1), [&] { cpu.SetCapacity(4.0); });
+  env.Run();
+  // First one started immediately; the rest start at 1ms on the new slots.
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_NEAR(done[1], 1.001, 1e-9);
+  EXPECT_NEAR(done[2], 1.001, 1e-9);
+  EXPECT_NEAR(done[3], 1.001, 1e-9);
+}
+
+// --------------------------------------------------------- RateResource
+
+Process AcquireRate(RateResource* r, double units, double* done_at,
+                    Environment* env) {
+  co_await r->Acquire(units);
+  *done_at = env->Now().ToSeconds();
+}
+
+TEST(RateResourceTest, SerializesAtConfiguredRate) {
+  Environment env;
+  RateResource iops(&env, 100.0);  // 100 units/sec
+  double t1 = 0, t2 = 0;
+  env.Spawn(AcquireRate(&iops, 50, &t1, &env));
+  env.Spawn(AcquireRate(&iops, 50, &t2, &env));
+  env.Run();
+  EXPECT_DOUBLE_EQ(t1, 0.5);
+  EXPECT_DOUBLE_EQ(t2, 1.0);
+  EXPECT_DOUBLE_EQ(iops.consumed(), 100.0);
+}
+
+TEST(RateResourceTest, IdlePeriodsDoNotAccumulateCredit) {
+  Environment env;
+  RateResource r(&env, 10.0);
+  double t = 0;
+  env.ScheduleCall(Seconds(5), [&] {
+    env.Spawn(AcquireRate(&r, 10, &t, &env));
+  });
+  env.Run();
+  EXPECT_DOUBLE_EQ(t, 6.0);  // starts at 5, takes 1s
+}
+
+TEST(RateResourceTest, RateChangeAppliesToFutureReservations) {
+  Environment env;
+  RateResource r(&env, 10.0);
+  double t1 = 0, t2 = 0;
+  env.Spawn(AcquireRate(&r, 10, &t1, &env));       // 1s at rate 10
+  env.ScheduleCall(Seconds(1), [&] {
+    r.SetRate(100.0);
+    env.Spawn(AcquireRate(&r, 10, &t2, &env));     // 0.1s at rate 100
+  });
+  env.Run();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 1.1);
+}
+
+TEST(RateResourceTest, BackloggedReflectsQueue) {
+  Environment env;
+  RateResource r(&env, 1.0);
+  EXPECT_FALSE(r.backlogged());
+  double t = 0;
+  env.Spawn(AcquireRate(&r, 10, &t, &env));
+  EXPECT_TRUE(r.backlogged());
+  env.Run();
+  EXPECT_FALSE(r.backlogged());
+}
+
+// ------------------------------------------------------------ Determinism
+
+Process Mixed(Environment* env, SlotResource* cpu, RateResource* io,
+              uint64_t seed, std::vector<double>* trace) {
+  util::Pcg32 rng(seed);
+  for (int i = 0; i < 20; ++i) {
+    co_await cpu->Consume(Micros(static_cast<int64_t>(rng.NextBounded(1000)) + 1));
+    co_await io->Acquire(static_cast<double>(rng.NextBounded(5)) + 1);
+    trace->push_back(env->Now().ToSeconds());
+  }
+}
+
+std::vector<double> RunMixed(uint64_t seed) {
+  Environment env;
+  SlotResource cpu(&env, 2.0);
+  RateResource io(&env, 1000.0);
+  std::vector<double> trace;
+  for (int w = 0; w < 4; ++w) {
+    env.Spawn(Mixed(&env, &cpu, &io, seed + static_cast<uint64_t>(w), &trace));
+  }
+  env.Run();
+  return trace;
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalTraces) {
+  EXPECT_EQ(RunMixed(42), RunMixed(42));
+  EXPECT_NE(RunMixed(42), RunMixed(43));
+}
+
+}  // namespace
+}  // namespace cloudybench::sim
+
+namespace cloudybench::sim {
+namespace {
+
+// ------------------------------------------------------- kernel extras
+
+Process JoinTarget(Environment* env) { co_await env->Delay(Seconds(2)); }
+
+Process JoinerN(Environment* env, ProcessRef target, int* counter) {
+  co_await env->Join(std::move(target));
+  ++*counter;
+}
+
+TEST(ProcessTest, MultipleJoinersAllWake) {
+  Environment env;
+  ProcessRef target = env.Spawn(JoinTarget(&env));
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) env.Spawn(JoinerN(&env, target, &woke));
+  env.RunUntil(Seconds(1));
+  EXPECT_EQ(woke, 0);
+  env.Run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(EnvironmentTest, PendingAndDispatchedCounters) {
+  Environment env;
+  EXPECT_EQ(env.pending_events(), 0u);
+  env.ScheduleCall(Seconds(1), [] {});
+  env.ScheduleCall(Seconds(2), [] {});
+  EXPECT_EQ(env.pending_events(), 2u);
+  uint64_t before = env.dispatched_events();
+  EXPECT_TRUE(env.Step());
+  EXPECT_EQ(env.pending_events(), 1u);
+  EXPECT_EQ(env.dispatched_events(), before + 1);
+  env.Run();
+  EXPECT_FALSE(env.Step());  // empty queue
+}
+
+TEST(EnvironmentTest, RunForAccumulates) {
+  Environment env;
+  env.RunFor(Seconds(3));
+  env.RunFor(Seconds(4));
+  EXPECT_EQ(env.Now(), Seconds(7));
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  Environment env;
+  Task<int> a = [](Environment* e) -> Task<int> {
+    co_await e->Delay(Seconds(1));
+    co_return 9;
+  }(&env);
+  Task<int> b = std::move(a);
+  Task<int> c = [](Environment*) -> Task<int> { co_return 1; }(&env);
+  c = std::move(b);  // move-assign destroys c's old frame cleanly
+  // c is never started; ~Task reclaims the frame without leaks or crashes.
+  SUCCEED();
+}
+
+TEST(SlotResourceTest, BusyAccountingAcrossCapacityChange) {
+  Environment env;
+  SlotResource cpu(&env, 2.0);
+  double t1 = 0, t2 = 0, t3 = 0;
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t1, &env));
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t2, &env));
+  env.Spawn(ConsumeCpu(&cpu, Seconds(1), &t3, &env));  // queued
+  env.ScheduleCall(Millis(100), [&] { cpu.SetCapacity(1.0); });
+  env.Run();
+  // Busy core-seconds reflect work done (3 x 1s of demand), regardless of
+  // when capacity changed.
+  EXPECT_DOUBLE_EQ(cpu.busy_core_seconds(), 3.0);
+  EXPECT_EQ(cpu.active(), 0);
+  EXPECT_EQ(cpu.waiting(), 0u);
+}
+
+TEST(RateResourceTest, ZeroUnitsCostNothing) {
+  Environment env;
+  RateResource r(&env, 10.0);
+  double t = -1;
+  env.Spawn(AcquireRate(&r, 0, &t, &env));
+  env.Run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_DOUBLE_EQ(r.consumed(), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudybench::sim

@@ -1,0 +1,415 @@
+// Tests for the storage substrate: synthetic tables, buffer pool, disk
+// device, and the group-commit WAL. Also covers the net module's Link.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/environment.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "storage/synthetic_table.h"
+#include "storage/wal.h"
+#include "util/random.h"
+
+namespace cloudybench::storage {
+namespace {
+
+TableSchema TestSchema(std::string name, int64_t rows_per_sf,
+                       int32_t row_bytes = 64) {
+  TableSchema s;
+  s.name = std::move(name);
+  s.base_rows_per_sf = rows_per_sf;
+  s.row_bytes = row_bytes;
+  s.generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.ref_a = key * 2;
+    r.amount = static_cast<double>(key) * 0.5;
+    return r;
+  };
+  return s;
+}
+
+// -------------------------------------------------------- SyntheticTable
+
+TEST(SyntheticTableTest, BaseRowsComeFromGenerator) {
+  SyntheticTable t(TestSchema("orders", 1000), 1);
+  EXPECT_EQ(t.base_count(), 1000);
+  EXPECT_EQ(t.live_rows(), 1000);
+  std::optional<Row> row = t.Get(7);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->key, 7);
+  EXPECT_EQ(row->ref_a, 14);
+  EXPECT_FALSE(t.Get(1000).has_value());
+  EXPECT_FALSE(t.Get(-1).has_value());
+}
+
+TEST(SyntheticTableTest, ScaleFactorMultipliesBase) {
+  SyntheticTable t(TestSchema("orders", 1000), 10);
+  EXPECT_EQ(t.base_count(), 10000);
+  EXPECT_TRUE(t.Exists(9999));
+  EXPECT_FALSE(t.Exists(10000));
+}
+
+TEST(SyntheticTableTest, InsertUpdateDeleteLifecycle) {
+  SyntheticTable t(TestSchema("orders", 100), 1);
+  int64_t key = t.AllocateKey();
+  EXPECT_EQ(key, 100);
+
+  Row row;
+  row.key = key;
+  row.amount = 9.5;
+  ASSERT_TRUE(t.Insert(row).ok());
+  EXPECT_EQ(t.live_rows(), 101);
+  EXPECT_TRUE(t.Insert(row).code() == util::StatusCode::kAlreadyExists);
+
+  row.amount = 11.0;
+  ASSERT_TRUE(t.Update(row).ok());
+  EXPECT_DOUBLE_EQ(t.Get(key)->amount, 11.0);
+
+  ASSERT_TRUE(t.Delete(key).ok());
+  EXPECT_EQ(t.live_rows(), 100);
+  EXPECT_FALSE(t.Exists(key));
+  EXPECT_TRUE(t.Delete(key).IsNotFound());
+  EXPECT_TRUE(t.Update(row).IsNotFound());
+}
+
+TEST(SyntheticTableTest, UpdateOfBaseRowGoesToOverlay) {
+  SyntheticTable t(TestSchema("orders", 100), 1);
+  Row row = *t.Get(5);
+  row.amount = 123.0;
+  ASSERT_TRUE(t.Update(row).ok());
+  EXPECT_EQ(t.overlay_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.Get(5)->amount, 123.0);
+  // Untouched neighbours still generated.
+  EXPECT_DOUBLE_EQ(t.Get(6)->amount, 3.0);
+}
+
+TEST(SyntheticTableTest, DeleteOfBaseRowLeavesTombstone) {
+  SyntheticTable t(TestSchema("orders", 100), 1);
+  ASSERT_TRUE(t.Delete(5).ok());
+  EXPECT_EQ(t.tombstones(), 1u);
+  EXPECT_FALSE(t.Get(5).has_value());
+  // Re-insert over a tombstone works.
+  Row row;
+  row.key = 5;
+  ASSERT_TRUE(t.Insert(row).ok());
+  EXPECT_TRUE(t.Exists(5));
+  EXPECT_EQ(t.tombstones(), 0u);
+}
+
+TEST(SyntheticTableTest, AllocatedKeysAreMonotonic) {
+  SyntheticTable t(TestSchema("orders", 10), 1);
+  int64_t a = t.AllocateKey();
+  int64_t b = t.AllocateKey();
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(t.max_key(), b);
+}
+
+TEST(SyntheticTableTest, PageMappingSpansLogicalSpace) {
+  SyntheticTable t(TestSchema("orders", 100000, 80), 1);
+  EXPECT_EQ(t.rows_per_page(), 8192 / 80);
+  EXPECT_EQ(t.PageOf(0), 0);
+  EXPECT_GT(t.pages(), 900);  // ~100000/102
+  EXPECT_EQ(t.logical_bytes(), 100000 * 80);
+}
+
+TEST(SyntheticTableTest, StateHashDetectsDifferencesAndMatchesReplay) {
+  SyntheticTable a(TestSchema("orders", 100), 1);
+  SyntheticTable b(TestSchema("orders", 100), 1);
+  EXPECT_EQ(a.StateHash(), b.StateHash());
+
+  Row row = *a.Get(3);
+  row.amount = 1.0;
+  ASSERT_TRUE(a.Update(row).ok());
+  EXPECT_NE(a.StateHash(), b.StateHash());
+  ASSERT_TRUE(b.Update(row).ok());
+  EXPECT_EQ(a.StateHash(), b.StateHash());
+
+  // Order of operations must not matter for the final hash.
+  SyntheticTable c(TestSchema("orders", 100), 1);
+  SyntheticTable d(TestSchema("orders", 100), 1);
+  Row r1 = *c.Get(1);
+  r1.amount = 7;
+  Row r2 = *c.Get(2);
+  r2.amount = 8;
+  ASSERT_TRUE(c.Update(r1).ok());
+  ASSERT_TRUE(c.Update(r2).ok());
+  ASSERT_TRUE(d.Update(r2).ok());
+  ASSERT_TRUE(d.Update(r1).ok());
+  EXPECT_EQ(c.StateHash(), d.StateHash());
+}
+
+TEST(TableSetTest, RegistryAssignsIdsAndFinds) {
+  TableSet set;
+  SyntheticTable* orders = set.Create(TestSchema("orders", 100), 1);
+  SyntheticTable* cust = set.Create(TestSchema("customer", 100), 1);
+  EXPECT_EQ(orders->id(), 0);
+  EXPECT_EQ(cust->id(), 1);
+  EXPECT_EQ(set.Find("orders"), orders);
+  EXPECT_EQ(set.FindById(1), cust);
+  EXPECT_EQ(set.Find("nope"), nullptr);
+  EXPECT_EQ(set.FindById(9), nullptr);
+  EXPECT_EQ(set.TotalLogicalBytes(), 2 * 100 * 64);
+}
+
+// ------------------------------------------------------------ BufferPool
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(BufferPool::kPageBytes * 10);
+  PageId p{0, 1};
+  EXPECT_FALSE(pool.Touch(p));
+  pool.Admit(p);
+  EXPECT_TRUE(pool.Touch(p));
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+  EXPECT_DOUBLE_EQ(pool.hit_rate(), 0.5);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(BufferPool::kPageBytes * 2);
+  pool.Admit({0, 1});
+  pool.Admit({0, 2});
+  EXPECT_TRUE(pool.Touch({0, 1}));  // 1 becomes MRU; 2 is LRU
+  auto result = pool.Admit({0, 3});
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.victim, (PageId{0, 2}));
+  EXPECT_TRUE(pool.IsResident({0, 1}));
+  EXPECT_FALSE(pool.IsResident({0, 2}));
+}
+
+TEST(BufferPoolTest, DirtyTracking) {
+  BufferPool pool(BufferPool::kPageBytes * 4);
+  pool.Admit({0, 1});
+  pool.Admit({0, 2});
+  pool.MarkDirty({0, 1});
+  pool.MarkDirty({0, 1});  // idempotent
+  EXPECT_EQ(pool.dirty_pages(), 1);
+  EXPECT_TRUE(pool.IsDirty({0, 1}));
+  pool.MarkClean({0, 1});
+  EXPECT_EQ(pool.dirty_pages(), 0);
+  pool.MarkDirty({9, 9});  // not resident: no-op
+  EXPECT_EQ(pool.dirty_pages(), 0);
+}
+
+TEST(BufferPoolTest, EvictingDirtyPageReportsIt) {
+  BufferPool pool(BufferPool::kPageBytes * 1);
+  pool.Admit({0, 1});
+  pool.MarkDirty({0, 1});
+  auto result = pool.Admit({0, 2});
+  EXPECT_TRUE(result.evicted);
+  EXPECT_TRUE(result.victim_dirty);
+  EXPECT_EQ(pool.forced_dirty_evictions(), 1);
+  EXPECT_EQ(pool.dirty_pages(), 0);
+}
+
+TEST(BufferPoolTest, TakeDirtyCleansInLruOrder) {
+  BufferPool pool(BufferPool::kPageBytes * 8);
+  for (int64_t i = 0; i < 5; ++i) {
+    pool.Admit({0, i});
+    pool.MarkDirty({0, i});
+  }
+  std::vector<PageId> taken = pool.TakeDirty(3);
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken[0], (PageId{0, 0}));  // coldest first
+  EXPECT_EQ(pool.dirty_pages(), 2);
+}
+
+TEST(BufferPoolTest, ShrinkEvictsAndClearResets) {
+  BufferPool pool(BufferPool::kPageBytes * 4);
+  for (int64_t i = 0; i < 4; ++i) pool.Admit({0, i});
+  pool.SetCapacity(BufferPool::kPageBytes * 2);
+  EXPECT_EQ(pool.resident_pages(), 2);
+  EXPECT_EQ(pool.capacity_pages(), 2);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0);
+}
+
+TEST(BufferPoolTest, HigherCapacityNeverLowersHitRate) {
+  // Property: for the same reference string, a bigger LRU pool hits at
+  // least as often (LRU inclusion property).
+  util::Pcg32 rng(77);
+  std::vector<PageId> refs;
+  for (int i = 0; i < 5000; ++i) {
+    refs.push_back(PageId{0, static_cast<int64_t>(rng.NextBounded(200))});
+  }
+  double prev_rate = -1.0;
+  for (int64_t pages : {8, 32, 128, 256}) {
+    BufferPool pool(BufferPool::kPageBytes * pages);
+    for (PageId p : refs) {
+      if (!pool.Touch(p)) pool.Admit(p);
+    }
+    EXPECT_GE(pool.hit_rate(), prev_rate);
+    prev_rate = pool.hit_rate();
+  }
+}
+
+// ------------------------------------------------------------ DiskDevice
+
+sim::Process DoReads(DiskDevice* d, int n, double* done_at,
+                     sim::Environment* env) {
+  for (int i = 0; i < n; ++i) co_await d->Read(8192);
+  *done_at = env->Now().ToSeconds();
+}
+
+TEST(DiskDeviceTest, IopsBoundSerializes) {
+  sim::Environment env;
+  DiskDevice::Config cfg;
+  cfg.provisioned_iops = 10;  // 10 IOs/sec
+  cfg.read_latency = sim::Micros(0);
+  DiskDevice disk(&env, cfg);
+  double t = 0;
+  env.Spawn(DoReads(&disk, 20, &t, &env));
+  env.Run();
+  EXPECT_NEAR(t, 2.0, 0.01);
+  EXPECT_EQ(disk.reads(), 20);
+  EXPECT_DOUBLE_EQ(disk.io_consumed(), 20.0);
+}
+
+TEST(DiskDeviceTest, LargeWritesCostMultipleTokens) {
+  sim::Environment env;
+  DiskDevice::Config cfg;
+  cfg.provisioned_iops = 100;
+  cfg.write_latency = sim::Micros(0);
+  DiskDevice disk(&env, cfg);
+  bool done = false;
+  env.ScheduleCall(sim::Seconds(0), [&] {});
+  env.Spawn([](DiskDevice* d, bool* flag) -> sim::Process {
+    co_await d->Write(1024 * 1024);  // 1MiB = 4 tokens of 256KiB
+    *flag = true;
+  }(&disk, &done));
+  env.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(disk.io_consumed(), 4.0);
+}
+
+// ------------------------------------------------------------ LogManager
+
+sim::Process CommitOne(LogManager* log, int64_t txn_id, double* done_at,
+                       sim::Environment* env) {
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kUpdate;
+  rec.key = txn_id;
+  log->Append(rec);
+  LogRecord commit;
+  commit.txn_id = txn_id;
+  commit.type = LogRecordType::kCommit;
+  int64_t lsn = log->Append(commit);
+  co_await log->WaitDurable(lsn);
+  *done_at = env->Now().ToSeconds();
+}
+
+TEST(LogManagerTest, AssignsMonotonicLsns) {
+  sim::Environment env;
+  DiskDevice::Config cfg;
+  DiskDevice disk(&env, cfg);
+  LogManager log(&env, &disk);
+  LogRecord r;
+  EXPECT_EQ(log.Append(r), 1);
+  EXPECT_EQ(log.Append(r), 2);
+  EXPECT_EQ(log.appended_lsn(), 2);
+  EXPECT_EQ(log.flushed_lsn(), 0);
+  EXPECT_GT(log.pending_bytes(), 0);
+}
+
+TEST(LogManagerTest, GroupCommitSharesFlushes) {
+  sim::Environment env;
+  DiskDevice::Config cfg;
+  cfg.provisioned_iops = 1000;
+  cfg.write_latency = sim::Millis(1);
+  DiskDevice disk(&env, cfg);
+  LogManager log(&env, &disk);
+  std::vector<double> done(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    env.Spawn(CommitOne(&log, i, &done[static_cast<size_t>(i)], &env));
+  }
+  env.Run();
+  // First committer triggers a flush; the other seven share the second
+  // batch: 2 device writes total, not 8.
+  EXPECT_EQ(log.flush_batches(), 2);
+  EXPECT_EQ(log.flushed_lsn(), 16);
+  for (double t : done) EXPECT_GT(t, 0.0);
+}
+
+TEST(LogManagerTest, ShipListenersSeeDurableRecordsInOrder) {
+  sim::Environment env;
+  DiskDevice::Config cfg;
+  DiskDevice disk(&env, cfg);
+  LogManager log(&env, &disk);
+  std::vector<int64_t> shipped;
+  log.AddShipListener([&](const LogRecord& r) { shipped.push_back(r.lsn); });
+  double t1 = 0, t2 = 0;
+  env.Spawn(CommitOne(&log, 1, &t1, &env));
+  env.Spawn(CommitOne(&log, 2, &t2, &env));
+  env.Run();
+  EXPECT_EQ(shipped, (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(LogManagerTest, WaitDurableOnFlushedLsnReturnsImmediately) {
+  sim::Environment env;
+  DiskDevice::Config cfg;
+  DiskDevice disk(&env, cfg);
+  LogManager log(&env, &disk);
+  double t1 = 0;
+  env.Spawn(CommitOne(&log, 1, &t1, &env));
+  env.Run();
+  double t2 = -1;
+  env.Spawn([](LogManager* lm, double* out, sim::Environment* e) -> sim::Process {
+    co_await lm->WaitDurable(1);
+    *out = e->Now().ToSeconds();
+  }(&log, &t2, &env));
+  env.Run();
+  EXPECT_DOUBLE_EQ(t2, t1);  // no extra delay
+}
+
+// ------------------------------------------------------------------- Net
+
+sim::Process SendMsg(net::Link* link, int64_t bytes, double* done_at,
+                     sim::Environment* env) {
+  co_await link->Transfer(bytes);
+  *done_at = env->Now().ToSeconds();
+}
+
+TEST(LinkTest, LatencyAndBandwidth) {
+  sim::Environment env;
+  net::LinkConfig cfg = net::LinkConfig::Tcp10G("test");
+  cfg.latency = sim::Millis(1);
+  cfg.bandwidth_gbps = 0.008;  // 1 MB/s for easy math
+  net::Link link(&env, cfg);
+  double t = 0;
+  env.Spawn(SendMsg(&link, 1'000'000, &t, &env));
+  env.Run();
+  EXPECT_NEAR(t, 1.001, 1e-6);  // 1s serialization + 1ms latency
+  EXPECT_EQ(link.bytes_transferred(), 1'000'000);
+  EXPECT_EQ(link.messages(), 1);
+}
+
+TEST(LinkTest, ConcurrentTransfersShareBandwidth) {
+  sim::Environment env;
+  net::LinkConfig cfg = net::LinkConfig::Tcp10G("test");
+  cfg.latency = sim::Micros(0);
+  cfg.bandwidth_gbps = 0.008;  // 1 MB/s
+  net::Link link(&env, cfg);
+  double t1 = 0, t2 = 0;
+  env.Spawn(SendMsg(&link, 500'000, &t1, &env));
+  env.Spawn(SendMsg(&link, 500'000, &t2, &env));
+  env.Run();
+  EXPECT_NEAR(t1, 0.5, 1e-9);
+  EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+TEST(LinkTest, ProfilesMatchPaperTableIV) {
+  EXPECT_EQ(net::LinkConfig::Tcp10G("a").fabric, net::Fabric::kTcpIp);
+  EXPECT_DOUBLE_EQ(net::LinkConfig::Tcp10G("a").bandwidth_gbps, 10.0);
+  EXPECT_EQ(net::LinkConfig::Rdma10G("b").fabric, net::Fabric::kRdma);
+  EXPECT_LT(net::LinkConfig::Rdma10G("b").latency.us,
+            net::LinkConfig::Tcp10G("a").latency.us);
+  EXPECT_STREQ(net::FabricName(net::Fabric::kRdma), "RDMA");
+}
+
+}  // namespace
+}  // namespace cloudybench::storage

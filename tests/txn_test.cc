@@ -1,0 +1,427 @@
+// Tests for the transaction layer: lock manager semantics (S/X, FIFO,
+// upgrades, timeout deadlock-breaking) and the 2PL transaction manager
+// (ACID behaviours, read-your-writes, commit/abort) over a fake engine.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.h"
+#include "storage/synthetic_table.h"
+#include "txn/engine.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+
+namespace cloudybench::txn {
+namespace {
+
+using storage::Row;
+using storage::SyntheticTable;
+using storage::TableSchema;
+using util::Status;
+
+// ------------------------------------------------------------ LockManager
+
+struct LockFixture {
+  sim::Environment env;
+  LockManager locks{&env, sim::Seconds(1)};
+};
+
+sim::Process TakeLock(LockManager* lm, int64_t txn, TableKey key,
+                      LockMode mode, Status* out, double* at,
+                      sim::Environment* env) {
+  *out = co_await lm->Lock(txn, key, mode);
+  *at = env->Now().ToSeconds();
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockFixture f;
+  Status s1, s2;
+  double t1 = 0, t2 = 0;
+  TableKey k{0, 5};
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kShared, &s1, &t1, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kShared, &s2, &t2, &f.env));
+  f.env.Run();
+  EXPECT_TRUE(s1.ok());
+  EXPECT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(t1, 0.0);
+  EXPECT_DOUBLE_EQ(t2, 0.0);
+  EXPECT_TRUE(f.locks.Holds(1, k, LockMode::kShared));
+  EXPECT_FALSE(f.locks.Holds(1, k, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  LockFixture f;
+  Status s1, s2;
+  double t1 = 0, t2 = 0;
+  TableKey k{0, 5};
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s1, &t1, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kExclusive, &s2, &t2, &f.env));
+  f.env.ScheduleCall(sim::Millis(100), [&] { f.locks.Release(1, k); });
+  f.env.Run();
+  EXPECT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(t2, 0.1);
+  EXPECT_EQ(f.locks.waits(), 1);
+}
+
+TEST(LockManagerTest, WaitTimesOutAndAborts) {
+  LockFixture f;
+  Status s1, s2;
+  double t1 = 0, t2 = 0;
+  TableKey k{0, 5};
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s1, &t1, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kShared, &s2, &t2, &f.env));
+  f.env.Run();  // holder never releases
+  EXPECT_TRUE(s2.IsAborted());
+  EXPECT_DOUBLE_EQ(t2, 1.0);  // the configured timeout
+  EXPECT_EQ(f.locks.timeouts(), 1);
+}
+
+TEST(LockManagerTest, ReacquisitionIsNoOp) {
+  LockFixture f;
+  Status s1, s2, s3;
+  double t = 0;
+  TableKey k{0, 5};
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s1, &t, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s2, &t, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kShared, &s3, &t, &f.env));
+  f.env.Run();
+  EXPECT_TRUE(s1.ok());
+  EXPECT_TRUE(s2.ok());
+  EXPECT_TRUE(s3.ok());  // X covers S
+  EXPECT_EQ(f.locks.waits(), 0);
+}
+
+TEST(LockManagerTest, UpgradeGrantedWhenSoleHolder) {
+  LockFixture f;
+  Status s1, s2;
+  double t1 = 0, t2 = 0;
+  TableKey k{0, 5};
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kShared, &s1, &t1, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s2, &t2, &f.env));
+  f.env.Run();
+  EXPECT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(t2, 0.0);
+  EXPECT_TRUE(f.locks.Holds(1, k, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherSharersThenJumpsQueue) {
+  LockFixture f;
+  Status s_a, s_b, s_up, s_x;
+  double t_a = 0, t_b = 0, t_up = 0, t_x = 0;
+  TableKey k{0, 5};
+  // txn1 and txn2 hold S; txn3 queues for X; then txn1 upgrades.
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kShared, &s_a, &t_a, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kShared, &s_b, &t_b, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 3, k, LockMode::kExclusive, &s_x, &t_x, &f.env));
+  f.env.ScheduleCall(sim::Millis(10), [&] {
+    f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s_up, &t_up, &f.env));
+  });
+  // txn2 releases at 100ms -> upgrade grants (ahead of txn3's X).
+  f.env.ScheduleCall(sim::Millis(100), [&] { f.locks.Release(2, k); });
+  // txn1 releases fully at 200ms -> txn3 finally gets X.
+  f.env.ScheduleCall(sim::Millis(200), [&] { f.locks.Release(1, k); });
+  f.env.Run();
+  EXPECT_TRUE(s_up.ok());
+  EXPECT_DOUBLE_EQ(t_up, 0.1);
+  EXPECT_TRUE(s_x.ok());
+  EXPECT_DOUBLE_EQ(t_x, 0.2);
+}
+
+TEST(LockManagerTest, UpgradeDeadlockBrokenByTimeout) {
+  LockFixture f;
+  Status s1, s2, up1, up2;
+  double t = 0, t_up1 = 0, t_up2 = 0;
+  TableKey k{0, 5};
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kShared, &s1, &t, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kShared, &s2, &t, &f.env));
+  // Both upgrade (staggered): classic deadlock; the timeout must break it.
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &up1, &t_up1, &f.env));
+  f.env.ScheduleCall(sim::Millis(50), [&] {
+    f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kExclusive, &up2, &t_up2, &f.env));
+  });
+  // Simulate the timed-out transaction aborting and releasing its S hold.
+  f.env.ScheduleCall(sim::Millis(1001), [&] {
+    if (up1.IsAborted()) f.locks.Release(1, k);
+  });
+  f.env.Run();
+  // txn1's upgrade times out at 1s; once it aborts and releases, txn2's
+  // upgrade becomes grantable (before its own 1.05s deadline).
+  EXPECT_TRUE(up1.IsAborted());
+  EXPECT_TRUE(up2.ok());
+  EXPECT_NEAR(t_up2, 1.001, 1e-9);
+}
+
+TEST(LockManagerTest, QueuedRequestsGrantInFifoOrder) {
+  LockFixture f;
+  TableKey k{0, 9};
+  Status s0, s1, s2;
+  double t0 = 0, t1 = 0, t2 = 0;
+  f.env.Spawn(TakeLock(&f.locks, 1, k, LockMode::kExclusive, &s0, &t0, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 2, k, LockMode::kExclusive, &s1, &t1, &f.env));
+  f.env.Spawn(TakeLock(&f.locks, 3, k, LockMode::kExclusive, &s2, &t2, &f.env));
+  f.env.ScheduleCall(sim::Millis(10), [&] { f.locks.Release(1, k); });
+  f.env.ScheduleCall(sim::Millis(20), [&] { f.locks.Release(2, k); });
+  f.env.Run();
+  EXPECT_DOUBLE_EQ(t1, 0.01);
+  EXPECT_DOUBLE_EQ(t2, 0.02);
+}
+
+TEST(LockManagerTest, EntriesAreReclaimedWhenFree) {
+  LockFixture f;
+  Status s;
+  double t = 0;
+  f.env.Spawn(TakeLock(&f.locks, 1, {0, 1}, LockMode::kExclusive, &s, &t, &f.env));
+  f.env.Run();
+  EXPECT_EQ(f.locks.locked_keys(), 1u);
+  f.locks.Release(1, {0, 1});
+  EXPECT_EQ(f.locks.locked_keys(), 0u);
+}
+
+// ------------------------------------------------------------- TxnManager
+
+/// Fake engine: instant CPU/pages, direct WAL-free commit, controllable
+/// availability. Isolates TxnManager logic from the cloud substrate.
+class FakeEngine : public Engine {
+ public:
+  explicit FakeEngine(sim::Environment* env)
+      : env_(env), locks_(env, sim::Seconds(1)) {}
+
+  sim::Environment* env() override { return env_; }
+  storage::TableSet* tables() override { return &tables_; }
+  LockManager* lock_manager() override { return &locks_; }
+  bool available() const override { return available_; }
+
+  sim::Task<void> ChargeCpu(sim::SimTime demand) override {
+    cpu_charged_ += demand.us;
+    co_await env_->Delay(demand);
+  }
+
+  sim::Task<util::Status> AccessPage(storage::PageId page, bool) override {
+    ++page_accesses_;
+    (void)page;
+    if (!available_) co_return Status::Unavailable("down");
+    co_return Status::OK();
+  }
+
+  sim::Task<util::Status> CommitRecords(
+      std::vector<storage::LogRecord> records) override {
+    committed_records_ += static_cast<int64_t>(records.size());
+    if (!available_) co_return Status::Unavailable("down");
+    co_await env_->Delay(sim::Micros(100));  // pretend log force
+    co_return Status::OK();
+  }
+
+  sim::Environment* env_;
+  storage::TableSet tables_;
+  LockManager locks_;
+  bool available_ = true;
+  int64_t cpu_charged_ = 0;
+  int64_t page_accesses_ = 0;
+  int64_t committed_records_ = 0;
+};
+
+TableSchema OrdersSchema() {
+  TableSchema s;
+  s.name = "orders";
+  s.base_rows_per_sf = 1000;
+  s.row_bytes = 64;
+  s.generator = [](int64_t key) {
+    Row r;
+    r.key = key;
+    r.amount = 100.0;
+    r.status = 0;
+    return r;
+  };
+  return s;
+}
+
+struct TxnFixture {
+  TxnFixture() {
+    orders = fake.tables_.Create(OrdersSchema(), 1);
+    mgr = std::make_unique<TxnManager>(&fake, CpuCosts{});
+  }
+  sim::Environment env;
+  FakeEngine fake{&env};
+  SyntheticTable* orders = nullptr;
+  std::unique_ptr<TxnManager> mgr;
+};
+
+sim::Process ReadCommit(TxnManager* mgr, SyntheticTable* t, int64_t key,
+                        Status* read_status, Row* out, Status* commit_status) {
+  Transaction txn = mgr->Begin();
+  *read_status = co_await mgr->Get(&txn, t, key, out);
+  if (txn.active()) {
+    *commit_status = co_await mgr->Commit(&txn);
+  }
+}
+
+TEST(TxnManagerTest, ReadCommittedRow) {
+  TxnFixture f;
+  Status rs, cs;
+  Row row;
+  f.env.Spawn(ReadCommit(f.mgr.get(), f.orders, 7, &rs, &row, &cs));
+  f.env.Run();
+  EXPECT_TRUE(rs.ok());
+  EXPECT_TRUE(cs.ok());
+  EXPECT_EQ(row.key, 7);
+  EXPECT_EQ(f.mgr->commits(), 1);
+  EXPECT_EQ(f.fake.committed_records_, 0);  // read-only: no log force
+  EXPECT_EQ(f.mgr->active_txns(), 0);
+}
+
+TEST(TxnManagerTest, ReadMissingKeyIsNotFoundAndTxnContinues) {
+  TxnFixture f;
+  Status rs, cs;
+  Row row;
+  f.env.Spawn(ReadCommit(f.mgr.get(), f.orders, 99999, &rs, &row, &cs));
+  f.env.Run();
+  EXPECT_TRUE(rs.IsNotFound());
+  EXPECT_TRUE(cs.ok());  // txn stays usable after NotFound
+}
+
+sim::Process UpdateCommit(TxnManager* mgr, SyntheticTable* t, int64_t key,
+                          double new_amount, Status* out) {
+  Transaction txn = mgr->Begin();
+  Row row;
+  Status s = co_await mgr->Get(&txn, t, key, &row, /*for_update=*/true);
+  if (!s.ok()) {
+    *out = s;
+    co_return;
+  }
+  row.amount = new_amount;
+  s = co_await mgr->Update(&txn, t, row);
+  if (!s.ok()) {
+    *out = s;
+    co_return;
+  }
+  *out = co_await mgr->Commit(&txn);
+}
+
+TEST(TxnManagerTest, UpdateIsDurableAfterCommit) {
+  TxnFixture f;
+  Status s;
+  f.env.Spawn(UpdateCommit(f.mgr.get(), f.orders, 5, 42.0, &s));
+  f.env.Run();
+  EXPECT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(f.orders->Get(5)->amount, 42.0);
+  EXPECT_EQ(f.fake.committed_records_, 2);  // update + commit record
+}
+
+sim::Process InsertAbort(TxnManager* mgr, SyntheticTable* t, Status* out) {
+  Transaction txn = mgr->Begin();
+  Row row;
+  row.key = t->AllocateKey();
+  row.amount = 1.0;
+  *out = co_await mgr->Insert(&txn, t, row);
+  mgr->Abort(&txn);
+}
+
+TEST(TxnManagerTest, AbortDiscardsWrites) {
+  TxnFixture f;
+  Status s;
+  int64_t before = f.orders->live_rows();
+  f.env.Spawn(InsertAbort(f.mgr.get(), f.orders, &s));
+  f.env.Run();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(f.orders->live_rows(), before);  // atomicity
+  EXPECT_EQ(f.mgr->aborts(), 1);
+  EXPECT_EQ(f.mgr->commits(), 0);
+}
+
+sim::Process ReadYourWrites(TxnManager* mgr, SyntheticTable* t, bool* saw_own,
+                            Status* out) {
+  Transaction txn = mgr->Begin();
+  Row row;
+  Status s = co_await mgr->Get(&txn, t, 3, &row, /*for_update=*/true);
+  CB_CHECK_OK(s);
+  row.amount = 777.0;
+  CB_CHECK_OK(co_await mgr->Update(&txn, t, row));
+  Row again;
+  CB_CHECK_OK(co_await mgr->Get(&txn, t, 3, &again));
+  *saw_own = again.amount == 777.0;
+  // Delete it, then a read must say NotFound.
+  CB_CHECK_OK(co_await mgr->Delete(&txn, t, 3));
+  Row gone;
+  Status after_delete = co_await mgr->Get(&txn, t, 3, &gone);
+  *out = after_delete;
+  CB_CHECK_OK(co_await mgr->Commit(&txn));
+}
+
+TEST(TxnManagerTest, ReadYourOwnWritesAndDeletes) {
+  TxnFixture f;
+  bool saw_own = false;
+  Status after_delete;
+  f.env.Spawn(ReadYourWrites(f.mgr.get(), f.orders, &saw_own, &after_delete));
+  f.env.Run();
+  EXPECT_TRUE(saw_own);
+  EXPECT_TRUE(after_delete.IsNotFound());
+  EXPECT_FALSE(f.orders->Exists(3));  // delete applied at commit
+}
+
+TEST(TxnManagerTest, WriteConflictSerializes) {
+  TxnFixture f;
+  Status s1, s2;
+  f.env.Spawn(UpdateCommit(f.mgr.get(), f.orders, 5, 1.0, &s1));
+  f.env.Spawn(UpdateCommit(f.mgr.get(), f.orders, 5, 2.0, &s2));
+  f.env.Run();
+  EXPECT_TRUE(s1.ok());
+  EXPECT_TRUE(s2.ok());
+  // Second writer won (FIFO): final value is 2.0.
+  EXPECT_DOUBLE_EQ(f.orders->Get(5)->amount, 2.0);
+  EXPECT_EQ(f.fake.locks_.waits(), 1);
+}
+
+TEST(TxnManagerTest, InsertDuplicateKeyFails) {
+  TxnFixture f;
+  Status s;
+  f.env.Spawn([](TxnManager* mgr, SyntheticTable* t, Status* out) -> sim::Process {
+    Transaction txn = mgr->Begin();
+    Row row;
+    row.key = 5;  // base row exists
+    *out = co_await mgr->Insert(&txn, t, row);
+    mgr->Abort(&txn);
+  }(f.mgr.get(), f.orders, &s));
+  f.env.Run();
+  EXPECT_EQ(s.code(), util::StatusCode::kAlreadyExists);
+}
+
+TEST(TxnManagerTest, UnavailableEngineFailsOperations) {
+  TxnFixture f;
+  f.fake.available_ = false;
+  Status rs, cs;
+  Row row;
+  f.env.Spawn(ReadCommit(f.mgr.get(), f.orders, 7, &rs, &row, &cs));
+  f.env.Run();
+  EXPECT_TRUE(rs.IsUnavailable());
+  EXPECT_EQ(f.mgr->aborts(), 1);
+  EXPECT_EQ(f.mgr->active_txns(), 0);
+}
+
+TEST(TxnManagerTest, LockTimeoutAbortsTransaction) {
+  TxnFixture f;
+  Status blocker_status, victim_status;
+  double t = 0;
+  // Blocker holds X on key 5 forever (never commits).
+  f.env.Spawn(TakeLock(&f.fake.locks_, 9999, TableKey{f.orders->id(), 5},
+                       LockMode::kExclusive, &blocker_status, &t, &f.env));
+  f.env.Spawn(UpdateCommit(f.mgr.get(), f.orders, 5, 1.0, &victim_status));
+  f.env.Run();
+  EXPECT_TRUE(victim_status.IsAborted());
+  EXPECT_EQ(f.mgr->aborts(), 1);
+}
+
+TEST(TxnManagerTest, ChargesCpuAndPagesPerOperation) {
+  TxnFixture f;
+  Status s;
+  f.env.Spawn(UpdateCommit(f.mgr.get(), f.orders, 5, 1.0, &s));
+  f.env.Run();
+  EXPECT_TRUE(s.ok());
+  // Get + Update + commit CPU charges.
+  EXPECT_EQ(f.fake.cpu_charged_, 18 + 28 + 20);
+  EXPECT_EQ(f.fake.page_accesses_, 2);
+}
+
+}  // namespace
+}  // namespace cloudybench::txn
