@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_elasticity"
+  "../bench/bench_fig6_elasticity.pdb"
+  "CMakeFiles/bench_fig6_elasticity.dir/bench_fig6_elasticity.cc.o"
+  "CMakeFiles/bench_fig6_elasticity.dir/bench_fig6_elasticity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_buffersize"
+  "../bench/bench_fig8_buffersize.pdb"
+  "CMakeFiles/bench_fig8_buffersize.dir/bench_fig8_buffersize.cc.o"
+  "CMakeFiles/bench_fig8_buffersize.dir/bench_fig8_buffersize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_buffersize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lagtime"
+  "../bench/bench_lagtime.pdb"
+  "CMakeFiles/bench_lagtime.dir/bench_lagtime.cc.o"
+  "CMakeFiles/bench_lagtime.dir/bench_lagtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lagtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

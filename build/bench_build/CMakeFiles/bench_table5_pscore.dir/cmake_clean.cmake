@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_pscore"
+  "../bench/bench_table5_pscore.pdb"
+  "CMakeFiles/bench_table5_pscore.dir/bench_table5_pscore.cc.o"
+  "CMakeFiles/bench_table5_pscore.dir/bench_table5_pscore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_multitenancy"
+  "../bench/bench_table7_multitenancy.pdb"
+  "CMakeFiles/bench_table7_multitenancy.dir/bench_table7_multitenancy.cc.o"
+  "CMakeFiles/bench_table7_multitenancy.dir/bench_table7_multitenancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

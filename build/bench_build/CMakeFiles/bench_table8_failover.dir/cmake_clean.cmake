@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_failover"
+  "../bench/bench_table8_failover.pdb"
+  "CMakeFiles/bench_table8_failover.dir/bench_table8_failover.cc.o"
+  "CMakeFiles/bench_table8_failover.dir/bench_table8_failover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/architecture_lab"
+  "../examples/architecture_lab.pdb"
+  "CMakeFiles/architecture_lab.dir/architecture_lab.cpp.o"
+  "CMakeFiles/architecture_lab.dir/architecture_lab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cloudybench_cli"
+  "../examples/cloudybench_cli.pdb"
+  "CMakeFiles/cloudybench_cli.dir/cloudybench_cli.cpp.o"
+  "CMakeFiles/cloudybench_cli.dir/cloudybench_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudybench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

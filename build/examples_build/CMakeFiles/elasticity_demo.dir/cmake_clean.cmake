@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/elasticity_demo"
+  "../examples/elasticity_demo.pdb"
+  "CMakeFiles/elasticity_demo.dir/elasticity_demo.cpp.o"
+  "CMakeFiles/elasticity_demo.dir/elasticity_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

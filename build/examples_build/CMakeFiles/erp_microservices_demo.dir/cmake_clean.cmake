@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/erp_microservices_demo"
+  "../examples/erp_microservices_demo.pdb"
+  "CMakeFiles/erp_microservices_demo.dir/erp_microservices_demo.cpp.o"
+  "CMakeFiles/erp_microservices_demo.dir/erp_microservices_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erp_microservices_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

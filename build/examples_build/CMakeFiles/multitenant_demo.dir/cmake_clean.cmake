@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multitenant_demo"
+  "../examples/multitenant_demo.pdb"
+  "CMakeFiles/multitenant_demo.dir/multitenant_demo.cpp.o"
+  "CMakeFiles/multitenant_demo.dir/multitenant_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitenant_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

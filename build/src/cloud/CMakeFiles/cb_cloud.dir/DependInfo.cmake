@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/autoscaler.cc" "src/cloud/CMakeFiles/cb_cloud.dir/autoscaler.cc.o" "gcc" "src/cloud/CMakeFiles/cb_cloud.dir/autoscaler.cc.o.d"
+  "/root/repo/src/cloud/cluster.cc" "src/cloud/CMakeFiles/cb_cloud.dir/cluster.cc.o" "gcc" "src/cloud/CMakeFiles/cb_cloud.dir/cluster.cc.o.d"
+  "/root/repo/src/cloud/compute_node.cc" "src/cloud/CMakeFiles/cb_cloud.dir/compute_node.cc.o" "gcc" "src/cloud/CMakeFiles/cb_cloud.dir/compute_node.cc.o.d"
+  "/root/repo/src/cloud/meter.cc" "src/cloud/CMakeFiles/cb_cloud.dir/meter.cc.o" "gcc" "src/cloud/CMakeFiles/cb_cloud.dir/meter.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/cloud/CMakeFiles/cb_cloud.dir/pricing.cc.o" "gcc" "src/cloud/CMakeFiles/cb_cloud.dir/pricing.cc.o.d"
+  "/root/repo/src/cloud/services.cc" "src/cloud/CMakeFiles/cb_cloud.dir/services.cc.o" "gcc" "src/cloud/CMakeFiles/cb_cloud.dir/services.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repl/CMakeFiles/cb_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_cloud.dir/autoscaler.cc.o"
+  "CMakeFiles/cb_cloud.dir/autoscaler.cc.o.d"
+  "CMakeFiles/cb_cloud.dir/cluster.cc.o"
+  "CMakeFiles/cb_cloud.dir/cluster.cc.o.d"
+  "CMakeFiles/cb_cloud.dir/compute_node.cc.o"
+  "CMakeFiles/cb_cloud.dir/compute_node.cc.o.d"
+  "CMakeFiles/cb_cloud.dir/meter.cc.o"
+  "CMakeFiles/cb_cloud.dir/meter.cc.o.d"
+  "CMakeFiles/cb_cloud.dir/pricing.cc.o"
+  "CMakeFiles/cb_cloud.dir/pricing.cc.o.d"
+  "CMakeFiles/cb_cloud.dir/services.cc.o"
+  "CMakeFiles/cb_cloud.dir/services.cc.o.d"
+  "libcb_cloud.a"
+  "libcb_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

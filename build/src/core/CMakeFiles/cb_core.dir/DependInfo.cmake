@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/cb_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/collector.cc" "src/core/CMakeFiles/cb_core.dir/collector.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/collector.cc.o.d"
+  "/root/repo/src/core/evaluators.cc" "src/core/CMakeFiles/cb_core.dir/evaluators.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/evaluators.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/cb_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/microservices.cc" "src/core/CMakeFiles/cb_core.dir/microservices.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/microservices.cc.o.d"
+  "/root/repo/src/core/patterns.cc" "src/core/CMakeFiles/cb_core.dir/patterns.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/patterns.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/cb_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sales_workload.cc" "src/core/CMakeFiles/cb_core.dir/sales_workload.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/sales_workload.cc.o.d"
+  "/root/repo/src/core/tenancy.cc" "src/core/CMakeFiles/cb_core.dir/tenancy.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/tenancy.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/core/CMakeFiles/cb_core.dir/testbed.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/testbed.cc.o.d"
+  "/root/repo/src/core/workload_manager.cc" "src/core/CMakeFiles/cb_core.dir/workload_manager.cc.o" "gcc" "src/core/CMakeFiles/cb_core.dir/workload_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sut/CMakeFiles/cb_sut.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cb_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/cb_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

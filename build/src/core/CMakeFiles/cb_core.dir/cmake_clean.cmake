@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_core.dir/baselines.cc.o"
+  "CMakeFiles/cb_core.dir/baselines.cc.o.d"
+  "CMakeFiles/cb_core.dir/collector.cc.o"
+  "CMakeFiles/cb_core.dir/collector.cc.o.d"
+  "CMakeFiles/cb_core.dir/evaluators.cc.o"
+  "CMakeFiles/cb_core.dir/evaluators.cc.o.d"
+  "CMakeFiles/cb_core.dir/metrics.cc.o"
+  "CMakeFiles/cb_core.dir/metrics.cc.o.d"
+  "CMakeFiles/cb_core.dir/microservices.cc.o"
+  "CMakeFiles/cb_core.dir/microservices.cc.o.d"
+  "CMakeFiles/cb_core.dir/patterns.cc.o"
+  "CMakeFiles/cb_core.dir/patterns.cc.o.d"
+  "CMakeFiles/cb_core.dir/report.cc.o"
+  "CMakeFiles/cb_core.dir/report.cc.o.d"
+  "CMakeFiles/cb_core.dir/sales_workload.cc.o"
+  "CMakeFiles/cb_core.dir/sales_workload.cc.o.d"
+  "CMakeFiles/cb_core.dir/tenancy.cc.o"
+  "CMakeFiles/cb_core.dir/tenancy.cc.o.d"
+  "CMakeFiles/cb_core.dir/testbed.cc.o"
+  "CMakeFiles/cb_core.dir/testbed.cc.o.d"
+  "CMakeFiles/cb_core.dir/workload_manager.cc.o"
+  "CMakeFiles/cb_core.dir/workload_manager.cc.o.d"
+  "libcb_core.a"
+  "libcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

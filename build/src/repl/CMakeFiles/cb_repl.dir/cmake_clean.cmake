@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_repl.dir/replayer.cc.o"
+  "CMakeFiles/cb_repl.dir/replayer.cc.o.d"
+  "libcb_repl.a"
+  "libcb_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_sim.dir/environment.cc.o"
+  "CMakeFiles/cb_sim.dir/environment.cc.o.d"
+  "CMakeFiles/cb_sim.dir/resource.cc.o"
+  "CMakeFiles/cb_sim.dir/resource.cc.o.d"
+  "libcb_sim.a"
+  "libcb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/cb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/cb_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/synthetic_table.cc" "src/storage/CMakeFiles/cb_storage.dir/synthetic_table.cc.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/synthetic_table.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/cb_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/cb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/cb_storage.dir/disk.cc.o"
+  "CMakeFiles/cb_storage.dir/disk.cc.o.d"
+  "CMakeFiles/cb_storage.dir/synthetic_table.cc.o"
+  "CMakeFiles/cb_storage.dir/synthetic_table.cc.o.d"
+  "CMakeFiles/cb_storage.dir/wal.cc.o"
+  "CMakeFiles/cb_storage.dir/wal.cc.o.d"
+  "libcb_storage.a"
+  "libcb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

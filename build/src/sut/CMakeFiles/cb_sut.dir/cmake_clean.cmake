@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_sut.dir/profiles.cc.o"
+  "CMakeFiles/cb_sut.dir/profiles.cc.o.d"
+  "libcb_sut.a"
+  "libcb_sut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_sut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

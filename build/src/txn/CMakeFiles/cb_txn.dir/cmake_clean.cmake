@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/cb_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/cb_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/cb_txn.dir/txn_manager.cc.o.d"
+  "libcb_txn.a"
+  "libcb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_util.dir/logging.cc.o"
+  "CMakeFiles/cb_util.dir/logging.cc.o.d"
+  "CMakeFiles/cb_util.dir/properties.cc.o"
+  "CMakeFiles/cb_util.dir/properties.cc.o.d"
+  "CMakeFiles/cb_util.dir/random.cc.o"
+  "CMakeFiles/cb_util.dir/random.cc.o.d"
+  "CMakeFiles/cb_util.dir/stats.cc.o"
+  "CMakeFiles/cb_util.dir/stats.cc.o.d"
+  "CMakeFiles/cb_util.dir/status.cc.o"
+  "CMakeFiles/cb_util.dir/status.cc.o.d"
+  "CMakeFiles/cb_util.dir/string_util.cc.o"
+  "CMakeFiles/cb_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cb_util.dir/table_printer.cc.o"
+  "CMakeFiles/cb_util.dir/table_printer.cc.o.d"
+  "libcb_util.a"
+  "libcb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/evaluator_test.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/evaluator_test.dir/evaluator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sut/CMakeFiles/cb_sut.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cb_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/cb_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

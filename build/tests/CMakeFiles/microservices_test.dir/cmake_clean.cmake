@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservices_test.dir/microservices_test.cc.o"
+  "CMakeFiles/microservices_test.dir/microservices_test.cc.o.d"
+  "microservices_test"
+  "microservices_test.pdb"
+  "microservices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
