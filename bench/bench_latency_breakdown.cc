@@ -1,0 +1,147 @@
+// Per-layer latency breakdown of the five cloud databases, produced from
+// the observability layer's transaction traces (DESIGN.md "Observability").
+//
+// For every SUT at SF10 the trace recorder captures each committed
+// transaction's spans (lock wait, CPU, buffer-miss path, log force, client
+// round trips); the LatencyBreakdown analyzer folds them into exclusive
+// time-in-layer per transaction type. Cross-check: the per-type mean
+// end-to-end latency reconstructed from the trace must agree with the
+// PerformanceCollector's independently measured latency histograms to
+// within 5% — the trace decomposition explains the whole latency, not a
+// sample of it.
+//
+// Extra flag: --trace=PATH writes the last cell's Chrome trace (load it at
+// ui.perfetto.dev).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "obs/breakdown.h"
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
+
+namespace cloudybench::bench {
+namespace {
+
+constexpr double kMaxDeltaPct = 5.0;
+
+/// Runs the sim until every worker has retired. Workers reference their
+/// manager and collector from coroutines, so both must be fully drained
+/// before those objects go out of scope (and before the trace/histogram
+/// comparison, which requires the two to have seen the same transactions).
+void DrainWorkers(sim::Environment* env, WorkloadManager* manager) {
+  manager->StopAll();
+  for (int i = 0; i < 600 && manager->concurrency() > 0; ++i) {
+    env->RunFor(sim::Millis(100));
+  }
+  CB_CHECK_EQ(manager->concurrency(), 0) << "workers failed to drain";
+}
+
+void Run(const BenchArgs& args, const std::string& trace_path) {
+  const int64_t sf = 10;
+  const int con = 100;
+  // All four sales transactions, T3-heavy like the read-write preset but
+  // with a T4 share so the deletion path shows up in the table.
+  SalesWorkloadConfig cfg;
+  cfg.ratios = {15, 5, 70, 10};
+  cfg.seed = args.seed;
+
+  std::printf("=== Per-layer latency breakdown (SF%lld, con=%d) ===\n",
+              static_cast<long long>(sf), con);
+  std::printf("exclusive ms/txn per layer; E2E = collector mean; "
+              "|delta| must be < %.0f%%\n", kMaxDeltaPct);
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  for (sut::SutKind kind : sut::AllSuts()) {
+    SalesTransactionSet txns(cfg);
+    SutRig rig(kind, sf, /*n_ro=*/1, txns.Schemas());
+    sim::Environment& env = rig.env;
+
+    // Warmup with tracing off, and let the warmup workers drain so no
+    // half-traced transaction straddles the measurement boundary.
+    {
+      PerformanceCollector warm_collector(&env);
+      warm_collector.Start();
+      WorkloadManager warm(&env, rig.cluster.get(), &txns, &warm_collector);
+      warm.SetConcurrency(con);
+      env.RunFor(sim::Seconds(1));
+      DrainWorkers(&env, &warm);
+    }
+
+    // Measure with tracing on and a fresh collector: trace and histogram
+    // cover exactly the same transactions.
+    recorder.SetEnabled(true);
+    recorder.Clear();
+    PerformanceCollector collector(&env);
+    collector.Start();
+    collector.RegisterWith(&obs::MetricRegistry::Get(), "breakdown.");
+    WorkloadManager manager(&env, rig.cluster.get(), &txns, &collector);
+    manager.SetConcurrency(con);
+    env.RunFor(args.full ? sim::Seconds(3) : sim::Seconds(2));
+    DrainWorkers(&env, &manager);
+    recorder.SetEnabled(false);
+
+    obs::LatencyBreakdown breakdown = obs::LatencyBreakdown::FromTrace(recorder);
+
+    util::TablePrinter table({"Txn", "Commits", "Lock", "CPU", "Buffer",
+                              "Log", "Net", "Other", "Total", "E2E", "Delta%"});
+    for (const obs::LatencyBreakdown::Row& row : breakdown.rows()) {
+      TxnType type = static_cast<TxnType>(row.label);
+      double n = static_cast<double>(row.txns);
+      auto layer = [&](obs::Layer l) {
+        return row.layer_ms[static_cast<int>(l)] / n;
+      };
+      // txn/op/commit exclusive time is bookkeeping between the interesting
+      // layers; fold it into one column.
+      double other = layer(obs::Layer::kTxn) + layer(obs::Layer::kOp) +
+                     layer(obs::Layer::kCommit);
+      double total = row.total_ms / n;
+      double e2e = collector.latency(type).mean() / 1000.0;  // us -> ms
+      double delta_pct =
+          e2e > 0 ? (total - e2e) / e2e * 100.0 : 0.0;
+      table.AddRow({TxnTypeName(type), F0(n), F2(layer(obs::Layer::kLock)),
+                    F2(layer(obs::Layer::kCpu)),
+                    F2(layer(obs::Layer::kBuffer)),
+                    F2(layer(obs::Layer::kLog)), F2(layer(obs::Layer::kNet)),
+                    F2(other), F2(total), F2(e2e), F2(delta_pct)});
+      CB_CHECK_EQ(row.txns, collector.commits_of(type))
+          << sut::SutName(kind) << " " << TxnTypeName(type)
+          << ": trace and collector disagree on commit count";
+      CB_CHECK(std::fabs(delta_pct) < kMaxDeltaPct)
+          << sut::SutName(kind) << " " << TxnTypeName(type)
+          << ": breakdown total " << total << "ms vs collector " << e2e
+          << "ms";
+    }
+    table.Print("\n--- " + std::string(sut::SutName(kind)) + " ---");
+
+    if (!trace_path.empty()) {
+      util::Status s = obs::WriteChromeTraceFile(recorder, trace_path);
+      CB_CHECK(s.ok()) << s;
+      std::printf("wrote %zu spans to %s\n", recorder.span_count(),
+                  trace_path.c_str());
+    }
+    obs::MetricRegistry::Get().UnregisterPrefix("breakdown.");
+    recorder.Clear();
+  }
+  std::printf("\nall breakdown totals within %.0f%% of collector E2E "
+              "latencies\n", kMaxDeltaPct);
+}
+
+}  // namespace
+}  // namespace cloudybench::bench
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (cloudybench::util::StartsWith(a, "--trace=")) {
+      trace_path = a.substr(8);
+    }
+  }
+  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv),
+                          trace_path);
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + ctest in Release, then again with
+# AddressSanitizer (-DCLOUDYBENCH_SANITIZE=address). Build trees live under
+# build-check/ so the developer's main build/ is left alone.
+#
+# Usage: scripts/check.sh [--asan-only|--release-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_suite() {
+  local name="$1"
+  shift
+  local dir="build-check/${name}"
+  echo "=== [${name}] configure ==="
+  cmake -S . -B "${dir}" -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+case "${MODE}" in
+  all)
+    run_suite release
+    run_suite asan -DCLOUDYBENCH_SANITIZE=address
+    ;;
+  --release-only)
+    run_suite release
+    ;;
+  --asan-only)
+    run_suite asan -DCLOUDYBENCH_SANITIZE=address
+    ;;
+  *)
+    echo "usage: $0 [--asan-only|--release-only]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== all checks passed ==="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metric_registry.h"
 #include "util/logging.h"
 
 namespace cloudybench::cloud {
@@ -20,7 +21,13 @@ Cluster::Cluster(sim::Environment* env, ClusterConfig config, int n_ro_nodes)
   pending_ro_nodes_ = n_ro_nodes;
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // The registered gauges capture `this`; drop them before the members they
+  // read are destroyed.
+  if (!metric_prefix_.empty()) {
+    obs::MetricRegistry::Get().UnregisterPrefix(metric_prefix_);
+  }
+}
 
 ComputeNode* Cluster::BuildNode(const std::string& name, bool is_rw,
                                 storage::TableSet* tables) {
@@ -124,6 +131,57 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
   if (cfg_.node.write_back) {
     env_->Spawn(CheckpointLoop());
   }
+
+  RegisterMetrics();
+}
+
+void Cluster::RegisterMetrics() {
+  // Tenants can deploy the same profile twice, so the prefix carries an
+  // instance sequence number to keep every cluster's metrics distinct.
+  static int64_t instance_seq = 0;
+  metric_prefix_ = "cluster." + cfg_.name + "#" +
+                   std::to_string(instance_seq++) + ".";
+  obs::MetricRegistry& registry = obs::MetricRegistry::Get();
+  registry.RegisterGauge(metric_prefix_ + "buffer.rw.hit_ratio", [this] {
+    const storage::BufferPool& pool = current_rw_->buffer();
+    int64_t lookups = pool.hits() + pool.misses();
+    if (lookups == 0) return 0.0;
+    return static_cast<double>(pool.hits()) / static_cast<double>(lookups);
+  });
+  registry.RegisterGauge(metric_prefix_ + "buffer.rw.backend_flushes", [this] {
+    return static_cast<double>(current_rw_->backend_flushes());
+  });
+  registry.RegisterGauge(metric_prefix_ + "storage.rw.reads", [this] {
+    return static_cast<double>(current_rw_->storage_reads());
+  });
+  registry.RegisterGauge(metric_prefix_ + "locks.rw.waits", [this] {
+    return static_cast<double>(current_rw_->locks().waits());
+  });
+  registry.RegisterGauge(metric_prefix_ + "locks.rw.timeouts", [this] {
+    return static_cast<double>(current_rw_->locks().timeouts());
+  });
+  registry.RegisterGauge(metric_prefix_ + "autoscaler.events", [this] {
+    return static_cast<double>(autoscaler_->events().size());
+  });
+  registry.RegisterGauge(metric_prefix_ + "autoscaler.rw.vcores", [this] {
+    return current_rw_->AllocatedResources().vcores;
+  });
+  registry.RegisterGauge(metric_prefix_ + "repl.backlog", [this] {
+    int64_t backlog = 0;
+    for (const auto& replayer : replayers_) backlog += replayer->backlog();
+    return static_cast<double>(backlog);
+  });
+  registry.RegisterGauge(metric_prefix_ + "repl.records_applied", [this] {
+    int64_t applied = 0;
+    for (const auto& replayer : replayers_) {
+      applied += replayer->records_applied();
+    }
+    return static_cast<double>(applied);
+  });
+  registry.RegisterSeries(metric_prefix_ + "meter.vcores",
+                          &meter_->vcores_series());
+  registry.RegisterSeries(metric_prefix_ + "meter.memory_gb",
+                          &meter_->memory_series());
 }
 
 size_t Cluster::AddRoNode() {

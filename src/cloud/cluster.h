@@ -183,6 +183,10 @@ class Cluster {
   ComputeNode* BuildNode(const std::string& name, bool is_rw,
                          storage::TableSet* tables);
   ResourceVector ServiceResources() const;
+  /// Publishes this cluster's gauges/series into the global MetricRegistry
+  /// under a unique prefix; the destructor unregisters them (the callbacks
+  /// capture `this`).
+  void RegisterMetrics();
 
   sim::Environment* env_;
   ClusterConfig cfg_;
@@ -210,6 +214,7 @@ class Cluster {
   std::unique_ptr<ResourceMeter> meter_;
   bool loaded_ = false;
   size_t rr_next_ = 0;
+  std::string metric_prefix_;
   // Kill/stop model state: crash snapshot awaiting a manual start.
   bool rw_killed_ = false;
   int64_t killed_dirty_pages_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cloudybench::cloud {
 
 namespace {
@@ -51,6 +53,7 @@ ComputeNode::ComputeNode(sim::Environment* env, Config config,
 }
 
 sim::Task<void> ComputeNode::ChargeCpu(sim::SimTime demand) {
+  obs::SpanScope cpu_span(env_, trace_track(), obs::Layer::kCpu, "cpu.charge");
   co_await cpu_->Consume(demand);
 }
 
@@ -65,20 +68,30 @@ sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
     // one-sided RDMA reads from the remote buffer pool.
     ++storage_reads_;
     switch (config_.miss_path) {
-      case MissPath::kLocalDisk:
+      case MissPath::kLocalDisk: {
+        obs::SpanScope miss_span(env_, trace_track(), obs::Layer::kBuffer,
+                                 "buf.miss.local_disk");
         co_await cpu_->Consume(config_.miss_cpu);
         co_await local_disk_->Read(BufferPool::kPageBytes);
         break;
-      case MissPath::kDisaggregatedStorage:
+      }
+      case MissPath::kDisaggregatedStorage: {
+        obs::SpanScope miss_span(env_, trace_track(), obs::Layer::kBuffer,
+                                 "buf.miss.storage");
         co_await cpu_->Consume(config_.miss_cpu);
         co_await storage_link_->Transfer(BufferPool::kPageBytes);
         co_await storage_service_->ReadPage(BufferPool::kPageBytes);
         break;
+      }
       case MissPath::kRemoteBufferThenStorage:
         if (remote_buffer_->Contains(pid)) {
+          obs::SpanScope miss_span(env_, trace_track(), obs::Layer::kBuffer,
+                                   "buf.miss.remote_hit");
           co_await cpu_->Consume(config_.remote_hit_cpu);
           co_await remote_buffer_->Fetch(pid);
         } else {
+          obs::SpanScope miss_span(env_, trace_track(), obs::Layer::kBuffer,
+                                   "buf.miss.storage_fallback");
           co_await cpu_->Consume(config_.miss_cpu);
           co_await storage_link_->Transfer(BufferPool::kPageBytes);
           co_await storage_service_->ReadPage(BufferPool::kPageBytes);
@@ -90,6 +103,8 @@ sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
     BufferPool::AdmitResult admitted = buffer_.Admit(pid);
     if (admitted.victim_dirty && config_.write_back) {
       // Write-back engine: evicting a dirty page forces a device write.
+      obs::SpanScope evict_span(env_, trace_track(), obs::Layer::kBuffer,
+                                "buf.evict_write");
       co_await local_disk_->Write(BufferPool::kPageBytes);
     }
   }
@@ -106,6 +121,8 @@ sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
       std::vector<storage::PageId> victim = buffer_.TakeDirty(1);
       if (!victim.empty()) {
         ++backend_flushes_;
+        obs::SpanScope flush_span(env_, trace_track(), obs::Layer::kBuffer,
+                                  "buf.backend_flush");
         co_await local_disk_->Write(BufferPool::kPageBytes);
       }
     }
@@ -120,6 +137,7 @@ sim::Task<util::Status> ComputeNode::CommitRecords(
   }
   if (!available_) co_return Status::Unavailable(config_.name + " down");
   CB_CHECK(log_ != nullptr);
+  obs::SpanScope log_span(env_, trace_track(), obs::Layer::kLog, "log.commit");
   int64_t last_lsn = 0;
   for (storage::LogRecord& rec : records) {
     last_lsn = log_->Append(std::move(rec));

@@ -43,6 +43,26 @@ void PerformanceCollector::RecordUnavailable(TxnType) {
   ++total_unavailable_;
 }
 
+void PerformanceCollector::RegisterWith(obs::MetricRegistry* registry,
+                                        const std::string& prefix) const {
+  registry->RegisterSeries(prefix + "tps", &tps_);
+  registry->RegisterHistogram(prefix + "latency.all", &latency_all_);
+  for (int i = 0; i < kTxnTypes; ++i) {
+    registry->RegisterHistogram(
+        prefix + "latency." + TxnTypeName(static_cast<TxnType>(i)),
+        &latency_[static_cast<size_t>(i)]);
+  }
+  registry->RegisterGauge(prefix + "commits", [this] {
+    return static_cast<double>(total_commits_);
+  });
+  registry->RegisterGauge(prefix + "aborts", [this] {
+    return static_cast<double>(total_aborts_);
+  });
+  registry->RegisterGauge(prefix + "unavailable", [this] {
+    return static_cast<double>(total_unavailable_);
+  });
+}
+
 sim::Process PerformanceCollector::SampleLoop() {
   for (;;) {
     co_await env_->Delay(window_);

@@ -3,7 +3,9 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
+#include "obs/metric_registry.h"
 #include "sim/environment.h"
 #include "sim/task.h"
 #include "util/stats.h"
@@ -61,6 +63,14 @@ class PerformanceCollector {
   const util::LatencyHistogram& latency_all() const { return latency_all_; }
 
   double window_seconds() const { return window_.ToSeconds(); }
+
+  /// Publishes this collector's TPS series, latency histograms (all-types
+  /// and per-TxnType) and commit/abort gauges into `registry` under
+  /// `prefix` (e.g. "workload.tenant0."). The registry keeps non-owning
+  /// pointers: call registry->UnregisterPrefix(prefix) before this
+  /// collector is destroyed.
+  void RegisterWith(obs::MetricRegistry* registry,
+                    const std::string& prefix) const;
 
  private:
   sim::Process SampleLoop();

@@ -4,6 +4,7 @@
 
 #include "core/metrics.h"
 #include "core/workload_manager.h"
+#include "obs/exporters.h"
 #include "util/logging.h"
 
 namespace cloudybench {
@@ -24,6 +25,10 @@ OltpResult OltpEvaluator::Run(sim::Environment* env, cloud::Cluster* cluster,
                               TransactionSet* txns, const Options& options) {
   PerformanceCollector collector(env);
   collector.Start();
+  // Expose this run's TPS series and latency histograms to the metrics
+  // exporter; the collector is stack-local, so drop the entries on exit.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Get();
+  collector.RegisterWith(&registry, "oltp.");
   WorkloadManager manager(env, cluster, txns, &collector);
   manager.SetConcurrency(options.concurrency);
 
@@ -44,6 +49,14 @@ OltpResult OltpEvaluator::Run(sim::Environment* env, cloud::Cluster* cluster,
   result.buffer_hit_rate = cluster->rw()->buffer().hit_rate();
   result.window_start_s = t0;
   result.window_end_s = t1;
+  if (!options.metrics_export_path.empty()) {
+    util::Status written = obs::WriteMetricsJsonlFile(
+        registry, options.metrics_export_path);
+    if (!written.ok()) {
+      CB_LOG(kError) << "metrics export failed: " << written;
+    }
+  }
+  registry.UnregisterPrefix("oltp.");
   return result;
 }
 

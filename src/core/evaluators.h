@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cloud/autoscaler.h"
@@ -40,6 +41,10 @@ class OltpEvaluator {
     int concurrency = 100;
     sim::SimTime warmup = sim::Seconds(3);
     sim::SimTime measure = sim::Seconds(10);
+    /// When non-empty, a MetricRegistry snapshot (JSONL) is written here at
+    /// the end of the run, while the collector's and cluster's entries are
+    /// still registered (the testbed plumbs `obs.metrics_path` through).
+    std::string metrics_export_path;
   };
 
   /// Drives `txns` at fixed concurrency against a loaded cluster and

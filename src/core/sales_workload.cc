@@ -159,7 +159,7 @@ sim::Task<util::Status> SalesTransactionSet::RunNewOrderline(
   txn::TxnManager& mgr = node->txn();
   SyntheticTable* orderline = node->tables()->Find(sales::kOrderlineTable);
 
-  txn::Transaction txn = mgr.Begin();
+  txn::Transaction txn = mgr.Begin(static_cast<int32_t>(TxnType::kNewOrderline));
   Row row;
   row.key = orderline->AllocateKey();  // the DEFAULT serial column
   row.ref_a = PickOrderId(cluster, rng);
@@ -183,7 +183,7 @@ sim::Task<util::Status> SalesTransactionSet::RunOrderPayment(
   SyntheticTable* orders = node->tables()->Find(sales::kOrdersTable);
   SyntheticTable* customer = node->tables()->Find(sales::kCustomerTable);
 
-  txn::Transaction txn = mgr.Begin();
+  txn::Transaction txn = mgr.Begin(static_cast<int32_t>(TxnType::kOrderPayment));
   int64_t order_id = PickOrderId(cluster, rng);
   Row order;
   // (1) SELECT O_ID, O_C_ID, O_TOTALAMOUNT, O_UPDATEDDATE ... FOR UPDATE.
@@ -237,7 +237,7 @@ sim::Task<util::Status> SalesTransactionSet::RunOrderStatus(
   txn::TxnManager& mgr = node->txn();
   SyntheticTable* orders = node->tables()->Find(sales::kOrdersTable);
 
-  txn::Transaction txn = mgr.Begin();
+  txn::Transaction txn = mgr.Begin(static_cast<int32_t>(TxnType::kOrderStatus));
   Row order;
   Status s = co_await mgr.Get(&txn, orders, PickOrderId(cluster, rng), &order);
   if (s.IsNotFound()) s = Status::OK();  // replica may lag behind inserts
@@ -265,7 +265,7 @@ sim::Task<util::Status> SalesTransactionSet::RunOrderlineDeletion(
     target = rng.NextInRange(0, orderline->base_count() - 1);
   }
 
-  txn::Transaction txn = mgr.Begin();
+  txn::Transaction txn = mgr.Begin(static_cast<int32_t>(TxnType::kOrderlineDeletion));
   Status s = co_await mgr.Delete(&txn, orderline, target);
   if (s.IsNotFound()) {
     // Row already gone (another worker's delete): commit the no-op, like

@@ -8,6 +8,9 @@
 #include "core/patterns.h"
 #include "core/sales_workload.h"
 #include "core/tenancy.h"
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 #include "sim/environment.h"
 #include "sut/profiles.h"
 #include "util/string_util.h"
@@ -43,6 +46,7 @@ util::Status Testbed::RunAll() {
   std::printf("CloudyBench testbed — SUT %s, SF%lld, seed %lld\n\n",
               sut::SutName(kind), static_cast<long long>(props_.GetInt("scale_factor", 1)),
               static_cast<long long>(props_.GetInt("seed", 42)));
+  obs::TraceRecorder::Get().SetEnabled(props_.GetBool("obs.enable", false));
   ReportWriter report(props_.GetString("output.csv_dir", ""));
   if (props_.GetBool("oltp.enable", true)) {
     CB_RETURN_IF_ERROR(RunOltp(&report));
@@ -57,6 +61,19 @@ util::Status Testbed::RunAll() {
     CB_RETURN_IF_ERROR(RunFailover(&report));
   }
   if (props_.GetBool("lag.enable", false)) CB_RETURN_IF_ERROR(RunLag(&report));
+
+  // Observability exports (see DESIGN.md "Observability"): `obs.enable`
+  // turns the trace recorder on for the whole run; the optional paths dump
+  // a Perfetto-loadable Chrome trace and a metrics snapshot at the end.
+  if (obs::TraceRecorder::Get().enabled()) {
+    std::string trace_path = props_.GetString("obs.trace_path", "");
+    if (!trace_path.empty()) {
+      CB_RETURN_IF_ERROR(
+          obs::WriteChromeTraceFile(obs::TraceRecorder::Get(), trace_path));
+      std::printf("obs: wrote Chrome trace to %s (%zu spans)\n",
+                  trace_path.c_str(), obs::TraceRecorder::Get().span_count());
+    }
+  }
   return report.WriteCsvFiles();
 }
 
@@ -92,6 +109,7 @@ util::Status Testbed::RunOltp(ReportWriter* report) {
   options.concurrency = static_cast<int>(props_.GetInt("oltp.concurrency", 100));
   options.measure = sim::Seconds(
       static_cast<double>(props_.GetInt("oltp.seconds", 10)));
+  options.metrics_export_path = props_.GetString("obs.metrics_path", "");
   OltpResult r = OltpEvaluator::Run(&env, &cluster, &txns, options);
   std::printf("[oltp]       TPS %.0f  p50 %.2fms  p99 %.2fms  cost %.4f$/min"
               "  P-Score %.0f\n",

@@ -37,10 +37,23 @@ Link::Link(sim::Environment* env, LinkConfig config)
   CB_CHECK_GT(config_.bandwidth_gbps, 0.0);
 }
 
+uint64_t Link::TraceTrack() {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (!recorder.enabled()) return 0;
+  if (trace_track_ == 0 || trace_epoch_ != recorder.epoch()) {
+    trace_track_ = recorder.NewTrack();
+    trace_epoch_ = recorder.epoch();
+    recorder.SetTrackName(trace_track_, "link/" + config_.name);
+  }
+  return trace_track_;
+}
+
 sim::Task<void> Link::Transfer(int64_t bytes) {
   CB_CHECK_GE(bytes, 0);
   bytes_transferred_ += bytes;
   ++messages_;
+  obs::SpanScope net_span(env_, TraceTrack(), obs::Layer::kNet,
+                          "link.transfer");
   co_await bandwidth_.Acquire(static_cast<double>(bytes));
   co_await env_->Delay(config_.latency);
 }

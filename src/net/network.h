@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "sim/environment.h"
 #include "sim/resource.h"
 #include "sim/sim_time.h"
@@ -60,11 +61,18 @@ class Link {
   }
 
  private:
+  /// Lazily allocates this link's trace track ("link/<name>" lane in the
+  /// Chrome trace). Epoch-guarded: links outlive TraceRecorder::Clear(), so
+  /// a stale track id must be re-allocated rather than reused.
+  uint64_t TraceTrack();
+
   sim::Environment* env_;
   LinkConfig config_;
   sim::RateResource bandwidth_;  // bytes per second
   int64_t bytes_transferred_ = 0;
   int64_t messages_ = 0;
+  uint64_t trace_track_ = 0;
+  uint64_t trace_epoch_ = 0;
 };
 
 }  // namespace cloudybench::net

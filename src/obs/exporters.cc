@@ -1,0 +1,159 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace cloudybench::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+util::Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) return util::Status::Internal("short write: " + path);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& recorder) {
+  std::string out;
+  out.reserve(128 + recorder.span_count() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"cloudybench\"}}";
+  for (const auto& [track, name] : recorder.track_names()) {
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    AppendInt(&out, static_cast<int64_t>(track));
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\"}}";
+  }
+  for (const Span& span : recorder.spans()) {
+    if (span.end_us < 0) continue;  // open span: not representable as "X"
+    out += ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    AppendInt(&out, static_cast<int64_t>(span.track));
+    out += ",\"ts\":";
+    AppendInt(&out, span.begin_us);
+    out += ",\"dur\":";
+    AppendInt(&out, span.end_us - span.begin_us);
+    out += ",\"cat\":\"";
+    out += LayerName(span.layer);
+    out += "\",\"name\":\"";
+    AppendEscaped(&out, span.name);
+    out += "\"";
+    if (span.label >= 0) {
+      out += ",\"args\":{\"label\":";
+      AppendInt(&out, span.label);
+      out += ",\"committed\":";
+      out += span.committed ? "true" : "false";
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+util::Status WriteChromeTraceFile(const TraceRecorder& recorder,
+                                  const std::string& path) {
+  return WriteFile(path, ChromeTraceJson(recorder));
+}
+
+std::string MetricsJsonl(const MetricRegistry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counters()) {
+    out += "{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\",\"type\":\"counter\",\"value\":";
+    AppendInt(&out, counter.value());
+    out += "}\n";
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    out += "{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\",\"type\":\"gauge\",\"value\":";
+    AppendDouble(&out, value);
+    out += "}\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    out += "{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\",\"type\":\"histogram\",\"count\":";
+    AppendInt(&out, histogram->count());
+    out += ",\"mean_us\":";
+    AppendDouble(&out, histogram->mean());
+    out += ",\"p50_us\":";
+    AppendDouble(&out, histogram->p50());
+    out += ",\"p95_us\":";
+    AppendDouble(&out, histogram->p95());
+    out += ",\"p99_us\":";
+    AppendDouble(&out, histogram->p99());
+    out += ",\"max_us\":";
+    AppendDouble(&out, histogram->max());
+    out += "}\n";
+  }
+  for (const auto& [name, series] : registry.series()) {
+    out += "{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\",\"type\":\"series\",\"points\":[";
+    bool first = true;
+    for (const auto& point : series->points()) {
+      if (!first) out += ",";
+      first = false;
+      out += "[";
+      AppendDouble(&out, point.time_s);
+      out += ",";
+      AppendDouble(&out, point.value);
+      out += "]";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+util::Status WriteMetricsJsonlFile(const MetricRegistry& registry,
+                                   const std::string& path) {
+  return WriteFile(path, MetricsJsonl(registry));
+}
+
+}  // namespace cloudybench::obs

@@ -1,0 +1,32 @@
+#ifndef CLOUDYBENCH_OBS_EXPORTERS_H_
+#define CLOUDYBENCH_OBS_EXPORTERS_H_
+
+#include <string>
+
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace cloudybench::obs {
+
+/// Serializes the recorded trace in Chrome trace_event format ("X" complete
+/// events, one tid per recorder track). The output loads directly into
+/// Perfetto (ui.perfetto.dev) or chrome://tracing. Timestamps are simulated
+/// microseconds, so for a given seed the returned bytes are identical run
+/// to run — the determinism property test compares them directly.
+std::string ChromeTraceJson(const TraceRecorder& recorder);
+
+util::Status WriteChromeTraceFile(const TraceRecorder& recorder,
+                                  const std::string& path);
+
+/// Serializes a MetricRegistry snapshot as JSON Lines: one self-describing
+/// object per metric (`type`: counter | gauge | histogram | series), sorted
+/// by name. Gauge callbacks are evaluated at call time.
+std::string MetricsJsonl(const MetricRegistry& registry);
+
+util::Status WriteMetricsJsonlFile(const MetricRegistry& registry,
+                                   const std::string& path);
+
+}  // namespace cloudybench::obs
+
+#endif  // CLOUDYBENCH_OBS_EXPORTERS_H_

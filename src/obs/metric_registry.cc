@@ -1,0 +1,63 @@
+#include "obs/metric_registry.h"
+
+#include <utility>
+
+namespace cloudybench::obs {
+
+MetricRegistry& MetricRegistry::Get() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+void MetricRegistry::RegisterGauge(const std::string& name,
+                                   std::function<double()> fn) {
+  gauges_[name] = std::move(fn);
+}
+
+void MetricRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = [value] { return value; };
+}
+
+void MetricRegistry::RegisterHistogram(
+    const std::string& name, const util::LatencyHistogram* histogram) {
+  histograms_[name] = histogram;
+}
+
+void MetricRegistry::RegisterSeries(const std::string& name,
+                                    const util::TimeSeries* series) {
+  series_[name] = series;
+}
+
+template <typename Map>
+void MetricRegistry::ErasePrefix(Map& map, const std::string& prefix) {
+  for (auto it = map.lower_bound(prefix); it != map.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = map.erase(it);
+  }
+}
+
+void MetricRegistry::UnregisterPrefix(const std::string& prefix) {
+  ErasePrefix(counters_, prefix);
+  ErasePrefix(gauges_, prefix);
+  ErasePrefix(histograms_, prefix);
+  ErasePrefix(series_, prefix);
+}
+
+void MetricRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+std::map<std::string, double> MetricRegistry::GaugeValues() const {
+  std::map<std::string, double> values;
+  for (const auto& [name, fn] : gauges_) values[name] = fn();
+  return values;
+}
+
+}  // namespace cloudybench::obs

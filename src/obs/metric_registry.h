@@ -1,0 +1,91 @@
+#ifndef CLOUDYBENCH_OBS_METRIC_REGISTRY_H_
+#define CLOUDYBENCH_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+
+namespace cloudybench::obs {
+
+/// Monotonic event counter owned by the registry; pointers returned by
+/// MetricRegistry::GetCounter stay valid until the entry is unregistered
+/// (std::map nodes are stable).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// One flat, deterministic namespace of named metrics that every subsystem
+/// registers into, so the exporters see buffer hit ratios, lock waits,
+/// autoscaler decisions, replay backlogs and the PerformanceCollector's
+/// series side by side instead of chasing per-object accessors.
+///
+/// Naming convention (DESIGN.md "Observability"):
+///   <scope>.<object>.<metric>   e.g.  cluster.CDB3#2.buffer.rw.hit_ratio
+///
+/// Gauges are callbacks evaluated at snapshot time; histogram and series
+/// entries are non-owning pointers into live stats objects. Owners must
+/// unregister (UnregisterPrefix) before the underlying object dies —
+/// cloud::Cluster does this in its destructor.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Get();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Finds or creates an owned counter.
+  Counter* GetCounter(const std::string& name);
+
+  /// Registers a gauge evaluated lazily at snapshot time (overwrites any
+  /// previous gauge with the same name).
+  void RegisterGauge(const std::string& name, std::function<double()> fn);
+  /// Convenience: a gauge pinned to a constant value.
+  void SetGauge(const std::string& name, double value);
+
+  void RegisterHistogram(const std::string& name,
+                         const util::LatencyHistogram* histogram);
+  void RegisterSeries(const std::string& name, const util::TimeSeries* series);
+
+  /// Removes every entry whose name starts with `prefix`.
+  void UnregisterPrefix(const std::string& prefix);
+  void Clear();
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           series_.size();
+  }
+
+  // ---- snapshot access (exporters) ----
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  /// Evaluates every gauge callback.
+  std::map<std::string, double> GaugeValues() const;
+  const std::map<std::string, const util::LatencyHistogram*>& histograms()
+      const {
+    return histograms_;
+  }
+  const std::map<std::string, const util::TimeSeries*>& series() const {
+    return series_;
+  }
+
+ private:
+  template <typename Map>
+  static void ErasePrefix(Map& map, const std::string& prefix);
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, std::function<double()>> gauges_;
+  std::map<std::string, const util::LatencyHistogram*> histograms_;
+  std::map<std::string, const util::TimeSeries*> series_;
+};
+
+}  // namespace cloudybench::obs
+
+#endif  // CLOUDYBENCH_OBS_METRIC_REGISTRY_H_

@@ -51,12 +51,28 @@ Replayer::Replayer(sim::Environment* env, storage::TableSet* replica_tables,
   }
   lane_queues_.resize(static_cast<size_t>(lanes_));
   lane_waiters_.assign(static_cast<size_t>(lanes_), nullptr);
+  lane_tracks_.assign(static_cast<size_t>(lanes_), 0);
   for (int i = 0; i < lanes_; ++i) {
     env_->Spawn(LaneLoop(i));
   }
 }
 
 Replayer::~Replayer() = default;
+
+uint64_t Replayer::LaneTrack(int lane) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (!recorder.enabled()) return 0;
+  if (trace_epoch_ != recorder.epoch()) {
+    lane_tracks_.assign(lane_tracks_.size(), 0);
+    trace_epoch_ = recorder.epoch();
+  }
+  uint64_t& track = lane_tracks_[static_cast<size_t>(lane)];
+  if (track == 0) {
+    track = recorder.NewTrack();
+    recorder.SetTrackName(track, "replay/lane" + std::to_string(lane));
+  }
+  return track;
+}
 
 int Replayer::LaneFor(const LogRecord& record) const {
   if (lanes_ == 1) return 0;
@@ -108,8 +124,12 @@ sim::Process Replayer::LaneLoop(int lane) {
     }
     LogRecord record = std::move(queue.front());
     queue.pop_front();
-    co_await replay_cpu_->Consume(config_.apply_cost);
-    ApplyToTables(record);
+    {
+      obs::SpanScope apply_span(env_, LaneTrack(lane), obs::Layer::kReplay,
+                                "replay.apply");
+      co_await replay_cpu_->Consume(config_.apply_cost);
+      ApplyToTables(record);
+    }
     RecordLag(record);
     pending_lsns_.erase(record.lsn);
     ++records_applied_;

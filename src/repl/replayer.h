@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/environment.h"
 #include "sim/resource.h"
 #include "sim/task.h"
@@ -78,6 +79,9 @@ class Replayer {
   bool IsApplied(int64_t lsn) const { return applied_lsn() >= lsn; }
   int64_t last_shipped_lsn() const { return last_shipped_lsn_; }
   int64_t records_applied() const { return records_applied_; }
+  /// Records shipped but not yet applied — the replay backlog gauge the
+  /// metric registry exports.
+  int64_t backlog() const { return static_cast<int64_t>(pending_lsns_.size()); }
 
   /// Lag statistics in simulated milliseconds, by DML type.
   const util::RunningStat& InsertLag() const { return insert_lag_; }
@@ -88,6 +92,9 @@ class Replayer {
 
  private:
   int LaneFor(const storage::LogRecord& record) const;
+  /// Lazily allocates lane `lane`'s trace track ("replay/lane<i>");
+  /// epoch-guarded because the Replayer outlives TraceRecorder::Clear().
+  uint64_t LaneTrack(int lane);
   sim::Process ShipOne(storage::LogRecord record);
   sim::Process LaneLoop(int lane);
   void ApplyToTables(const storage::LogRecord& record);
@@ -109,6 +116,9 @@ class Replayer {
   util::RunningStat insert_lag_;
   util::RunningStat update_lag_;
   util::RunningStat delete_lag_;
+
+  std::vector<uint64_t> lane_tracks_;
+  uint64_t trace_epoch_ = 0;
 };
 
 }  // namespace cloudybench::repl

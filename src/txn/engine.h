@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/environment.h"
 #include "sim/sim_time.h"
 #include "sim/task.h"
@@ -47,6 +48,21 @@ class Engine {
   /// replicas. Only valid on the read-write node.
   virtual sim::Task<util::Status> CommitRecords(
       std::vector<storage::LogRecord> records) = 0;
+
+  /// Trace-track context for the observability layer. The TxnManager sets
+  /// the calling transaction's track synchronously before *every* engine
+  /// co_await (a value set once per transaction would go stale: other
+  /// transactions interleave at suspension points). The engine reads it in
+  /// its synchronous prologue — sound because sim::Task is lazy-start with
+  /// symmetric transfer, so the callee's prologue runs inside the caller's
+  /// resume, before any interleaving can occur.
+  void set_trace_track(uint64_t track) {
+    if constexpr (obs::kCompiled) trace_track_ = track;
+  }
+  uint64_t trace_track() const { return trace_track_; }
+
+ private:
+  uint64_t trace_track_ = 0;
 };
 
 }  // namespace cloudybench::txn

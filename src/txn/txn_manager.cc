@@ -19,12 +19,28 @@ TxnManager::TxnManager(Engine* engine, CpuCosts costs)
   CB_CHECK(engine != nullptr);
 }
 
-Transaction TxnManager::Begin() {
+Transaction TxnManager::Begin(int32_t trace_label) {
   Transaction txn;
   txn.id_ = next_txn_id_++;
   txn.active_ = true;
   ++active_txns_;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (recorder.enabled()) {
+    // One track per transaction: its spans nest properly on the track, and
+    // the breakdown analyzer can treat each track as one flame graph.
+    txn.trace_track_ = recorder.NewTrack();
+    txn.root_span_ = recorder.Begin(txn.trace_track_, obs::Layer::kTxn, "txn",
+                                    engine_->env()->Now(), trace_label);
+  }
   return txn;
+}
+
+void TxnManager::FinishTxnTrace(Transaction* txn, bool committed) {
+  if constexpr (!obs::kCompiled) return;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (committed) recorder.MarkCommitted(txn->root_span_);
+  recorder.End(txn->root_span_, engine_->env()->Now());
+  txn->root_span_ = obs::SpanHandle{};
 }
 
 const Transaction::WriteOp* TxnManager::FindStaged(const Transaction& txn,
@@ -65,19 +81,32 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
                                         SyntheticTable* table, int64_t key,
                                         Row* out, bool for_update) {
   CB_CHECK(txn->active_);
-  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
+                         "op.get");
+  if (costs_.client_rtt.us > 0) {
+    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
+                            obs::Layer::kNet, "net.client_rtt");
+    co_await engine_->env()->Delay(costs_.client_rtt);
+  }
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
   }
+  engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.read);
-  Status locked = co_await LockKey(
-      txn, TableKey{table->id(), key},
-      for_update ? LockMode::kExclusive : LockMode::kShared);
+  Status locked;
+  {
+    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
+                             obs::Layer::kLock, "lock.wait");
+    locked = co_await LockKey(
+        txn, TableKey{table->id(), key},
+        for_update ? LockMode::kExclusive : LockMode::kShared);
+  }
   if (!locked.ok()) {
     Abort(txn);
     co_return locked;
   }
+  engine_->set_trace_track(txn->trace_track_);
   Status page = co_await engine_->AccessPage(
       storage::PageId{table->id(), table->PageOf(key)}, false);
   if (!page.ok()) {
@@ -102,18 +131,31 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
 sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
                                            SyntheticTable* table, Row row) {
   CB_CHECK(txn->active_);
-  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
+                         "op.insert");
+  if (costs_.client_rtt.us > 0) {
+    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
+                            obs::Layer::kNet, "net.client_rtt");
+    co_await engine_->env()->Delay(costs_.client_rtt);
+  }
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
   }
+  engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.write);
-  Status locked =
-      co_await LockKey(txn, TableKey{table->id(), row.key}, LockMode::kExclusive);
+  Status locked;
+  {
+    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
+                             obs::Layer::kLock, "lock.wait");
+    locked = co_await LockKey(txn, TableKey{table->id(), row.key},
+                              LockMode::kExclusive);
+  }
   if (!locked.ok()) {
     Abort(txn);
     co_return locked;
   }
+  engine_->set_trace_track(txn->trace_track_);
   Status page = co_await engine_->AccessPage(
       storage::PageId{table->id(), table->PageOf(row.key)}, true);
   if (!page.ok()) {
@@ -132,18 +174,31 @@ sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
 sim::Task<util::Status> TxnManager::Update(Transaction* txn,
                                            SyntheticTable* table, Row row) {
   CB_CHECK(txn->active_);
-  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
+                         "op.update");
+  if (costs_.client_rtt.us > 0) {
+    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
+                            obs::Layer::kNet, "net.client_rtt");
+    co_await engine_->env()->Delay(costs_.client_rtt);
+  }
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
   }
+  engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.write);
-  Status locked =
-      co_await LockKey(txn, TableKey{table->id(), row.key}, LockMode::kExclusive);
+  Status locked;
+  {
+    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
+                             obs::Layer::kLock, "lock.wait");
+    locked = co_await LockKey(txn, TableKey{table->id(), row.key},
+                              LockMode::kExclusive);
+  }
   if (!locked.ok()) {
     Abort(txn);
     co_return locked;
   }
+  engine_->set_trace_track(txn->trace_track_);
   Status page = co_await engine_->AccessPage(
       storage::PageId{table->id(), table->PageOf(row.key)}, true);
   if (!page.ok()) {
@@ -163,18 +218,31 @@ sim::Task<util::Status> TxnManager::Delete(Transaction* txn,
                                            SyntheticTable* table,
                                            int64_t key) {
   CB_CHECK(txn->active_);
-  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
+                         "op.delete");
+  if (costs_.client_rtt.us > 0) {
+    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
+                            obs::Layer::kNet, "net.client_rtt");
+    co_await engine_->env()->Delay(costs_.client_rtt);
+  }
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
   }
+  engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.write);
-  Status locked =
-      co_await LockKey(txn, TableKey{table->id(), key}, LockMode::kExclusive);
+  Status locked;
+  {
+    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
+                             obs::Layer::kLock, "lock.wait");
+    locked = co_await LockKey(txn, TableKey{table->id(), key},
+                              LockMode::kExclusive);
+  }
   if (!locked.ok()) {
     Abort(txn);
     co_return locked;
   }
+  engine_->set_trace_track(txn->trace_track_);
   Status page = co_await engine_->AccessPage(
       storage::PageId{table->id(), table->PageOf(key)}, true);
   if (!page.ok()) {
@@ -197,10 +265,18 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
     txn->active_ = false;
     --active_txns_;
     ++commits_;
+    FinishTxnTrace(txn, /*committed=*/true);
     co_return Status::OK();
   }
 
-  if (costs_.client_rtt.us > 0) co_await engine_->env()->Delay(costs_.client_rtt);
+  obs::SpanScope commit_span(engine_->env(), txn->trace_track_,
+                             obs::Layer::kCommit, "txn.commit");
+  if (costs_.client_rtt.us > 0) {
+    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
+                            obs::Layer::kNet, "net.client_rtt");
+    co_await engine_->env()->Delay(costs_.client_rtt);
+  }
+  engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.commit);
   if (!engine_->available()) {
     Abort(txn);
@@ -223,6 +299,7 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
   commit_rec.type = LogRecordType::kCommit;
   records.push_back(commit_rec);
 
+  engine_->set_trace_track(txn->trace_track_);
   Status durable = co_await engine_->CommitRecords(std::move(records));
   if (!durable.ok()) {
     Abort(txn);
@@ -253,6 +330,7 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
   txn->active_ = false;
   --active_txns_;
   ++commits_;
+  FinishTxnTrace(txn, /*committed=*/true);
   co_return Status::OK();
 }
 
@@ -263,6 +341,9 @@ void TxnManager::Abort(Transaction* txn) {
   txn->active_ = false;
   --active_txns_;
   ++aborts_;
+  // The abort happens while op/commit child spans are still open; they end
+  // at the same simulated time, which the breakdown treats as legal nesting.
+  FinishTxnTrace(txn, /*committed=*/false);
 }
 
 }  // namespace cloudybench::txn

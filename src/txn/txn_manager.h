@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/sim_time.h"
 #include "sim/task.h"
 #include "storage/row.h"
@@ -56,6 +57,10 @@ class Transaction {
   bool active_ = false;
   std::vector<TableKey> held_locks_;
   std::vector<WriteOp> writes_;
+  /// Observability: the recorder track all of this transaction's spans land
+  /// on, and the open root (kTxn) span. Track 0 = tracing was off at Begin.
+  uint64_t trace_track_ = 0;
+  obs::SpanHandle root_span_;
 };
 
 /// Strict two-phase-locking transaction manager with write-set buffering
@@ -68,7 +73,10 @@ class TxnManager {
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
 
-  Transaction Begin();
+  /// `trace_label` tags the transaction's root trace span (the workload
+  /// passes its TxnType ordinal); -1 = untagged. A plain int keeps the
+  /// transaction layer free of any dependency on the workload's enum.
+  Transaction Begin(int32_t trace_label = -1);
 
   /// Point read. `for_update` takes the X lock up front (SELECT ... FOR
   /// UPDATE), which is how T2 avoids the classic S->X upgrade deadlock.
@@ -109,6 +117,10 @@ class TxnManager {
                      int64_t key) const;
   sim::Task<util::Status> LockKey(Transaction* txn, TableKey key,
                                   LockMode mode);
+  /// Closes the root trace span (marking it committed on success). Called
+  /// from both Commit paths and from Abort; ties at the same sim time as
+  /// still-open child spans are legal nesting.
+  void FinishTxnTrace(Transaction* txn, bool committed);
 
   Engine* engine_;
   CpuCosts costs_;

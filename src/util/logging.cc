@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,10 +30,68 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+/// Parses "debug", "info", "warning"/"warn", "error", "fatal" or a digit
+/// 0-4 (case-insensitive). Returns false on anything else.
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text[0] >= '0' && text[0] <= '4' && text[1] == '\0') {
+    *level = static_cast<LogLevel>(text[0] - '0');
+    return true;
+  }
+  if (EqualsIgnoreCase(text, "debug")) {
+    *level = LogLevel::kDebug;
+  } else if (EqualsIgnoreCase(text, "info")) {
+    *level = LogLevel::kInfo;
+  } else if (EqualsIgnoreCase(text, "warning") ||
+             EqualsIgnoreCase(text, "warn")) {
+    *level = LogLevel::kWarning;
+  } else if (EqualsIgnoreCase(text, "error")) {
+    *level = LogLevel::kError;
+  } else if (EqualsIgnoreCase(text, "fatal")) {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// CLOUDYBENCH_LOG_LEVEL, when set to a valid level, overrides both the
+/// default and any SetLogLevel call — so a user can turn on debug logging
+/// for a bench binary without editing its source. Parsed once.
+const LogLevel* EnvLevelOverride() {
+  static const LogLevel* override_level = []() -> const LogLevel* {
+    const char* text = std::getenv("CLOUDYBENCH_LOG_LEVEL");
+    if (text == nullptr || text[0] == '\0') return nullptr;
+    static LogLevel parsed;
+    if (!ParseLogLevel(text, &parsed)) {
+      std::fprintf(stderr,
+                   "[WARN logging.cc] ignoring unrecognized "
+                   "CLOUDYBENCH_LOG_LEVEL=\"%s\"\n",
+                   text);
+      return nullptr;
+    }
+    return &parsed;
+  }();
+  return override_level;
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetLogLevel() { return g_min_level; }
+
+LogLevel GetLogLevel() {
+  const LogLevel* env_level = EnvLevelOverride();
+  return env_level != nullptr ? *env_level : g_min_level;
+}
 
 namespace internal_logging {
 

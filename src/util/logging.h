@@ -11,7 +11,10 @@ namespace cloudybench::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Sets the minimum level that is emitted; defaults to kInfo. Benches set
-/// kWarning so table output stays clean.
+/// kWarning so table output stays clean. The CLOUDYBENCH_LOG_LEVEL
+/// environment variable ("debug".."fatal", "warn", or 0-4) overrides both
+/// the default and SetLogLevel, so verbosity can be raised on any binary
+/// without a rebuild.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
