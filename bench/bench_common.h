@@ -1,6 +1,8 @@
 #ifndef CLOUDYBENCH_BENCH_BENCH_COMMON_H_
 #define CLOUDYBENCH_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -19,29 +21,91 @@
 
 namespace cloudybench::bench {
 
+/// Bench-specific extension flag, parsed alongside the common set. A
+/// `prefix` ending in '=' takes a value ("--trace=PATH" stores "PATH");
+/// otherwise the flag is boolean and stores "1".
+struct BenchFlag {
+  const char* prefix;
+  std::string* value;
+  const char* help;
+};
+
 /// Common command-line handling for the reproduction benches. Every bench
 /// accepts:
 ///   --full         paper-scale sweep (longer; default is a representative
 ///                  subset so `for b in bench/*; do $b; done` stays quick)
 ///   --seed=N       RNG seed
+///   --jobs=N       worker threads for matrix-runner benches (0 = all
+///                  hardware threads; serial benches accept and ignore it)
+///
+/// Anything else — including a typo like `--ful` — prints a usage message
+/// and exits with status 2 instead of silently running the wrong sweep.
 struct BenchArgs {
   bool full = false;
   uint64_t seed = 42;
+  int jobs = 0;
 
-  static BenchArgs Parse(int argc, char** argv) {
+  static void PrintUsage(FILE* out, const char* argv0,
+                         const std::vector<BenchFlag>& extra) {
+    std::fprintf(out,
+                 "usage: %s [--full] [--seed=N] [--jobs=N]", argv0);
+    for (const BenchFlag& flag : extra) {
+      std::fprintf(out, " [%s%s]", flag.prefix,
+                   util::EndsWith(flag.prefix, "=") ? "..." : "");
+    }
+    std::fprintf(out,
+                 "\n  --full     paper-scale sweep (default: representative "
+                 "subset)\n"
+                 "  --seed=N   RNG seed (default 42)\n"
+                 "  --jobs=N   matrix worker threads; 0 = all hardware "
+                 "threads\n");
+    for (const BenchFlag& flag : extra) {
+      std::fprintf(out, "  %-10s %s\n", flag.prefix, flag.help);
+    }
+  }
+
+  static BenchArgs Parse(int argc, char** argv,
+                         const std::vector<BenchFlag>& extra = {}) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       std::string a = argv[i];
       if (a == "--full") {
         args.full = true;
-      } else if (util::StartsWith(a, "--seed=")) {
+        continue;
+      }
+      if (util::StartsWith(a, "--seed=")) {
         int64_t v = 0;
         CB_CHECK(util::ParseInt64(a.substr(7), &v)) << "bad --seed";
         args.seed = static_cast<uint64_t>(v);
-      } else if (a == "--help" || a == "-h") {
-        std::printf("flags: --full --seed=N\n");
+        continue;
+      }
+      if (util::StartsWith(a, "--jobs=")) {
+        int64_t v = 0;
+        CB_CHECK(util::ParseInt64(a.substr(7), &v) && v >= 0 && v <= 4096)
+            << "bad --jobs (want 0..4096)";
+        args.jobs = static_cast<int>(v);
+        continue;
+      }
+      if (a == "--help" || a == "-h") {
+        PrintUsage(stdout, argv[0], extra);
         std::exit(0);
       }
+      bool matched = false;
+      for (const BenchFlag& flag : extra) {
+        if (util::EndsWith(flag.prefix, "=")
+                ? util::StartsWith(a, flag.prefix)
+                : a == flag.prefix) {
+          *flag.value = util::EndsWith(flag.prefix, "=")
+                            ? a.substr(std::strlen(flag.prefix))
+                            : "1";
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a.c_str());
+      PrintUsage(stderr, argv[0], extra);
+      std::exit(2);
     }
     return args;
   }

@@ -6,49 +6,71 @@
 // concurrency grows (44 MB buffer); CDB3 beats CDB1/CDB2 (local file cache
 // + parallel replay); AWS RDS leads RW at SF1/low concurrency but falls
 // behind as data and concurrency grow (dirty-page flushing).
+//
+// Ported to the experiment-matrix runner: every (SF, SUT, mode, con) cell
+// is an independent deterministic simulation, executed on --jobs worker
+// threads and collected in matrix order — output is byte-identical at any
+// job count.
 
 #include <cstdio>
 
 #include "bench_common.h"
+#include "runner/oltp_cell.h"
+#include "runner/runner.h"
 
 namespace cloudybench::bench {
 namespace {
 
-void Run(const BenchArgs& args) {
+void Run(const BenchArgs& args, const std::string& jsonl_path) {
   std::vector<int64_t> sfs = args.full ? std::vector<int64_t>{1, 10, 100}
                                        : std::vector<int64_t>{1, 100};
   std::vector<int> cons = args.full ? std::vector<int>{50, 100, 150, 200}
                                     : std::vector<int>{50, 100, 200};
-  struct Mode {
-    const char* name;
-    SalesWorkloadConfig cfg;
-  };
-  std::vector<Mode> modes = {{"RO", SalesWorkloadConfig::ReadOnly()},
-                             {"RW", SalesWorkloadConfig::ReadWrite()},
-                             {"WO", SalesWorkloadConfig::WriteOnly()}};
+  std::vector<std::string> modes = {"RO", "RW", "WO"};
+  std::vector<sut::SutKind> suts = sut::AllSuts();
+
+  // Matrix order: sf (outer) -> sut -> mode -> con (inner), mirroring the
+  // printed table nesting; the index arithmetic below relies on it.
+  std::vector<runner::CellSpec> cells;
+  for (int64_t sf : sfs) {
+    for (sut::SutKind kind : suts) {
+      for (const std::string& mode : modes) {
+        for (int con : cons) {
+          runner::CellSpec spec;
+          spec.sut = kind;
+          spec.scale_factor = sf;
+          spec.n_ro = 1;
+          spec.concurrency = con;
+          spec.pattern = mode;
+          spec.seed = args.seed;
+          spec.warmup = sim::Seconds(1);
+          spec.measure = args.full ? sim::Seconds(3) : sim::Seconds(2);
+          cells.push_back(spec);
+        }
+      }
+    }
+  }
+
+  runner::RunnerOptions options;
+  options.jobs = args.jobs;
+  options.jsonl_path = jsonl_path;
+  std::vector<runner::CellResult> results =
+      runner::MatrixRunner(options).Run(cells, runner::RunOltpCell);
 
   std::printf("=== Figure 5: OLTP throughput (TPS), 1 RW + 1 RO node ===\n");
+  size_t idx = 0;
   for (int64_t sf : sfs) {
     util::TablePrinter table([&] {
       std::vector<std::string> headers{"System", "Mode"};
       for (int con : cons) headers.push_back("con=" + std::to_string(con));
       return headers;
     }());
-    for (sut::SutKind kind : sut::AllSuts()) {
-      for (const Mode& mode : modes) {
-        std::vector<std::string> row{sut::SutName(kind), mode.name};
-        for (int con : cons) {
-          SalesWorkloadConfig cfg = mode.cfg;
-          cfg.seed = args.seed;
-          SalesTransactionSet txns(cfg);
-          SutRig rig(kind, sf, /*n_ro=*/1, txns.Schemas());
-          OltpEvaluator::Options options;
-          options.concurrency = con;
-          options.warmup = sim::Seconds(1);
-          options.measure = args.full ? sim::Seconds(3) : sim::Seconds(2);
-          OltpResult result =
-              OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options);
-          row.push_back(F0(result.mean_tps));
+    for (sut::SutKind kind : suts) {
+      for (const std::string& mode : modes) {
+        std::vector<std::string> row{sut::SutName(kind), mode};
+        for (size_t c = 0; c < cons.size(); ++c) {
+          const runner::CellResult& r = results[idx++];
+          row.push_back(r.ok ? r.Text("tps") : "ERR");
         }
         table.AddRow(row);
       }
@@ -63,6 +85,10 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string jsonl_path;
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--jsonl=", &jsonl_path, "write per-cell result rows (JSONL)"}});
+  cloudybench::bench::Run(args, jsonl_path);
   return 0;
 }

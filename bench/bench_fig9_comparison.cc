@@ -7,12 +7,19 @@
 // drive CDB3's allocation across a wide range (~0.5 -> 3.25 vCores with a
 // >2 vCore drop between slots), while SysBench and TPC-C produce nearly
 // flat curves (<= 1 vCore of movement).
+//
+// Ported to the experiment-matrix runner: each benchmark series is one
+// cell. `--full` extends the paper's CDB3-only figure to every serverless
+// SUT (CDB1/CDB2/CDB3 x 3 benchmarks = 9 independent cells), which is
+// where --jobs buys near-linear wall-clock speedup.
 
 #include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/baselines.h"
+#include "runner/oltp_cell.h"
+#include "runner/runner.h"
 
 namespace cloudybench::bench {
 namespace {
@@ -20,91 +27,120 @@ namespace {
 constexpr double kTimeScale = 0.1;
 constexpr int kSlots = 12;
 
-struct Series {
-  std::string name;
-  std::vector<double> vcores;  // mean allocated vCores per slot
-};
+std::vector<int> ScheduleFor(const std::string& benchmark) {
+  if (benchmark == "CloudyBench") {
+    // The four elasticity patterns back to back (12 slots).
+    std::vector<int> schedule;
+    for (ElasticityPattern pattern : AllElasticityPatterns()) {
+      for (int c : ElasticitySchedule(pattern, 110)) schedule.push_back(c);
+    }
+    return schedule;
+  }
+  if (benchmark == "SysBench(11thr)") return std::vector<int>(kSlots, 11);
+  CB_CHECK(benchmark == "TPC-C(44thr)") << "unknown series " << benchmark;
+  return std::vector<int>(kSlots, 44);
+}
 
-Series RunOne(const std::string& name, TransactionSet* txns,
-              const std::vector<int>& schedule, sim::SimTime slot) {
-  cloud::ClusterConfig cfg =
-      sut::MakeProfile(sut::SutKind::kCdb3, kTimeScale);
-  MakeServerless(&cfg);
-  sim::Environment env;
-  cloud::Cluster cluster(&env, cfg, 0);
-  cluster.Load(txns->Schemas(), 1);
-  cluster.PrewarmBuffers();
+runner::CellResult RunSeries(const runner::CellContext& ctx) {
+  const runner::CellSpec& spec = ctx.spec;
+  sim::SimTime slot = sim::Seconds(60 * kTimeScale);
 
-  PerformanceCollector collector(&env);
+  SalesWorkloadConfig sales_cfg = SalesWorkloadConfig::ReadWrite();
+  sales_cfg.seed = spec.seed;
+  SalesTransactionSet sales(sales_cfg);
+  SysbenchLiteWorkload sysbench;
+  TpccLiteWorkload tpcc;
+  TransactionSet* txns = &sales;
+  if (spec.pattern == "SysBench(11thr)") txns = &sysbench;
+  if (spec.pattern == "TPC-C(44thr)") txns = &tpcc;
+
+  runner::CellDeployment rig(spec, txns->Schemas());
+  PerformanceCollector collector(&rig.env);
   collector.Start();
-  WorkloadManager manager(&env, &cluster, txns, &collector);
-  for (int concurrency : schedule) {
+  WorkloadManager manager(&rig.env, rig.cluster.get(), txns, &collector);
+  for (int concurrency : ScheduleFor(spec.pattern)) {
     manager.SetConcurrency(concurrency);
-    env.RunFor(slot);
+    rig.env.RunFor(slot);
   }
   manager.StopAll();
 
-  Series series;
-  series.name = name;
-  series.vcores =
-      cluster.meter().vcores_series().SlotMeans(slot.ToSeconds(), kSlots);
-  return series;
+  std::vector<double> vcores = rig.cluster->meter().vcores_series().SlotMeans(
+      slot.ToSeconds(), kSlots);
+  runner::CellResult result;
+  double lo = 1e9, hi = 0, max_drop = 0;
+  for (size_t i = 0; i < vcores.size(); ++i) {
+    result.AddMetric("m" + std::to_string(i + 1), vcores[i], 2);
+    lo = std::min(lo, vcores[i]);
+    hi = std::max(hi, vcores[i]);
+    if (i > 0) max_drop = std::max(max_drop, vcores[i - 1] - vcores[i]);
+  }
+  result.AddText("range", F2(lo) + "-" + F2(hi));
+  result.AddMetric("max_drop", max_drop, 2);
+  result.sim_seconds = rig.env.Now().ToSeconds();
+  return result;
 }
 
-void Run(const BenchArgs& args) {
-  (void)args;
-  sim::SimTime slot = sim::Seconds(60 * kTimeScale);
+void Run(const BenchArgs& args, const std::string& jsonl_path) {
+  std::vector<sut::SutKind> suts = {sut::SutKind::kCdb3};
+  if (args.full) {
+    suts = {sut::SutKind::kCdb1, sut::SutKind::kCdb2, sut::SutKind::kCdb3};
+  }
+  std::vector<std::string> benchmarks = {"CloudyBench", "SysBench(11thr)",
+                                         "TPC-C(44thr)"};
 
-  // CloudyBench: the four elasticity patterns back to back (12 slots).
-  std::vector<int> cloudy_schedule;
-  for (ElasticityPattern pattern : AllElasticityPatterns()) {
-    for (int c : ElasticitySchedule(pattern, 110)) {
-      cloudy_schedule.push_back(c);
+  std::vector<runner::CellSpec> cells;
+  for (sut::SutKind kind : suts) {
+    for (const std::string& benchmark : benchmarks) {
+      runner::CellSpec spec;
+      spec.sut = kind;
+      spec.scale_factor = 1;
+      spec.n_ro = 0;
+      spec.pattern = benchmark;
+      spec.seed = args.seed;
+      spec.serverless = true;
+      spec.freeze_at_max = false;
+      spec.time_scale = kTimeScale;
+      cells.push_back(spec);
     }
   }
-  SalesWorkloadConfig sales_cfg = SalesWorkloadConfig::ReadWrite();
-  SalesTransactionSet sales(sales_cfg);
 
-  // Baselines: constant concurrency for the full 12 slots.
-  SysbenchLiteWorkload sysbench;
-  TpccLiteWorkload tpcc;
-  std::vector<int> sysbench_schedule(kSlots, 11);
-  std::vector<int> tpcc_schedule(kSlots, 44);
+  runner::RunnerOptions options;
+  options.jobs = args.jobs;
+  options.jsonl_path = jsonl_path;
+  std::vector<runner::CellResult> results =
+      runner::MatrixRunner(options).Run(cells, RunSeries);
 
-  std::vector<Series> series;
-  series.push_back(RunOne("CloudyBench", &sales, cloudy_schedule, slot));
-  series.push_back(RunOne("SysBench(11thr)", &sysbench, sysbench_schedule, slot));
-  series.push_back(RunOne("TPC-C(44thr)", &tpcc, tpcc_schedule, slot));
-
+  sim::SimTime slot = sim::Seconds(60 * kTimeScale);
   std::printf(
-      "=== Figure 9: CDB3 allocated vCores per slot (12 slots, compressed "
+      "=== Figure 9: allocated vCores per slot (12 slots, compressed "
       "%.0fs each) ===\n\n",
       slot.ToSeconds());
-  util::TablePrinter table([&] {
-    std::vector<std::string> headers{"Benchmark"};
-    for (int i = 1; i <= kSlots; ++i) {
-      headers.push_back("m" + std::to_string(i));
+  size_t idx = 0;
+  for (sut::SutKind kind : suts) {
+    util::TablePrinter table([&] {
+      std::vector<std::string> headers{"Benchmark"};
+      for (int i = 1; i <= kSlots; ++i) {
+        headers.push_back("m" + std::to_string(i));
+      }
+      headers.push_back("range");
+      headers.push_back("maxDrop");
+      return headers;
+    }());
+    for (const std::string& benchmark : benchmarks) {
+      const runner::CellResult& r = results[idx++];
+      std::vector<std::string> row{benchmark};
+      for (int i = 1; i <= kSlots; ++i) {
+        row.push_back(r.ok ? r.Text("m" + std::to_string(i)) : "ERR");
+      }
+      row.push_back(r.Text("range"));
+      row.push_back(r.Text("max_drop"));
+      table.AddRow(row);
     }
-    headers.push_back("range");
-    headers.push_back("maxDrop");
-    return headers;
-  }());
-  for (const Series& s : series) {
-    std::vector<std::string> row{s.name};
-    double lo = 1e9, hi = 0, max_drop = 0;
-    for (size_t i = 0; i < s.vcores.size(); ++i) {
-      row.push_back(F2(s.vcores[i]));
-      lo = std::min(lo, s.vcores[i]);
-      hi = std::max(hi, s.vcores[i]);
-      if (i > 0) max_drop = std::max(max_drop, s.vcores[i - 1] - s.vcores[i]);
-    }
-    row.push_back(F2(lo) + "-" + F2(hi));
-    row.push_back(F2(max_drop));
-    table.AddRow(row);
+    table.Print(std::string("--- ") + sut::SutName(kind) + " ---");
+    std::printf("\n");
   }
-  table.Print();
   std::printf(
-      "\nCloudyBench's peaks and valleys exercise the full scaling range;\n"
+      "CloudyBench's peaks and valleys exercise the full scaling range;\n"
       "the constant baselines keep the allocation nearly flat.\n");
 }
 
@@ -113,6 +149,10 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string jsonl_path;
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--jsonl=", &jsonl_path, "write per-cell result rows (JSONL)"}});
+  cloudybench::bench::Run(args, jsonl_path);
   return 0;
 }

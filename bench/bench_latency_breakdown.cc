@@ -135,13 +135,10 @@ void Run(const BenchArgs& args, const std::string& trace_path) {
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
   std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    if (cloudybench::util::StartsWith(a, "--trace=")) {
-      trace_path = a.substr(8);
-    }
-  }
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv),
-                          trace_path);
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--trace=", &trace_path,
+        "write the last cell's Chrome trace to this path"}});
+  cloudybench::bench::Run(args, trace_path);
   return 0;
 }

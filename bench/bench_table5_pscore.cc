@@ -6,16 +6,21 @@
 // CDB4 delivers the top TPS but pays the 3x RDMA network premium; CDB2's
 // IOPS bill dwarfs everyone's (~327x RDS); CDB1's six-way replication
 // doubles its storage cost; CDB2 has the lowest P-Score.
+//
+// Ported to the experiment-matrix runner: the SUT x mode matrix runs on
+// --jobs workers; each cell already reports the mean allocated resources
+// and cost components this table prints.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/metrics.h"
+#include "runner/oltp_cell.h"
+#include "runner/runner.h"
 
 namespace cloudybench::bench {
 namespace {
 
-void Run(const BenchArgs& args) {
+void Run(const BenchArgs& args, const std::string& jsonl_path) {
   // SF1: the regime where RDS's local storage pays off across all three
   // patterns, which is the paper's headline for this table. (The paper's
   // storage-GB column corresponds to SF100; scale factors only change the
@@ -23,14 +28,32 @@ void Run(const BenchArgs& args) {
   // 2-way RDS vs 6-way CDB1 vs 3-way others — are visible at any SF.)
   int64_t sf = 1;
   int concurrency = 150;
+  std::vector<std::string> modes = {"RO", "RW", "WO"};
+  std::vector<sut::SutKind> suts = sut::AllSuts();
 
-  struct Mode {
-    const char* name;
-    SalesWorkloadConfig cfg;
-  };
-  std::vector<Mode> modes = {{"RO", SalesWorkloadConfig::ReadOnly()},
-                             {"RW", SalesWorkloadConfig::ReadWrite()},
-                             {"WO", SalesWorkloadConfig::WriteOnly()}};
+  std::vector<runner::CellSpec> cells;
+  for (sut::SutKind kind : suts) {
+    for (const std::string& mode : modes) {
+      runner::CellSpec spec;
+      spec.sut = kind;
+      spec.scale_factor = sf;
+      // Table V's resource columns list a single 4-vCore instance, so the
+      // P-Score deployment bills one node (reads served locally).
+      spec.n_ro = 0;
+      spec.concurrency = concurrency;
+      spec.pattern = mode;
+      spec.seed = args.seed;
+      spec.warmup = sim::Seconds(1);
+      spec.measure = args.full ? sim::Seconds(4) : sim::Seconds(2);
+      cells.push_back(spec);
+    }
+  }
+
+  runner::RunnerOptions options;
+  options.jobs = args.jobs;
+  options.jsonl_path = jsonl_path;
+  std::vector<runner::CellResult> results =
+      runner::MatrixRunner(options).Run(cells, runner::RunOltpCell);
 
   std::printf(
       "=== Table V: P-Score with detailed resource cost (SF%lld, con=%d) "
@@ -39,35 +62,22 @@ void Run(const BenchArgs& args) {
   util::TablePrinter table({"System", "vCores", "Mem/GB", "Sto/GB", "IOPS",
                             "Net/Gbps", "$/min", "P(RO)", "P(RW)", "P(WO)",
                             "P(AVG)"});
-  for (sut::SutKind kind : sut::AllSuts()) {
-    std::vector<double> pscores;
-    cloud::ResourceVector mean_alloc;
-    cloud::CostBreakdown cost;
-    for (const Mode& mode : modes) {
-      SalesWorkloadConfig cfg = mode.cfg;
-      cfg.seed = args.seed;
-      SalesTransactionSet txns(cfg);
-      // Table V's resource columns list a single 4-vCore instance, so the
-      // P-Score deployment bills one node (reads served locally).
-      SutRig rig(kind, sf, /*n_ro=*/0, txns.Schemas());
-      OltpEvaluator::Options options;
-      options.concurrency = concurrency;
-      options.warmup = sim::Seconds(1);
-      options.measure = args.full ? sim::Seconds(4) : sim::Seconds(2);
-      OltpResult result =
-          OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options);
-      pscores.push_back(result.p_score);
-      cost = result.cost_per_minute;
-      double t1 = rig.env.Now().ToSeconds();
-      mean_alloc = rig.cluster->meter().MeanAllocated(0, t1);
+  for (size_t s = 0; s < suts.size(); ++s) {
+    // Resource/cost columns come from the last mode's cell, as before (the
+    // allocation is mode-independent; only the P-Scores differ).
+    const runner::CellResult& last = results[s * modes.size() + 2];
+    double p_sum = 0;
+    std::vector<std::string> p_cols;
+    for (size_t m = 0; m < modes.size(); ++m) {
+      const runner::CellResult& r = results[s * modes.size() + m];
+      p_sum += r.Number("p_score");
+      p_cols.push_back(r.ok ? r.Text("p_score") : "ERR");
     }
-    double avg = (pscores[0] + pscores[1] + pscores[2]) / 3.0;
-    table.AddRow({sut::SutName(kind), F0(mean_alloc.vcores),
-                  F0(mean_alloc.memory_gb), F1(mean_alloc.storage_gb),
-                  F0(mean_alloc.iops),
-                  F0(mean_alloc.tcp_gbps + mean_alloc.rdma_gbps),
-                  Dollars(cost.total()), F0(pscores[0]), F0(pscores[1]),
-                  F0(pscores[2]), F0(avg)});
+    table.AddRow({sut::SutName(suts[s]), last.Text("vcores"),
+                  last.Text("memory_gb"), last.Text("storage_gb"),
+                  last.Text("iops"), last.Text("net_gbps"),
+                  "$" + last.Text("cost_per_min"), p_cols[0], p_cols[1],
+                  p_cols[2], F0(p_sum / static_cast<double>(modes.size()))});
   }
   table.Print();
   std::printf(
@@ -81,6 +91,10 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string jsonl_path;
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--jsonl=", &jsonl_path, "write per-cell result rows (JSONL)"}});
+  cloudybench::bench::Run(args, jsonl_path);
   return 0;
 }

@@ -7,6 +7,10 @@
 // AWS RDS has the best P/T/E2 but the worst recovery; CDB3 has the best E1
 // and, thanks to its cheap startup pricing, the best O-Score* under actual
 // cost — the defined-vs-actual rank flips are the point of the comparison.
+//
+// Ported to the experiment-matrix runner: each SUT's full PERFECT
+// evaluation (seven sections, ~a dozen sub-simulations) is one cell, so
+// the five SUTs evaluate concurrently under --jobs.
 
 #include <algorithm>
 #include <cstdio>
@@ -14,6 +18,7 @@
 #include "bench_common.h"
 #include "core/metrics.h"
 #include "core/tenancy.h"
+#include "runner/runner.h"
 
 namespace cloudybench::bench {
 namespace {
@@ -35,13 +40,13 @@ struct Row {
   double p_star = 0, e1_star = 0, t_star = 0, o_star = 0;
 };
 
-Row Evaluate(sut::SutKind kind, const BenchArgs& args) {
+Row Evaluate(sut::SutKind kind, uint64_t seed) {
   Row row;
 
   // ---- P / P*: read-write throughput per cost -------------------------
   {
     SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
-    cfg.seed = args.seed;
+    cfg.seed = seed;
     SalesTransactionSet txns(cfg);
     SutRig rig(kind, /*sf=*/1, /*n_ro=*/0, txns.Schemas());
     OltpEvaluator::Options options;
@@ -59,7 +64,7 @@ Row Evaluate(sut::SutKind kind, const BenchArgs& args) {
   // ---- E1 / E1*: elasticity (large-spike pattern, serverless) ---------
   {
     SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
-    cfg.seed = args.seed;
+    cfg.seed = seed;
     SalesTransactionSet txns(cfg);
     cloud::ClusterConfig cluster_cfg = sut::MakeProfile(kind, kTimeScale);
     MakeServerless(&cluster_cfg);
@@ -83,7 +88,7 @@ Row Evaluate(sut::SutKind kind, const BenchArgs& args) {
     std::vector<double> tps_by_nodes;
     for (int nodes = 0; nodes <= 1; ++nodes) {
       SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadOnly();
-      cfg.seed = args.seed;
+      cfg.seed = seed;
       cfg.spread_reads_all_nodes = true;  // proxy-balanced reads
       SalesTransactionSet txns(cfg);
       SutRig rig(kind, /*sf=*/1, nodes, txns.Schemas());
@@ -107,7 +112,7 @@ Row Evaluate(sut::SutKind kind, const BenchArgs& args) {
       // failure, replica-pinned read stream for the RO failure.
       SalesWorkloadConfig cfg = fail_rw ? SalesWorkloadConfig::ReadWrite()
                                         : SalesWorkloadConfig::ReadOnly();
-      cfg.seed = args.seed;
+      cfg.seed = seed;
       cfg.route_reads_to_replicas = !fail_rw;
       cfg.sticky_replica = !fail_rw;
       SalesTransactionSet txns(cfg);
@@ -183,19 +188,58 @@ Row Evaluate(sut::SutKind kind, const BenchArgs& args) {
   return row;
 }
 
-void Run(const BenchArgs& args) {
+runner::CellResult EvaluateCell(const runner::CellContext& ctx) {
+  Row row = Evaluate(ctx.spec.sut, ctx.spec.seed);
+  runner::CellResult result;
+  result.AddMetric("P", row.scores.p, 0);
+  result.AddMetric("P*", row.p_star, 0);
+  result.AddMetric("E1", row.scores.e1, 0);
+  result.AddMetric("E1*", row.e1_star, 0);
+  result.AddMetric("R", row.scores.r, 1);
+  result.AddMetric("F", row.scores.f, 1);
+  result.AddMetric("E2", row.scores.e2, 1);
+  result.AddMetric("C", row.scores.c, 1);
+  result.AddMetric("T", row.scores.t, 0);
+  result.AddMetric("T*", row.t_star, 0);
+  result.AddMetric("O", row.scores.o, 2);
+  result.AddMetric("O*", row.o_star, 2);
+  return result;
+}
+
+void Run(const BenchArgs& args, const std::string& jsonl_path) {
+  std::vector<sut::SutKind> suts = sut::AllSuts();
+  std::vector<runner::CellSpec> cells;
+  for (sut::SutKind kind : suts) {
+    runner::CellSpec spec;
+    spec.sut = kind;
+    spec.pattern = "PERFECT";
+    spec.seed = args.seed;
+    cells.push_back(spec);
+  }
+
+  runner::RunnerOptions options;
+  options.jobs = args.jobs;
+  options.jsonl_path = jsonl_path;
+  std::vector<runner::CellResult> results =
+      runner::MatrixRunner(options).Run(cells, EvaluateCell);
+
   std::printf(
       "=== Table IX: overall PERFECT scores; (X)* uses vendor actual "
       "pricing ===\n\n");
-  util::TablePrinter table({"System", "P", "P*", "E1", "E1*", "R", "F", "E2",
-                            "C", "T", "T*", "O", "O*"});
-  for (sut::SutKind kind : sut::AllSuts()) {
-    Row row = Evaluate(kind, args);
-    table.AddRow({sut::SutName(kind), F0(row.scores.p), F0(row.p_star),
-                  F0(row.scores.e1), F0(row.e1_star), F1(row.scores.r),
-                  F1(row.scores.f), F1(row.scores.e2), F1(row.scores.c),
-                  F0(row.scores.t), F0(row.t_star), F2(row.scores.o),
-                  F2(row.o_star)});
+  std::vector<std::string> columns = {"P",  "P*", "E1", "E1*", "R",  "F",
+                                      "E2", "C",  "T",  "T*",  "O",  "O*"};
+  util::TablePrinter table([&] {
+    std::vector<std::string> headers{"System"};
+    headers.insert(headers.end(), columns.begin(), columns.end());
+    return headers;
+  }());
+  for (size_t s = 0; s < suts.size(); ++s) {
+    const runner::CellResult& r = results[s];
+    std::vector<std::string> row{sut::SutName(suts[s])};
+    for (const std::string& column : columns) {
+      row.push_back(r.ok ? r.Text(column) : "ERR");
+    }
+    table.AddRow(row);
   }
   table.Print();
   std::printf(
@@ -208,6 +252,10 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string jsonl_path;
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--jsonl=", &jsonl_path, "write per-cell result rows (JSONL)"}});
+  cloudybench::bench::Run(args, jsonl_path);
   return 0;
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + ctest in Release, then again with
-# AddressSanitizer (-DCLOUDYBENCH_SANITIZE=address). Build trees live under
+# AddressSanitizer and ThreadSanitizer (-DCLOUDYBENCH_SANITIZE=...), plus a
+# matrix-runner determinism smoke: bench_runner_demo's stdout must be
+# byte-identical at --jobs=1 and --jobs=2. Build trees live under
 # build-check/ so the developer's main build/ is left alone.
 #
-# Usage: scripts/check.sh [--asan-only|--release-only]
+# Usage: scripts/check.sh [--asan-only|--release-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,19 +24,38 @@ run_suite() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Runs the demo sweep serially and on two workers and diffs stdout; any
+# byte of divergence (ordering, rounding, wall-time leakage) fails the
+# check. The runner's [runner] accounting line goes to stderr by design.
+runner_smoke() {
+  local dir="build-check/release"
+  echo "=== [runner] determinism smoke (--jobs=1 vs --jobs=2) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_runner_demo
+  "${dir}/bench/bench_runner_demo" --jobs=1 > "${dir}/runner_demo_j1.txt"
+  "${dir}/bench/bench_runner_demo" --jobs=2 > "${dir}/runner_demo_j2.txt"
+  diff "${dir}/runner_demo_j1.txt" "${dir}/runner_demo_j2.txt"
+  echo "=== [runner] output byte-identical across job counts ==="
+}
+
 case "${MODE}" in
   all)
     run_suite release
+    runner_smoke
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
+    run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
     ;;
   --release-only)
     run_suite release
+    runner_smoke
     ;;
   --asan-only)
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
     ;;
+  --tsan-only)
+    run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
+    ;;
   *)
-    echo "usage: $0 [--asan-only|--release-only]" >&2
+    echo "usage: $0 [--asan-only|--release-only|--tsan-only]" >&2
     exit 2
     ;;
 esac

@@ -137,11 +137,12 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
 
 void Cluster::RegisterMetrics() {
   // Tenants can deploy the same profile twice, so the prefix carries an
-  // instance sequence number to keep every cluster's metrics distinct.
-  static int64_t instance_seq = 0;
-  metric_prefix_ = "cluster." + cfg_.name + "#" +
-                   std::to_string(instance_seq++) + ".";
+  // instance sequence number to keep every cluster's metrics distinct. The
+  // registry owns the sequence (thread-local, reset by Clear()) so matrix
+  // cells get the same metric names regardless of worker placement.
   obs::MetricRegistry& registry = obs::MetricRegistry::Get();
+  metric_prefix_ = "cluster." + cfg_.name + "#" +
+                   std::to_string(registry.NextInstanceId()) + ".";
   registry.RegisterGauge(metric_prefix_ + "buffer.rw.hit_ratio", [this] {
     const storage::BufferPool& pool = current_rw_->buffer();
     int64_t lookups = pool.hits() + pool.misses();

@@ -5,7 +5,11 @@
 namespace cloudybench::obs {
 
 MetricRegistry& MetricRegistry::Get() {
-  static MetricRegistry registry;
+  // Thread-local for the same reason as TraceRecorder::Get(): each matrix
+  // runner worker owns a private registry, so clusters deployed in
+  // concurrent cells register their gauges without locks and a cell's
+  // metrics snapshot never mixes in another cell's entries.
+  thread_local MetricRegistry registry;
   return registry;
 }
 
@@ -52,6 +56,7 @@ void MetricRegistry::Clear() {
   gauges_.clear();
   histograms_.clear();
   series_.clear();
+  next_instance_id_ = 0;
 }
 
 std::map<std::string, double> MetricRegistry::GaugeValues() const {

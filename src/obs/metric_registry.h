@@ -34,9 +34,22 @@ class Counter {
 /// entries are non-owning pointers into live stats objects. Owners must
 /// unregister (UnregisterPrefix) before the underlying object dies —
 /// cloud::Cluster does this in its destructor.
+///
+/// `Get()` returns a *thread-local* singleton (see TraceRecorder::Get()):
+/// every matrix-runner worker thread owns a private registry, so clusters
+/// deployed by concurrent experiment cells never race on these maps, and a
+/// cell's exported snapshot contains only its own entries. The runner
+/// Clear()s the thread's registry before each cell, which also resets the
+/// cluster instance numbering so metric names are identical no matter which
+/// worker a cell lands on.
 class MetricRegistry {
  public:
   static MetricRegistry& Get();
+
+  /// Sequence number for objects (clusters) that want a unique, per-registry
+  /// instance tag in their metric prefix. Reset by Clear(), so numbering is
+  /// deterministic per cell rather than per process.
+  int64_t NextInstanceId() { return next_instance_id_++; }
 
   MetricRegistry() = default;
   MetricRegistry(const MetricRegistry&) = delete;
@@ -80,6 +93,7 @@ class MetricRegistry {
   template <typename Map>
   static void ErasePrefix(Map& map, const std::string& prefix);
 
+  int64_t next_instance_id_ = 0;
   std::map<std::string, Counter> counters_;
   std::map<std::string, std::function<double()>> gauges_;
   std::map<std::string, const util::LatencyHistogram*> histograms_;

@@ -29,7 +29,12 @@ const char* LayerName(Layer layer) {
 }
 
 TraceRecorder& TraceRecorder::Get() {
-  static TraceRecorder recorder;
+  // Thread-local, not process-global: the experiment-matrix runner executes
+  // one deterministic simulation per worker thread, and each cell must see
+  // a private recorder (enable/Clear/export without synchronization or
+  // cross-cell span interleaving). Single-threaded binaries observe the
+  // exact same semantics as before.
+  thread_local TraceRecorder recorder;
   return recorder;
 }
 

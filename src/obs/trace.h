@@ -67,13 +67,21 @@ struct SpanHandle {
   bool valid = false;
 };
 
-/// Deterministic process-wide trace recorder.
+/// Deterministic trace recorder, one instance per thread.
 ///
-/// The DES is single-threaded and driven entirely by simulated time, so a
-/// single recorder instance, span ids handed out in execution order, and
-/// sim-time timestamps make traces bit-identical across runs with the same
-/// seed (enforced by a property test). Recording never advances simulated
-/// time, so enabling tracing cannot change experiment results.
+/// Each DES environment is single-threaded and driven entirely by simulated
+/// time, so one recorder per thread, span ids handed out in execution
+/// order, and sim-time timestamps make traces bit-identical across runs
+/// with the same seed (enforced by a property test). Recording never
+/// advances simulated time, so enabling tracing cannot change experiment
+/// results.
+///
+/// `Get()` returns a *thread-local* singleton: the experiment-matrix runner
+/// (src/runner/) executes one cell per worker thread, and every cell gets a
+/// private recorder — enabling/clearing/exporting a trace in one cell can
+/// never observe another cell's spans, with no locking on the hot recording
+/// path. An environment (and everything spawned in it) must therefore stay
+/// on the thread that created it; see sim::Environment's thread model note.
 class TraceRecorder {
  public:
   static TraceRecorder& Get();

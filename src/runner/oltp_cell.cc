@@ -1,0 +1,92 @@
+#include "runner/oltp_cell.h"
+
+#include "core/evaluators.h"
+#include "util/logging.h"
+
+namespace cloudybench::runner {
+
+namespace {
+
+/// Serverless conversion shared with the benches' MakeServerless: keep the
+/// profiled autoscaler policy, start at the floor, let memory follow
+/// vCores. Fixed-policy SUTs (RDS, CDB4) stay provisioned — exactly the
+/// contrast the elasticity experiments evaluate.
+void ConvertToServerless(cloud::ClusterConfig* cfg) {
+  if (cfg->autoscaler.policy != cloud::ScalingPolicy::kFixed) {
+    cfg->node.memory_follows_vcores = true;
+    cfg->node.vcores = cfg->autoscaler.min_vcores;
+    cfg->node.memory_gb =
+        cfg->autoscaler.min_vcores * cfg->node.memory_gb_per_vcore;
+  }
+}
+
+}  // namespace
+
+CellDeployment::CellDeployment(
+    const CellSpec& spec, const std::vector<storage::TableSchema>& schemas) {
+  cloud::ClusterConfig cfg = sut::MakeProfile(spec.sut, spec.time_scale);
+  if (spec.serverless) ConvertToServerless(&cfg);
+  if (spec.freeze_at_max) sut::FreezeAtMaxCapacity(&cfg);
+  cluster = std::make_unique<cloud::Cluster>(&env, cfg, spec.n_ro);
+  cluster->Load(schemas, spec.scale_factor);
+  cluster->PrewarmBuffers();
+}
+
+SalesWorkloadConfig SalesConfigFor(const CellSpec& spec) {
+  SalesWorkloadConfig cfg;
+  if (spec.pattern == "RO") {
+    cfg = SalesWorkloadConfig::ReadOnly();
+  } else if (spec.pattern == "RW") {
+    cfg = SalesWorkloadConfig::ReadWrite();
+  } else if (spec.pattern == "WO") {
+    cfg = SalesWorkloadConfig::WriteOnly();
+  } else {
+    CB_CHECK(false) << "RunOltpCell: unknown workload pattern '"
+                    << spec.pattern << "' (expected RO/RW/WO)";
+  }
+  cfg.seed = spec.seed;
+  return cfg;
+}
+
+CellResult RunOltpCell(const CellContext& ctx) {
+  const CellSpec& spec = ctx.spec;
+  SalesTransactionSet txns(SalesConfigFor(spec));
+  CellDeployment rig(spec, txns.Schemas());
+
+  OltpEvaluator::Options options;
+  options.concurrency = spec.concurrency;
+  options.warmup = spec.warmup;
+  options.measure = spec.measure;
+  options.metrics_export_path = ctx.metrics_path;
+  OltpResult r =
+      OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options);
+
+  CellResult result;
+  result.AddMetric("tps", r.mean_tps, 0);
+  result.AddMetric("p50_ms", r.p50_latency_ms, 2);
+  result.AddMetric("p99_ms", r.p99_latency_ms, 2);
+  result.AddMetric("commits", static_cast<double>(r.commits), 0);
+  result.AddMetric("aborts", static_cast<double>(r.aborts), 0);
+  result.AddMetric("cost_per_min", r.cost_per_minute.total(), 4);
+  result.AddMetric("cost_cpu", r.cost_per_minute.cpu, 4);
+  result.AddMetric("cost_mem", r.cost_per_minute.memory, 4);
+  result.AddMetric("cost_storage", r.cost_per_minute.storage, 4);
+  result.AddMetric("cost_iops", r.cost_per_minute.iops, 4);
+  result.AddMetric("cost_net", r.cost_per_minute.network, 4);
+  result.AddMetric("p_score", r.p_score, 0);
+  result.AddMetric("buffer_hit_pct", r.buffer_hit_rate * 100.0, 1);
+
+  // Mean allocated resources over the whole cell — the Table V columns.
+  cloud::ResourceVector alloc =
+      rig.cluster->meter().MeanAllocated(0, rig.env.Now().ToSeconds());
+  result.AddMetric("vcores", alloc.vcores, 0);
+  result.AddMetric("memory_gb", alloc.memory_gb, 0);
+  result.AddMetric("storage_gb", alloc.storage_gb, 1);
+  result.AddMetric("iops", alloc.iops, 0);
+  result.AddMetric("net_gbps", alloc.tcp_gbps + alloc.rdma_gbps, 0);
+
+  result.sim_seconds = rig.env.Now().ToSeconds();
+  return result;
+}
+
+}  // namespace cloudybench::runner

@@ -1,0 +1,47 @@
+#ifndef CLOUDYBENCH_RUNNER_OLTP_CELL_H_
+#define CLOUDYBENCH_RUNNER_OLTP_CELL_H_
+
+#include <memory>
+#include <vector>
+
+#include "cloud/cluster.h"
+#include "core/sales_workload.h"
+#include "runner/runner.h"
+#include "sim/environment.h"
+#include "storage/synthetic_table.h"
+
+namespace cloudybench::runner {
+
+/// One deployed SUT built from a CellSpec: fresh environment + profiled,
+/// loaded, prewarmed cluster. This is the cell-side twin of the benches'
+/// SutRig, owned by the runner so ported drivers stop duplicating it:
+/// profile → (optional) serverless conversion → (optional) freeze at max →
+/// load schemas at the spec's scale factor → prewarm buffers.
+struct CellDeployment {
+  CellDeployment(const CellSpec& spec,
+                 const std::vector<storage::TableSchema>& schemas);
+
+  sim::Environment env;
+  std::unique_ptr<cloud::Cluster> cluster;
+};
+
+/// Maps the spec's pattern label ("RO" / "RW" / "WO") plus seed to a sales
+/// workload config. CB_CHECKs on any other label — custom patterns need a
+/// custom cell function.
+SalesWorkloadConfig SalesConfigFor(const CellSpec& spec);
+
+/// The standard throughput cell every table/figure sweep starts from:
+/// drives the sales workload at the spec's concurrency through
+/// OltpEvaluator and reports, as columns:
+///
+///   tps, p50_ms, p99_ms, commits, aborts, cost_per_min (+ cpu/mem/
+///   storage/iops/network components), p_score, buffer_hit_pct, and the
+///   mean allocated vcores / memory_gb / storage_gb / iops / net_gbps.
+///
+/// Honors ctx.metrics_path (per-cell metrics snapshot while the cluster's
+/// gauges are still registered).
+CellResult RunOltpCell(const CellContext& ctx);
+
+}  // namespace cloudybench::runner
+
+#endif  // CLOUDYBENCH_RUNNER_OLTP_CELL_H_

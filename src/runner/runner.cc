@@ -1,0 +1,152 @@
+#include "runner/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cloudybench::runner {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Runs one cell on the current (worker) thread: resets the thread-local
+/// observability state, arms tracing if requested, invokes the cell
+/// function with exception isolation, and exports the trace.
+CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
+                       const RunnerOptions& options) {
+  CellContext ctx{spec, index, "", ""};
+  if (!options.trace_template.empty()) {
+    ctx.trace_path = ExpandCellTemplate(options.trace_template, spec, index);
+  }
+  if (!options.metrics_template.empty()) {
+    ctx.metrics_path =
+        ExpandCellTemplate(options.metrics_template, spec, index);
+  }
+
+  // Fresh thread-local observability state per cell: metric names
+  // (cluster.<name>#<seq>) and trace bytes depend only on the cell, never
+  // on which cells this worker ran before.
+  obs::MetricRegistry::Get().Clear();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  recorder.Clear();
+  recorder.SetEnabled(!ctx.trace_path.empty());
+
+  auto wall0 = std::chrono::steady_clock::now();
+  CellResult result;
+  try {
+    result = fn(ctx);
+    result.ok = result.error.empty();
+  } catch (const std::exception& e) {
+    result = CellResult{};
+    result.error = e.what();
+  } catch (...) {
+    result = CellResult{};
+    result.error = "unknown exception";
+  }
+  result.wall_ms = MsSince(wall0);
+  result.id = spec.id.empty() ? DefaultCellId(spec) : spec.id;
+  result.index = index;
+
+  if (!ctx.trace_path.empty()) {
+    util::Status written =
+        obs::WriteChromeTraceFile(recorder, ctx.trace_path);
+    if (!written.ok()) {
+      CB_LOG(kError) << "cell '" << result.id
+                     << "': trace export failed: " << written;
+    }
+  }
+  recorder.SetEnabled(false);
+  recorder.Clear();
+  obs::MetricRegistry::Get().Clear();
+  return result;
+}
+
+}  // namespace
+
+MatrixRunner::MatrixRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
+
+int MatrixRunner::ResolveJobs(size_t n) const {
+  int jobs = options_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  return std::max(1, std::min<int>(jobs, static_cast<int>(n)));
+}
+
+std::vector<CellResult> MatrixRunner::Run(const std::vector<CellSpec>& cells,
+                                          const CellFn& fn) const {
+  std::vector<CellResult> results(cells.size());
+  if (cells.empty()) return results;
+  int jobs = ResolveJobs(cells.size());
+
+  auto wall0 = std::chrono::steady_clock::now();
+  // Dynamic claiming: workers pull the next unclaimed index, so a slow cell
+  // never blocks the queue; each result lands in its matrix slot. Cells run
+  // on spawned threads even at jobs=1 so a cell can never clobber the
+  // caller's thread-local trace recorder / metric registry.
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) break;
+      results[i] = ExecuteCell(cells[i], i, fn, options_);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  double wall_ms = MsSince(wall0);
+
+  if (!options_.jsonl_path.empty()) {
+    std::ofstream out(options_.jsonl_path, std::ios::trunc);
+    if (!out) {
+      CB_LOG(kError) << "cannot open JSONL artifact path: "
+                     << options_.jsonl_path;
+    } else {
+      for (const CellResult& result : results) {
+        out << ToJsonLine(result) << "\n";
+      }
+    }
+  }
+
+  if (options_.print_summary) {
+    double cell_ms = 0, max_ms = 0, sim_s = 0;
+    size_t failed = 0;
+    for (const CellResult& result : results) {
+      cell_ms += result.wall_ms;
+      max_ms = std::max(max_ms, result.wall_ms);
+      sim_s += result.sim_seconds;
+      if (!result.ok) ++failed;
+    }
+    std::fprintf(stderr,
+                 "[runner] %zu cells on %d worker%s: wall %.2fs "
+                 "(cells sum %.2fs, max %.2fs), sim %.1fs%s",
+                 cells.size(), jobs, jobs == 1 ? "" : "s", wall_ms / 1e3,
+                 cell_ms / 1e3, max_ms / 1e3, sim_s,
+                 failed == 0
+                     ? "\n"
+                     : util::StringPrintf(", %zu FAILED\n", failed).c_str());
+  }
+  return results;
+}
+
+}  // namespace cloudybench::runner

@@ -1,0 +1,82 @@
+#ifndef CLOUDYBENCH_RUNNER_RUNNER_H_
+#define CLOUDYBENCH_RUNNER_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/matrix.h"
+
+namespace cloudybench::runner {
+
+/// Everything a cell function receives besides its spec: its position in
+/// the matrix and the per-cell artifact paths expanded from the runner's
+/// templates (empty when not requested).
+///
+/// `trace_path` is handled by the runner itself — the worker's thread-local
+/// TraceRecorder is enabled before the cell and the Chrome trace is written
+/// after it returns. `metrics_path` must be consumed *inside* the cell
+/// (e.g. OltpEvaluator::Options::metrics_export_path) because the metric
+/// registry's gauges unregister when the cell's cluster is destroyed.
+struct CellContext {
+  const CellSpec& spec;
+  size_t index = 0;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+using CellFn = std::function<CellResult(const CellContext&)>;
+
+struct RunnerOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency(). The
+  /// pool never exceeds the cell count.
+  int jobs = 0;
+  /// When non-empty, one ToJsonLine() per cell is written here in matrix
+  /// order after the sweep completes.
+  std::string jsonl_path;
+  /// Per-cell Chrome-trace path template (see ExpandCellTemplate); empty
+  /// disables tracing.
+  std::string trace_template;
+  /// Per-cell metrics-snapshot path template, surfaced to the cell via
+  /// CellContext::metrics_path.
+  std::string metrics_template;
+  /// Wall/sim-time accounting line after the sweep. Goes to stderr so that
+  /// stdout (tables, JSONL) stays byte-identical across thread counts.
+  bool print_summary = true;
+};
+
+/// Executes an experiment matrix on a fixed-size worker pool and collects
+/// results in deterministic matrix order.
+///
+/// Guarantees:
+///  * **Isolation** — every cell runs in its own sim::Environment on one
+///    worker thread; the worker's thread-local TraceRecorder/MetricRegistry
+///    are Clear()ed before each cell, so cells are independent of worker
+///    placement and of each other.
+///  * **Determinism** — results (and the JSONL artifact) are ordered by
+///    matrix index, and CellResult carries no host-time field into the
+///    serialized output, so output bytes are identical for any --jobs and
+///    any completion order.
+///  * **Failure isolation** — a cell that throws produces an error row
+///    (ok=false, the exception text) instead of killing the sweep.
+///    CB_CHECK failures abort the process by design and are not isolable.
+class MatrixRunner {
+ public:
+  explicit MatrixRunner(RunnerOptions options = {});
+
+  /// Runs `fn` once per cell. Cells are claimed dynamically (an expensive
+  /// SF100 cell does not hold up the queue behind it); results come back
+  /// indexed by submission order regardless.
+  std::vector<CellResult> Run(const std::vector<CellSpec>& cells,
+                              const CellFn& fn) const;
+
+  /// The worker count a matrix of `n` cells would use.
+  int ResolveJobs(size_t n) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace cloudybench::runner
+
+#endif  // CLOUDYBENCH_RUNNER_RUNNER_H_

@@ -26,6 +26,14 @@ namespace cloudybench::sim {
 ///   env.Spawn(WorkerLoop(&env, ...));
 ///   env.RunUntil(Seconds(600));   // the measurement window
 ///   // metrics read here; leftover processes reclaimed by ~Environment.
+///
+/// Thread model: an Environment is single-threaded and thread-affine — it
+/// must be created, driven and destroyed on one thread, and everything it
+/// spawns runs on that thread. Distinct Environments are fully independent,
+/// which is what lets the experiment-matrix runner (src/runner/) execute
+/// one environment per worker thread with no synchronization; the only
+/// process-wide state an experiment touches (trace recorder, metric
+/// registry) is thread-local for the same reason.
 class Environment {
  public:
   Environment() = default;

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -8,7 +9,9 @@
 namespace cloudybench::util {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+// Atomic because the experiment-matrix runner's worker threads consult the
+// level concurrently while the main thread may still be setting it.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -86,11 +89,14 @@ const LogLevel* EnvLevelOverride() {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
 
 LogLevel GetLogLevel() {
   const LogLevel* env_level = EnvLevelOverride();
-  return env_level != nullptr ? *env_level : g_min_level;
+  return env_level != nullptr ? *env_level
+                              : g_min_level.load(std::memory_order_relaxed);
 }
 
 namespace internal_logging {

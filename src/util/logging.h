@@ -15,6 +15,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// environment variable ("debug".."fatal", "warn", or 0-4) overrides both
 /// the default and SetLogLevel, so verbosity can be raised on any binary
 /// without a rebuild.
+///
+/// Thread safety: the level is atomic and may be read/written from any
+/// thread (the matrix runner's workers log concurrently). Each message is
+/// buffered whole and emitted with a single stdio call, so concurrent
+/// messages never interleave mid-line (stdio locks per call); their
+/// relative order across threads is unspecified.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

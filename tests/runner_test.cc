@@ -1,0 +1,254 @@
+// Tests for the experiment-matrix runner (src/runner/): deterministic
+// collection across thread counts, failure isolation, cell-id and path
+// templating, and the JSONL/trace artifact plumbing.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/oltp_cell.h"
+#include "runner/runner.h"
+#include "util/logging.h"
+
+namespace cloudybench::runner {
+namespace {
+
+/// A small but real OLTP matrix: 2 SUTs x 2 modes, short windows. Real
+/// cells (full cluster + workload) are the point — determinism must hold
+/// for the actual simulations, not a stub.
+std::vector<CellSpec> SmallOltpMatrix(uint64_t seed) {
+  std::vector<CellSpec> cells;
+  for (sut::SutKind kind : {sut::SutKind::kAwsRds, sut::SutKind::kCdb3}) {
+    for (const char* mode : {"RO", "RW"}) {
+      CellSpec spec;
+      spec.sut = kind;
+      spec.scale_factor = 1;
+      spec.n_ro = 0;
+      spec.concurrency = 20;
+      spec.pattern = mode;
+      spec.seed = seed;
+      // The collector's TPS series samples once per window (1s); the
+      // measure window must cover at least a couple of samples.
+      spec.warmup = sim::Seconds(1);
+      spec.measure = sim::Seconds(2);
+      cells.push_back(spec);
+    }
+  }
+  return cells;
+}
+
+std::vector<std::string> JsonLines(const std::vector<CellResult>& results) {
+  std::vector<std::string> lines;
+  for (const CellResult& r : results) lines.push_back(ToJsonLine(r));
+  return lines;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(MatrixRunnerTest, ByteIdenticalAcrossJobCounts) {
+  std::vector<CellSpec> cells = SmallOltpMatrix(/*seed=*/42);
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  serial.print_summary = false;
+  std::vector<CellResult> r1 = MatrixRunner(serial).Run(cells, RunOltpCell);
+
+  RunnerOptions wide;
+  wide.jobs = 8;
+  wide.print_summary = false;
+  std::vector<CellResult> r8 = MatrixRunner(wide).Run(cells, RunOltpCell);
+
+  ASSERT_EQ(r1.size(), cells.size());
+  ASSERT_EQ(r8.size(), cells.size());
+  // The serialized rows — every column, every formatted digit — must match
+  // byte for byte; this is the artifact-level determinism contract.
+  EXPECT_EQ(JsonLines(r1), JsonLines(r8));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_TRUE(r1[i].ok) << r1[i].error;
+    EXPECT_GT(r1[i].Number("tps"), 0) << r1[i].id;
+  }
+}
+
+TEST(MatrixRunnerTest, ResultsComeBackInMatrixOrder) {
+  std::vector<CellSpec> cells = SmallOltpMatrix(/*seed=*/7);
+  RunnerOptions options;
+  options.jobs = 4;
+  options.print_summary = false;
+  std::vector<CellResult> results =
+      MatrixRunner(options).Run(cells, RunOltpCell);
+  ASSERT_EQ(results.size(), cells.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].id, DefaultCellId(cells[i]));
+  }
+}
+
+TEST(MatrixRunnerTest, ThrowingCellBecomesErrorRowOthersSurvive) {
+  std::vector<CellSpec> cells(3);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i].id = "cell" + std::to_string(i);
+  }
+  RunnerOptions options;
+  options.jobs = 2;
+  options.print_summary = false;
+  std::vector<CellResult> results = MatrixRunner(options).Run(
+      cells, [](const CellContext& ctx) -> CellResult {
+        if (ctx.index == 1) throw std::runtime_error("deliberate failure");
+        CellResult result;
+        result.ok = true;
+        result.AddMetric("answer", 42.0, 0);
+        return result;
+      });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error, "deliberate failure");
+  EXPECT_EQ(results[1].id, "cell1");
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_EQ(results[2].Text("answer"), "42");
+}
+
+TEST(MatrixRunnerTest, ResolveJobsClampsToMatrixAndHardware) {
+  RunnerOptions fixed;
+  fixed.jobs = 8;
+  EXPECT_EQ(MatrixRunner(fixed).ResolveJobs(3), 3);
+  EXPECT_EQ(MatrixRunner(fixed).ResolveJobs(100), 8);
+
+  RunnerOptions automatic;  // jobs=0 -> hardware_concurrency
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw == 0) hw = 1;
+  EXPECT_EQ(MatrixRunner(automatic).ResolveJobs(1000), hw);
+  EXPECT_EQ(MatrixRunner(automatic).ResolveJobs(1), 1);
+}
+
+TEST(MatrixRunnerTest, WritesJsonlArtifactInMatrixOrder) {
+  std::string path = testing::TempDir() + "/runner_test_rows.jsonl";
+  std::remove(path.c_str());
+
+  std::vector<CellSpec> cells(4);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i].id = "c" + std::to_string(i);
+  }
+  RunnerOptions options;
+  options.jobs = 4;
+  options.jsonl_path = path;
+  options.print_summary = false;
+  std::vector<CellResult> results = MatrixRunner(options).Run(
+      cells, [](const CellContext& ctx) {
+        CellResult result;
+        result.ok = true;
+        result.AddMetric("idx", static_cast<double>(ctx.index), 0);
+        return result;
+      });
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string line;
+  size_t n = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line, ToJsonLine(results[n])) << "line " << n;
+    EXPECT_NE(line.find("\"cell\":\"c" + std::to_string(n) + "\""),
+              std::string::npos)
+        << line;
+    ++n;
+  }
+  EXPECT_EQ(n, cells.size());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixRunnerTest, TraceTemplateWritesPerCellChromeTrace) {
+  std::string tmpl = testing::TempDir() + "/runner_test_{sut}_{index}.json";
+  CellSpec spec;
+  spec.sut = sut::SutKind::kCdb3;
+  spec.concurrency = 10;
+  spec.warmup = sim::Millis(100);
+  spec.measure = sim::Millis(200);
+  std::string expected = ExpandCellTemplate(tmpl, spec, 0);
+  std::remove(expected.c_str());
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.trace_template = tmpl;
+  options.print_summary = false;
+  std::vector<CellResult> results =
+      MatrixRunner(options).Run({spec}, RunOltpCell);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+
+  std::string trace = ReadFile(expected);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos)
+      << expected << " is not a Chrome trace (" << trace.substr(0, 80) << ")";
+  EXPECT_NE(trace.find("txn"), std::string::npos)
+      << "trace has no transaction spans";
+  std::remove(expected.c_str());
+}
+
+TEST(CellSpecTest, DefaultCellIdNamesTheCoordinates) {
+  CellSpec spec;
+  spec.sut = sut::SutKind::kCdb3;
+  spec.scale_factor = 10;
+  spec.pattern = "RW";
+  spec.concurrency = 150;
+  spec.seed = 42;
+  EXPECT_EQ(DefaultCellId(spec), "CDB3/sf10/RW/con150/seed42");
+}
+
+TEST(CellSpecTest, TemplateExpansionIsPathSafe) {
+  CellSpec spec;
+  spec.sut = sut::SutKind::kAwsRds;  // SutName contains a space
+  spec.scale_factor = 100;
+  spec.pattern = "WO";
+  spec.concurrency = 50;
+  spec.seed = 7;
+  EXPECT_EQ(ExpandCellTemplate("t/{sut}-sf{sf}-{pattern}-{con}-{seed}.json",
+                               spec, 3),
+            "t/AWS-RDS-sf100-WO-50-7.json");
+  // {id} folds its '/' separators so it stays one path component.
+  EXPECT_EQ(ExpandCellTemplate("{id}.json", spec, 3),
+            "AWS-RDS-sf100-WO-con50-seed7.json");
+  EXPECT_EQ(ExpandCellTemplate("{index}.json", spec, 3), "3.json");
+  // Unknown placeholders pass through untouched.
+  EXPECT_EQ(ExpandCellTemplate("{nope}-{sf}", spec, 0), "{nope}-100");
+}
+
+TEST(CellResultTest, JsonLineShapes) {
+  CellResult result;
+  result.id = "CDB3/sf1/RW/con100/seed42";
+  result.index = 2;
+  result.ok = true;
+  result.sim_seconds = 3.0;
+  result.wall_ms = 123.456;  // must NOT appear in the serialized row
+  result.AddMetric("tps", 1234.75, 0);
+  result.AddText("range", "0.50-3.25");
+  std::string line = ToJsonLine(result);
+  EXPECT_EQ(line,
+            "{\"cell\":\"CDB3/sf1/RW/con100/seed42\",\"index\":2,"
+            "\"ok\":true,\"sim_seconds\":3.000,\"tps\":1235,"
+            "\"range\":\"0.50-3.25\"}");
+
+  CellResult failed;
+  failed.id = "x";
+  failed.index = 0;
+  failed.error = "boom \"quoted\"";
+  EXPECT_EQ(ToJsonLine(failed),
+            "{\"cell\":\"x\",\"index\":0,\"ok\":false,"
+            "\"error\":\"boom \\\"quoted\\\"\",\"sim_seconds\":0.000}");
+}
+
+}  // namespace
+}  // namespace cloudybench::runner
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
