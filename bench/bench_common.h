@@ -1,6 +1,7 @@
 #ifndef CLOUDYBENCH_BENCH_BENCH_COMMON_H_
 #define CLOUDYBENCH_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,8 @@
 #include "core/evaluators.h"
 #include "core/sales_workload.h"
 #include "core/workload_manager.h"
+#include "obs/exporters.h"
+#include "obs/timeline.h"
 #include "sim/environment.h"
 #include "sut/profiles.h"
 #include "util/logging.h"
@@ -113,6 +116,8 @@ struct BenchArgs {
 
 /// One deployed SUT ready to benchmark: environment + loaded, prewarmed
 /// cluster. Construct one per measurement cell (fresh, deterministic).
+/// The timeline sampler starts with the rig and no-ops unless the caller
+/// armed the thread-local obs::Timeline first (see BeginTimelineCell).
 struct SutRig {
   SutRig(sut::SutKind kind, int64_t sf, int n_ro,
          const std::vector<storage::TableSchema>& schemas,
@@ -122,11 +127,56 @@ struct SutRig {
     cluster = std::make_unique<cloud::Cluster>(&env, cfg, n_ro);
     cluster->Load(schemas, sf);
     cluster->PrewarmBuffers();
+    sampler.Start();
   }
 
   sim::Environment env;
   std::unique_ptr<cloud::Cluster> cluster;
+  obs::TimelineSampler sampler{&env};
 };
+
+/// Serial-bench timeline cell protocol. `dir` empty disables everything
+/// (the bench runs exactly as before). Otherwise: call BeginTimelineCell
+/// *before* constructing the cell's SutRig (the rig's sampler only starts
+/// if the timeline is already enabled), run the cell, then
+/// ExportTimelineCell to write `<dir>/<cell>.timeline.{csv,jsonl}`.
+inline void BeginTimelineCell(const std::string& dir) {
+  // Reset the metric registry too, so a cell's sampled metric names
+  // (cluster.<name>#<seq>.*) depend only on the cell, not on how many
+  // cells the bench ran before it — the same guarantee MatrixRunner gives.
+  obs::MetricRegistry::Get().Clear();
+  obs::Timeline& timeline = obs::Timeline::Get();
+  timeline.Clear();
+  timeline.SetEnabled(!dir.empty());
+}
+
+/// Path-safe cell name: anything outside [A-Za-z0-9.-] becomes '_'
+/// ("AWS RDS" -> "AWS_RDS", "I60/U30/D10" -> "I60_U30_D10").
+inline std::string TimelineCellName(std::string s) {
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '.') {
+      c = '_';
+    }
+  }
+  return s;
+}
+
+inline void ExportTimelineCell(const std::string& dir,
+                               const std::string& cell) {
+  obs::Timeline& timeline = obs::Timeline::Get();
+  if (!dir.empty()) {
+    std::string base = dir + "/" + cell + ".timeline";
+    util::Status csv = obs::WriteTimelineCsvFile(timeline, base + ".csv");
+    if (!csv.ok()) CB_LOG(kError) << "timeline CSV export failed: " << csv;
+    util::Status jsonl =
+        obs::WriteTimelineJsonlFile(timeline, base + ".jsonl");
+    if (!jsonl.ok()) {
+      CB_LOG(kError) << "timeline JSONL export failed: " << jsonl;
+    }
+  }
+  timeline.SetEnabled(false);
+  timeline.Clear();
+}
 
 /// Enables serverless behaviour for elasticity runs: the autoscaler policy
 /// stays as profiled and memory follows vCores.

@@ -12,6 +12,7 @@
 // 60 s slots; see DESIGN.md.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -20,7 +21,7 @@ namespace {
 
 constexpr double kTimeScale = 0.1;
 
-void Run(const BenchArgs& args) {
+void Run(const BenchArgs& args, const std::string& timeline_dir) {
   int tau = 110;  // the paper's calibrated saturation concurrency
   sim::SimTime slot = sim::Seconds(60 * kTimeScale);
 
@@ -52,10 +53,16 @@ void Run(const BenchArgs& args) {
         // the paper evaluates.
         cloud::ClusterConfig cluster_cfg = sut::MakeProfile(kind, kTimeScale);
         MakeServerless(&cluster_cfg);
+        // One timeline cell per (mode, SUT, pattern): the journal captures
+        // every autoscale.decision/applied (and pause/resume) the pattern
+        // provokes, the sampler the vcores/memory series between them.
+        BeginTimelineCell(timeline_dir);
         sim::Environment env;
         cloud::Cluster cluster(&env, cluster_cfg, 0);
         cluster.Load(txns.Schemas(), 1);
         cluster.PrewarmBuffers();
+        obs::TimelineSampler sampler(&env);
+        sampler.Start();
 
         ElasticityEvaluator::Options options;
         options.tau = tau;
@@ -77,6 +84,11 @@ void Run(const BenchArgs& args) {
                       "(" + schedule + ")", F0(result.mean_tps),
                       Dollars(result.total_cost.total()), Dollars(scaled_cost),
                       F0(result.e1_score)});
+        ExportTimelineCell(
+            timeline_dir,
+            TimelineCellName(std::string("fig6_") + mode.name + "_" +
+                             sut::SutName(kind) + "_" +
+                             ElasticityPatternName(pattern)));
       }
       table.AddSeparator();
     }
@@ -89,6 +101,11 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string timeline_dir = "timelines";
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--timeline-dir=", &timeline_dir,
+        "timeline artifact directory (empty disables; default timelines)"}});
+  cloudybench::bench::Run(args, timeline_dir);
   return 0;
 }

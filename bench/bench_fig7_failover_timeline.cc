@@ -3,15 +3,64 @@
 // the new RW), and recovering (roll back in-flight transactions while
 // serving). The paper observes ~1 s prepare, ~2 s switch-over, ~3 s
 // recovering, with the cluster fully back after ~6 s.
+//
+// The phase column is read off the structured event journal: the cluster
+// emits failover.* events as recovery progresses, and each printed row
+// shows the phase of the latest event at or before its timestamp — the
+// bench no longer re-derives the schedule from RecoveryModel arithmetic.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
 namespace cloudybench::bench {
 namespace {
 
-void Run(const BenchArgs& args) {
+/// Fallback for -DCLOUDYBENCH_ENABLE_OBS=OFF builds (no journal to read):
+/// the same phase schedule derived from the RecoveryModel constants.
+const char* PhaseFromModel(double dt, const cloud::RecoveryModel& rm) {
+  double detect = rm.detect.ToSeconds();
+  double prepare_end = detect + rm.prepare_phase.ToSeconds();
+  double switch_end = prepare_end + rm.switchover_phase.ToSeconds();
+  double recover_end = switch_end + rm.recovering_phase.ToSeconds();
+  return dt < detect        ? "heartbeat detection"
+         : dt < prepare_end ? "prepare (refuse requests, collect LSNs)"
+         : dt < switch_end  ? "switch over (promote RO->RW')"
+         : dt < recover_end ? "recovering (rollback via undo)"
+                            : "recovered";
+}
+
+/// Fail-over phase at absolute sim time `t_abs_s`, per the event journal.
+/// Kinds outside the fail-over state machine (capacity.fraction ramp steps,
+/// checkpoint.flush, undo_complete, rejoin, ...) do not change the phase.
+const char* PhaseFromJournal(double t_abs_s) {
+  int64_t t_us = static_cast<int64_t>(t_abs_s * 1e6 + 0.5);
+  const char* phase = "heartbeat detection";
+  for (const obs::TimelineEvent& e : obs::Timeline::Get().events()) {
+    if (e.t_us > t_us) break;
+    if (e.kind == "failover.inject" || e.kind == "failover.detect") {
+      phase = "heartbeat detection";
+    } else if (e.kind == "failover.prepare") {
+      phase = "prepare (refuse requests, collect LSNs)";
+    } else if (e.kind == "failover.switchover" ||
+               e.kind == "failover.promote") {
+      phase = "switch over (promote RO->RW')";
+    } else if (e.kind == "failover.recovering") {
+      phase = "recovering (rollback via undo)";
+    } else if (e.kind == "failover.recovered") {
+      phase = "recovered";
+    }
+  }
+  return phase;
+}
+
+void Run(const BenchArgs& args, const std::string& timeline_dir) {
+  // The journal drives the phase column, so the timeline is always armed;
+  // --timeline-dir= only controls whether artifacts are written.
+  obs::Timeline::Get().Clear();
+  obs::Timeline::Get().SetEnabled(true);
+
   SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
   cfg.seed = args.seed;
   cfg.route_reads_to_replicas = false;  // keep every txn in one TPS stream
@@ -19,6 +68,7 @@ void Run(const BenchArgs& args) {
   SutRig rig(sut::SutKind::kCdb4, /*sf=*/1, /*n_ro=*/1, txns.Schemas());
 
   PerformanceCollector collector(&rig.env, sim::Millis(250));
+  collector.RegisterWith(&obs::MetricRegistry::Get(), "oltp.");
   collector.Start();
   WorkloadManager manager(&rig.env, rig.cluster.get(), &txns, &collector);
   manager.SetConcurrency(150);
@@ -32,21 +82,16 @@ void Run(const BenchArgs& args) {
   std::printf("=== Figure 7: CDB4 fail-over timeline (failure at t=0) ===\n\n");
   std::printf("%-8s %-6s %-28s %-28s %s\n", "t(s)", "TPS", "node A (old RW)",
               "node B (old RO)", "phase");
-  const cloud::RecoveryModel& rm = rig.cluster->config().recovery;
-  double detect = rm.detect.ToSeconds();
-  double prepare_end = detect + rm.prepare_phase.ToSeconds();
-  double switch_end = prepare_end + rm.switchover_phase.ToSeconds();
-  double recover_end = switch_end + rm.recovering_phase.ToSeconds();
 
   for (double dt = 0.0; dt <= 12.0; dt += 0.5) {
-    rig.env.RunUntil(sim::Seconds(t_f + dt + 0.001));
-    double tps = collector.tps_series().MeanInWindow(t_f + dt - 0.5 + 0.001,
-                                                     t_f + dt + 0.001);
-    const char* phase = dt < detect          ? "heartbeat detection"
-                        : dt < prepare_end   ? "prepare (refuse requests, collect LSNs)"
-                        : dt < switch_end    ? "switch over (promote RO->RW')"
-                        : dt < recover_end   ? "recovering (rollback via undo)"
-                                             : "recovered";
+    rig.env.RunUntil(sim::Seconds(t_f + dt));
+    // The collector stamps each 250 ms sample at its window end, so the
+    // trailing (t-0.5, t] window holds exactly the two samples the old
+    // epsilon-shifted [t-0.5+eps, t+eps) arithmetic selected.
+    double tps = collector.tps_series().MeanInTrailingWindow(t_f + dt, 0.5);
+    const char* phase =
+        obs::kCompiled ? PhaseFromJournal(t_f + dt)
+                       : PhaseFromModel(dt, rig.cluster->config().recovery);
     auto describe = [](cloud::ComputeNode* node) {
       std::string s = node->is_rw() ? "RW" : "RO";
       s += node->available() ? " (up)" : " (down)";
@@ -63,6 +108,8 @@ void Run(const BenchArgs& args) {
   std::printf("remote buffer pool stayed warm: %lld pages resident\n",
               static_cast<long long>(
                   rig.cluster->remote_buffer()->resident_pages()));
+
+  ExportTimelineCell(timeline_dir, "fig7_cdb4");
 }
 
 }  // namespace
@@ -70,6 +117,11 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string timeline_dir = "timelines";
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--timeline-dir=", &timeline_dir,
+        "timeline artifact directory (empty disables; default timelines)"}});
+  cloudybench::bench::Run(args, timeline_dir);
   return 0;
 }

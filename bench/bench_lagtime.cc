@@ -8,13 +8,14 @@
 // delete-heavy mixes lag least (logical deletion is cheap to apply).
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
 namespace cloudybench::bench {
 namespace {
 
-void Run(const BenchArgs& args) {
+void Run(const BenchArgs& args, const std::string& timeline_dir) {
   struct Mix {
     const char* name;
     int i, u, d;
@@ -29,6 +30,9 @@ void Run(const BenchArgs& args) {
                             "DeleteLag", "C-Score"});
   for (sut::SutKind kind : sut::AllSuts()) {
     for (const Mix& mix : mixes) {
+      // One timeline cell per (SUT, mix): journal (replay backlog
+      // high-water marks) plus sampled repl.backlog / lag gauges.
+      BeginTimelineCell(timeline_dir);
       SutRig rig(kind, /*sf=*/1, /*n_ro=*/1, sales::Schemas());
       LagTimeEvaluator::Options options;
       options.concurrency = 20;
@@ -42,6 +46,9 @@ void Run(const BenchArgs& args) {
       table.AddRow({sut::SutName(kind), mix.name, F2(result.insert_lag_ms),
                     F2(result.update_lag_ms), F2(result.delete_lag_ms),
                     F2(result.c_score)});
+      ExportTimelineCell(
+          timeline_dir, TimelineCellName(std::string("lagtime_") +
+                                         sut::SutName(kind) + "_" + mix.name));
     }
     table.AddSeparator();
   }
@@ -53,6 +60,11 @@ void Run(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
-  cloudybench::bench::Run(cloudybench::bench::BenchArgs::Parse(argc, argv));
+  std::string timeline_dir = "timelines";
+  cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
+      argc, argv,
+      {{"--timeline-dir=", &timeline_dir,
+        "timeline artifact directory (empty disables; default timelines)"}});
+  cloudybench::bench::Run(args, timeline_dir);
   return 0;
 }

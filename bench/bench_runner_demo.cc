@@ -5,7 +5,9 @@
 // contract end to end: stdout is byte-identical at --jobs=1 and --jobs=N
 // for the same matrix and seed. It also demonstrates the artifact plumbing
 // (--jsonl= row dump, --trace-template= per-cell Chrome traces,
-// --metrics-template= per-cell metric snapshots).
+// --metrics-template= per-cell metric snapshots,
+// --timeline-csv-template= / --timeline-jsonl-template= per-cell
+// timeline artifacts).
 
 #include <cstdio>
 
@@ -66,6 +68,7 @@ void Run(const BenchArgs& args, const runner::RunnerOptions& options) {
 int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
   std::string jsonl_path, trace_template, metrics_template;
+  std::string timeline_csv_template, timeline_jsonl_template;
   cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
       argc, argv,
       {{"--jsonl=", &jsonl_path, "write per-cell result rows (JSONL)"},
@@ -73,12 +76,18 @@ int main(int argc, char** argv) {
         "per-cell Chrome trace path; {id}/{index}/{sut}/{sf}/{con}/"
         "{pattern}/{seed} expand"},
        {"--metrics-template=", &metrics_template,
-        "per-cell metrics snapshot path (same placeholders)"}});
+        "per-cell metrics snapshot path (same placeholders)"},
+       {"--timeline-csv-template=", &timeline_csv_template,
+        "per-cell timeline CSV path (same placeholders)"},
+       {"--timeline-jsonl-template=", &timeline_jsonl_template,
+        "per-cell timeline JSONL path (same placeholders)"}});
   cloudybench::runner::RunnerOptions options;
   options.jobs = args.jobs;
   options.jsonl_path = jsonl_path;
   options.trace_template = trace_template;
   options.metrics_template = metrics_template;
+  options.timeline_csv_template = timeline_csv_template;
+  options.timeline_jsonl_template = timeline_jsonl_template;
   cloudybench::bench::Run(args, options);
   return 0;
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + ctest in Release, then again with
 # AddressSanitizer and ThreadSanitizer (-DCLOUDYBENCH_SANITIZE=...), plus a
-# matrix-runner determinism smoke: bench_runner_demo's stdout must be
-# byte-identical at --jobs=1 and --jobs=2. Build trees live under
-# build-check/ so the developer's main build/ is left alone.
+# matrix-runner determinism smoke: bench_runner_demo's stdout and per-cell
+# timeline CSV artifacts must be byte-identical at --jobs=1 and --jobs=2.
+# Build trees live under build-check/ so the developer's main build/ is
+# left alone. The sanitizer suites run every test, including the timeline
+# suite, under ASan/TSan via ctest.
 #
 # Usage: scripts/check.sh [--asan-only|--release-only|--tsan-only]
 set -euo pipefail
@@ -37,16 +39,32 @@ runner_smoke() {
   echo "=== [runner] output byte-identical across job counts ==="
 }
 
+# Same contract for the per-cell timeline artifacts: every cell's timeline
+# CSV must be byte-identical no matter which worker thread it ran on.
+timeline_smoke() {
+  local dir="build-check/release"
+  echo "=== [timeline] determinism smoke (--jobs=1 vs --jobs=2) ==="
+  rm -rf "${dir}/tl_j1" "${dir}/tl_j2"
+  "${dir}/bench/bench_runner_demo" --jobs=1 \
+    --timeline-csv-template="${dir}/tl_j1/{id}.timeline.csv" > /dev/null
+  "${dir}/bench/bench_runner_demo" --jobs=2 \
+    --timeline-csv-template="${dir}/tl_j2/{id}.timeline.csv" > /dev/null
+  diff -r "${dir}/tl_j1" "${dir}/tl_j2"
+  echo "=== [timeline] artifacts byte-identical across job counts ==="
+}
+
 case "${MODE}" in
   all)
     run_suite release
     runner_smoke
+    timeline_smoke
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
     ;;
   --release-only)
     run_suite release
     runner_smoke
+    timeline_smoke
     ;;
   --asan-only)
     run_suite asan -DCLOUDYBENCH_SANITIZE=address

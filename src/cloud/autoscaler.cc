@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/timeline.h"
 #include "util/logging.h"
 
 namespace cloudybench::cloud {
@@ -42,12 +43,23 @@ double Autoscaler::Quantize(double vcores) const {
   return std::clamp(q, config_.min_vcores, config_.max_vcores);
 }
 
+void Autoscaler::RecordChange(const char* kind, const char* detail,
+                              double from, double to) {
+  double now_s = env_->Now().ToSeconds();
+  events_.push_back(ScalingEvent{now_s, from, to});
+  scaling_series_.Add(now_s, to);
+  obs::EmitEvent(env_, scope_, kind, detail, to);
+}
+
 void Autoscaler::ScheduleCapacity(double vcores, sim::SimTime delay) {
+  obs::EmitEvent(env_, scope_, "autoscale.decision",
+                 vcores > target_->allocated_vcores() ? "up" : "down", vcores);
   env_->ScheduleCall(env_->Now() + delay, [this, vcores] {
     double from = target_->allocated_vcores();
     if (from == vcores) return;
     target_->ApplyVcores(vcores);
-    events_.push_back(ScalingEvent{env_->Now().ToSeconds(), from, vcores});
+    RecordChange("autoscale.applied", from < vcores ? "up" : "down", from,
+                 vcores);
   });
 }
 
@@ -66,8 +78,8 @@ sim::Process Autoscaler::ControlLoop() {
         double resume_to = std::max(config_.min_vcores, config_.quantum_vcores);
         double from = target_->allocated_vcores();
         target_->ApplyVcores(resume_to);
-        events_.push_back(
-            ScalingEvent{env_->Now().ToSeconds(), from, resume_to});
+        RecordChange("autoscale.resume", "cold-start on demand", from,
+                     resume_to);
         paused_ = false;
         idle_since_s_ = -1;
         last_busy_ = target_->busy_core_seconds();
@@ -143,7 +155,8 @@ sim::Process Autoscaler::ControlLoop() {
                      config_.pause_after_idle.ToSeconds()) {
             double from = target_->allocated_vcores();
             target_->ApplyVcores(0.0);
-            events_.push_back(ScalingEvent{now_s, from, 0.0});
+            RecordChange("autoscale.pause", "scale-to-zero after idle", from,
+                         0.0);
             paused_ = true;
             idle_since_s_ = -1;
           }

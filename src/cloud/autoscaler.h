@@ -6,6 +6,7 @@
 
 #include "sim/environment.h"
 #include "sim/task.h"
+#include "util/stats.h"
 
 namespace cloudybench::cloud {
 
@@ -89,7 +90,19 @@ class Autoscaler {
   /// Spawns the control loop (no-op for kFixed). Idempotent.
   void Start();
 
+  /// Observability identity ("cluster.CDB4#0.autoscaler"); the owning
+  /// cluster sets it before Start() so scaling decisions, provisioning
+  /// completions and pause/resume transitions land in the event journal
+  /// (obs::EmitEvent) under the cluster's metric prefix.
+  void SetScope(std::string scope) { scope_ = std::move(scope); }
+  const std::string& scope() const { return scope_; }
+
   const std::vector<ScalingEvent>& events() const { return events_; }
+  /// events() as a registrable series — one (time_s, vcores-after) point
+  /// per completed capacity change, including pause (0) and resume. The
+  /// cluster registers this with the MetricRegistry so exporters see the
+  /// full scaling history, not just an event count.
+  const util::TimeSeries& scaling_series() const { return scaling_series_; }
   const AutoscalerConfig& config() const { return config_; }
   bool paused() const { return paused_; }
 
@@ -98,10 +111,14 @@ class Autoscaler {
   /// Quantizes and clamps, then schedules the capacity change after `delay`.
   void ScheduleCapacity(double vcores, sim::SimTime delay);
   double Quantize(double vcores) const;
+  /// One completed capacity change: events_ row, series point, journal.
+  void RecordChange(const char* kind, const char* detail, double from,
+                    double to);
 
   sim::Environment* env_;
   ScalingTarget* target_;
   AutoscalerConfig config_;
+  std::string scope_ = "autoscaler";
   bool started_ = false;
   bool paused_ = false;
   double last_busy_ = 0;
@@ -109,6 +126,7 @@ class Autoscaler {
   int low_ticks_ = 0;
   double idle_since_s_ = -1;
   std::vector<ScalingEvent> events_;
+  util::TimeSeries scaling_series_;
 };
 
 }  // namespace cloudybench::cloud

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metric_registry.h"
+#include "obs/timeline.h"
 #include "util/logging.h"
 
 namespace cloudybench::cloud {
@@ -61,6 +62,16 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
   schemas_ = schemas;
   scale_factor_ = scale_factor;
 
+  // Observability identity, fixed before any machinery exists so the
+  // autoscaler and fail-over paths can journal events under it. Tenants can
+  // deploy the same profile twice, so the prefix carries an instance
+  // sequence number; the registry owns the sequence (thread-local, reset by
+  // Clear()) so matrix cells get the same names regardless of worker
+  // placement.
+  metric_prefix_ =
+      "cluster." + cfg_.name + "#" +
+      std::to_string(obs::MetricRegistry::Get().NextInstanceId()) + ".";
+
   // ---- storage and log tiers ----
   if (cfg_.use_local_disk) {
     local_disk_ = std::make_unique<storage::DiskDevice>(env_, cfg_.local_disk);
@@ -114,6 +125,7 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
   // ---- background machinery ----
   autoscaler_ =
       std::make_unique<Autoscaler>(env_, current_rw_, cfg_.autoscaler);
+  autoscaler_->SetScope(metric_prefix_ + "autoscaler");
   autoscaler_->Start();
 
   meter_ = std::make_unique<ResourceMeter>(env_, cfg_.price_book,
@@ -136,13 +148,8 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
 }
 
 void Cluster::RegisterMetrics() {
-  // Tenants can deploy the same profile twice, so the prefix carries an
-  // instance sequence number to keep every cluster's metrics distinct. The
-  // registry owns the sequence (thread-local, reset by Clear()) so matrix
-  // cells get the same metric names regardless of worker placement.
+  // metric_prefix_ was fixed at the top of Load(); this publishes under it.
   obs::MetricRegistry& registry = obs::MetricRegistry::Get();
-  metric_prefix_ = "cluster." + cfg_.name + "#" +
-                   std::to_string(registry.NextInstanceId()) + ".";
   registry.RegisterGauge(metric_prefix_ + "buffer.rw.hit_ratio", [this] {
     const storage::BufferPool& pool = current_rw_->buffer();
     int64_t lookups = pool.hits() + pool.misses();
@@ -183,6 +190,10 @@ void Cluster::RegisterMetrics() {
                           &meter_->vcores_series());
   registry.RegisterSeries(metric_prefix_ + "meter.memory_gb",
                           &meter_->memory_series());
+  // The full scaling history — every completed capacity change as a
+  // (time, vcores-after) point — not just the event-count gauge above.
+  registry.RegisterSeries(metric_prefix_ + "autoscaler.scaling",
+                          &autoscaler_->scaling_series());
 }
 
 size_t Cluster::AddRoNode() {
@@ -211,6 +222,7 @@ size_t Cluster::AddRoNode() {
                                       : page_server_cpu_.get();
   replayers_.push_back(std::make_unique<repl::Replayer>(
       env_, replica_raw, repl_link, replay_cpu, cfg_.replay));
+  replayers_.back()->SetScope(Scope() + ".repl" + std::to_string(index));
   return index;
 }
 
@@ -286,6 +298,8 @@ sim::Process Cluster::CheckpointLoop() {
     std::vector<storage::PageId> dirty =
         rw->buffer().TakeDirty(static_cast<size_t>(cfg_.checkpoint_batch_pages));
     if (!dirty.empty()) {
+      obs::EmitEvent(env_, Scope(), "checkpoint.flush", "dirty pages",
+                     static_cast<double>(dirty.size()));
       co_await local_disk_->Write(static_cast<int64_t>(dirty.size()) *
                                   BufferPool::kPageBytes);
     }
@@ -299,6 +313,8 @@ void Cluster::InjectRwRestart(sim::SimTime at) {
     int64_t dirty = failed->dirty_pages();
     int64_t active = failed->active_txns();
     int64_t backlog = log_mgr_->pending_bytes();
+    obs::EmitEvent(env_, Scope(), "failover.inject", "rw restart",
+                   static_cast<double>(active));
     failed->SetAvailable(false);
     failed->ClearLocalBuffer();
     env_->Spawn(RwRecovery(failed, dirty, active, backlog));
@@ -310,6 +326,7 @@ void Cluster::InjectRoRestart(size_t ro_index, sim::SimTime at) {
   env_->ScheduleCall(at, [this, ro_index] {
     ComputeNode* node = ro_nodes_[ro_index];
     if (!node->available()) return;
+    obs::EmitEvent(env_, Scope(), "failover.inject", "ro restart: " + node->name());
     node->SetAvailable(false);
     node->ClearLocalBuffer();
     env_->Spawn(RoRecovery(node));
@@ -321,6 +338,7 @@ sim::Process Cluster::RwRecovery(ComputeNode* failed, int64_t dirty_pages,
                                  int64_t log_backlog_bytes) {
   const RecoveryModel& rm = cfg_.recovery;
   co_await env_->Delay(rm.detect);
+  obs::EmitEvent(env_, Scope(), "failover.detect", "heartbeat timeout");
 
   ComputeNode* promoted = nullptr;
   if (rm.promote_ro) {
@@ -338,7 +356,11 @@ sim::Process Cluster::RwRecovery(ComputeNode* failed, int64_t dirty_pages,
     // (switch over), then the new RW rolls back in-flight transactions
     // while already serving (recovering).
     promoted->SetAvailable(false);
+    obs::EmitEvent(env_, Scope(), "failover.prepare",
+                   "refuse requests, collect LSNs");
     co_await env_->Delay(rm.prepare_phase);
+    obs::EmitEvent(env_, Scope(), "failover.switchover",
+                   "promote " + promoted->name());
     co_await env_->Delay(rm.switchover_phase);
 
     storage::TableSet* replica_of_promoted = promoted->tables();
@@ -353,19 +375,40 @@ sim::Process Cluster::RwRecovery(ComputeNode* failed, int64_t dirty_pages,
     }
     current_rw_ = promoted;
     promoted->SetAvailable(true);
+    obs::EmitEvent(env_, Scope(), "failover.promote",
+                   promoted->name() + " is the new RW");
+    obs::EmitEvent(env_, Scope(), "failover.recovering", "rollback via undo",
+                   static_cast<double>(active_txns));
     // The new RW serves immediately but at reduced effective capacity
     // while the undo scan and cache re-warming proceed (its ramp starts at
     // service resume).
     env_->Spawn(CapacityRamp(promoted));
 
+    // Journal the model's recovering-phase boundary (what Fig. 7 plots);
+    // the per-txn undo tail below may run slightly past it and is reported
+    // separately. The scheduled call only appends to the journal, so it
+    // cannot perturb the simulation.
+    if (obs::Timeline::Get().enabled()) {
+      env_->ScheduleCall(env_->Now() + rm.recovering_phase,
+                         [this, scope = Scope()] {
+                           obs::EmitEvent(env_, scope, "failover.recovered",
+                                          "recovering phase complete");
+                         });
+    }
+
     co_await env_->Delay(rm.recovering_phase +
                          rm.per_active_txn_undo * static_cast<double>(active_txns));
+    obs::EmitEvent(env_, Scope(), "failover.undo_complete",
+                   "in-flight transactions rolled back",
+                   static_cast<double>(active_txns));
 
     // The failed node restarts, transforms into an RO over the promoted
     // node's old replica tables, and rejoins.
     failed->DemoteToRo(replica_of_promoted);
     co_await env_->Delay(rm.base_restart);
     failed->SetAvailable(true);
+    obs::EmitEvent(env_, Scope(), "failover.rejoin",
+                   failed->name() + " rejoined as RO");
     ro_nodes_.push_back(failed);
     co_return;
   }
@@ -387,8 +430,12 @@ sim::Process Cluster::InPlaceRecovery(ComputeNode* failed,
   duration += rm.per_active_txn_undo * static_cast<double>(active_txns);
   // Redo of the unflushed log tail (256KB/token equivalent rate).
   duration += sim::Micros(log_backlog_bytes / 64);
+  obs::EmitEvent(env_, Scope(), "failover.restart", "restart in place",
+                 duration.ToSeconds());
   co_await env_->Delay(duration);
   failed->SetAvailable(true);
+  obs::EmitEvent(env_, Scope(), "failover.recovered",
+                 failed->name() + " serving again");
   env_->Spawn(CapacityRamp(failed));
 }
 
@@ -399,6 +446,8 @@ void Cluster::InjectRwKill(sim::SimTime at) {
     killed_dirty_pages_ = victim->dirty_pages();
     killed_active_txns_ = victim->active_txns();
     killed_log_backlog_ = log_mgr_->pending_bytes();
+    obs::EmitEvent(env_, Scope(), "failover.kill", "rw kill; awaiting manual start",
+                   static_cast<double>(killed_active_txns_));
     victim->SetAvailable(false);
     victim->ClearLocalBuffer();
     rw_killed_ = true;
@@ -412,6 +461,7 @@ util::Status Cluster::ManualStartRw() {
     return util::Status::FailedPrecondition("RW node was not killed");
   }
   rw_killed_ = false;
+  obs::EmitEvent(env_, Scope(), "failover.manual_start", "operator start");
   env_->Spawn(InPlaceRecovery(current_rw_, killed_dirty_pages_,
                               killed_active_txns_, killed_log_backlog_));
   return util::Status::OK();
@@ -421,6 +471,8 @@ sim::Process Cluster::RoRecovery(ComputeNode* node) {
   const RecoveryModel& rm = cfg_.recovery;
   co_await env_->Delay(rm.detect + rm.ro_restart + rm.service_handshake);
   node->SetAvailable(true);
+  obs::EmitEvent(env_, Scope(), "failover.ro_recovered",
+                 node->name() + " serving again");
   env_->Spawn(CapacityRamp(node));
 }
 

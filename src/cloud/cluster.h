@@ -187,6 +187,13 @@ class Cluster {
   /// under a unique prefix; the destructor unregisters them (the callbacks
   /// capture `this`).
   void RegisterMetrics();
+  /// Event-journal scope: the metric prefix without its trailing dot
+  /// ("cluster.CDB4#0"). Valid once Load() has run.
+  std::string Scope() const {
+    return metric_prefix_.empty()
+               ? "cluster." + cfg_.name
+               : metric_prefix_.substr(0, metric_prefix_.size() - 1);
+  }
 
   sim::Environment* env_;
   ClusterConfig cfg_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace cloudybench::cloud {
@@ -193,6 +194,12 @@ void ComputeNode::DemoteToRo(storage::TableSet* replica) {
 
 void ComputeNode::SetCapacityFraction(double fraction) {
   CB_CHECK(fraction > 0.0 && fraction <= 1.0);
+  if (fraction != capacity_fraction_) {
+    obs::EmitEvent(env_, "node." + config_.name, "capacity.fraction",
+                   fraction < capacity_fraction_ ? "throttle" : "boost",
+                   fraction);
+    capacity_fraction_ = fraction;
+  }
   cpu_->SetCapacity(allocated_vcores_ * fraction);
 }
 

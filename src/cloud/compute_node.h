@@ -127,8 +127,11 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
   void SetBufferBytes(int64_t bytes);
 
   /// Throttles effective CPU capacity to `fraction` of the allocation
-  /// without changing the billed allocation (post-fail-over ramp).
+  /// without changing the billed allocation (post-fail-over ramp,
+  /// multi-tenant throttling). Each change is journaled as a
+  /// "capacity.fraction" timeline event (throttle / boost).
   void SetCapacityFraction(double fraction);
+  double capacity_fraction() const { return capacity_fraction_; }
 
   storage::BufferPool& buffer() { return buffer_; }
   sim::SlotResource& cpu() { return *cpu_; }
@@ -163,6 +166,7 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
   txn::TxnManager txn_mgr_;
 
   bool available_ = true;
+  double capacity_fraction_ = 1.0;
   double allocated_vcores_;
   double allocated_memory_gb_;
   int64_t storage_reads_ = 0;

@@ -2,7 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 
 namespace cloudybench::obs {
 
@@ -42,6 +44,13 @@ void AppendInt(std::string* out, int64_t v) {
 }
 
 util::Status WriteFile(const std::string& path, const std::string& content) {
+  // Templated per-cell artifact paths routinely point into directories that
+  // do not exist yet ("timelines/{sut}/..."); create them.
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return util::Status::InvalidArgument("cannot open for writing: " + path);
@@ -54,7 +63,10 @@ util::Status WriteFile(const std::string& path, const std::string& content) {
 
 }  // namespace
 
-std::string ChromeTraceJson(const TraceRecorder& recorder) {
+namespace {
+
+std::string ChromeTraceJsonImpl(const TraceRecorder& recorder,
+                                const Timeline* timeline) {
   std::string out;
   out.reserve(128 + recorder.span_count() * 96);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -90,8 +102,36 @@ std::string ChromeTraceJson(const TraceRecorder& recorder) {
     }
     out += "}";
   }
+  if (timeline != nullptr) {
+    // Journal overlay: global instant events render as vertical markers
+    // across every lane in Perfetto.
+    for (const TimelineEvent& event : timeline->events()) {
+      out += ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":";
+      AppendInt(&out, event.t_us);
+      out += ",\"s\":\"g\",\"cat\":\"timeline\",\"name\":\"";
+      AppendEscaped(&out, event.kind);
+      out += "\",\"args\":{\"scope\":\"";
+      AppendEscaped(&out, event.scope);
+      out += "\",\"detail\":\"";
+      AppendEscaped(&out, event.detail);
+      out += "\",\"value\":";
+      AppendDouble(&out, event.value);
+      out += "}}";
+    }
+  }
   out += "\n]}\n";
   return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& recorder) {
+  return ChromeTraceJsonImpl(recorder, nullptr);
+}
+
+std::string ChromeTraceJson(const TraceRecorder& recorder,
+                            const Timeline& timeline) {
+  return ChromeTraceJsonImpl(recorder, &timeline);
 }
 
 util::Status WriteChromeTraceFile(const TraceRecorder& recorder,
@@ -154,6 +194,131 @@ std::string MetricsJsonl(const MetricRegistry& registry) {
 util::Status WriteMetricsJsonlFile(const MetricRegistry& registry,
                                    const std::string& path) {
   return WriteFile(path, MetricsJsonl(registry));
+}
+
+namespace {
+
+/// Streams the timeline as one merged sequence ordered by (t_us, samples
+/// before events, metric name / journal emission order). Samples live in
+/// per-metric vectors, each already time-sorted; this is a k-way merge with
+/// the name-ordered metric map providing the deterministic tie-break.
+void ForEachTimelineRow(
+    const Timeline& timeline,
+    const std::function<void(const std::string&, const Timeline::SamplePoint&)>&
+        on_sample,
+    const std::function<void(const TimelineEvent&)>& on_event) {
+  struct Cursor {
+    const std::string* name;
+    const std::vector<Timeline::SamplePoint>* points;
+    size_t next = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(timeline.samples().size());
+  for (const auto& [name, points] : timeline.samples()) {
+    if (!points.empty()) cursors.push_back(Cursor{&name, &points, 0});
+  }
+  const std::vector<TimelineEvent>& events = timeline.events();
+  size_t next_event = 0;
+  for (;;) {
+    Cursor* best = nullptr;
+    for (Cursor& cursor : cursors) {
+      if (cursor.next >= cursor.points->size()) continue;
+      if (best == nullptr || (*cursor.points)[cursor.next].t_us <
+                                 (*best->points)[best->next].t_us) {
+        best = &cursor;
+      }
+    }
+    bool have_event = next_event < events.size();
+    if (best == nullptr && !have_event) break;
+    if (best != nullptr &&
+        (!have_event ||
+         (*best->points)[best->next].t_us <= events[next_event].t_us)) {
+      on_sample(*best->name, (*best->points)[best->next]);
+      ++best->next;
+    } else {
+      on_event(events[next_event]);
+      ++next_event;
+    }
+  }
+}
+
+/// CSV fields are unquoted; the emitters never use commas, but a free-form
+/// detail string might — degrade it to ';' rather than corrupt the row.
+void AppendCsvField(std::string* out, const std::string& field) {
+  for (char c : field) {
+    *out += (c == ',' || c == '\n') ? ';' : c;
+  }
+}
+
+}  // namespace
+
+std::string TimelineCsv(const Timeline& timeline) {
+  std::string out = "t_us,record,name,kind,value,detail\n";
+  out.reserve(out.size() +
+              (timeline.sample_count() + timeline.event_count()) * 48);
+  ForEachTimelineRow(
+      timeline,
+      [&out](const std::string& name, const Timeline::SamplePoint& point) {
+        AppendInt(&out, point.t_us);
+        out += ",sample,";
+        AppendCsvField(&out, name);
+        out += ",,";
+        AppendDouble(&out, point.value);
+        out += ",\n";
+      },
+      [&out](const TimelineEvent& event) {
+        AppendInt(&out, event.t_us);
+        out += ",event,";
+        AppendCsvField(&out, event.scope);
+        out += ",";
+        AppendCsvField(&out, event.kind);
+        out += ",";
+        AppendDouble(&out, event.value);
+        out += ",";
+        AppendCsvField(&out, event.detail);
+        out += "\n";
+      });
+  return out;
+}
+
+std::string TimelineJsonl(const Timeline& timeline) {
+  std::string out;
+  out.reserve((timeline.sample_count() + timeline.event_count()) * 64);
+  ForEachTimelineRow(
+      timeline,
+      [&out](const std::string& name, const Timeline::SamplePoint& point) {
+        out += "{\"t_us\":";
+        AppendInt(&out, point.t_us);
+        out += ",\"record\":\"sample\",\"name\":\"";
+        AppendEscaped(&out, name);
+        out += "\",\"value\":";
+        AppendDouble(&out, point.value);
+        out += "}\n";
+      },
+      [&out](const TimelineEvent& event) {
+        out += "{\"t_us\":";
+        AppendInt(&out, event.t_us);
+        out += ",\"record\":\"event\",\"scope\":\"";
+        AppendEscaped(&out, event.scope);
+        out += "\",\"kind\":\"";
+        AppendEscaped(&out, event.kind);
+        out += "\",\"detail\":\"";
+        AppendEscaped(&out, event.detail);
+        out += "\",\"value\":";
+        AppendDouble(&out, event.value);
+        out += "}\n";
+      });
+  return out;
+}
+
+util::Status WriteTimelineCsvFile(const Timeline& timeline,
+                                  const std::string& path) {
+  return WriteFile(path, TimelineCsv(timeline));
+}
+
+util::Status WriteTimelineJsonlFile(const Timeline& timeline,
+                                    const std::string& path) {
+  return WriteFile(path, TimelineJsonl(timeline));
 }
 
 }  // namespace cloudybench::obs

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metric_registry.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -16,6 +17,12 @@ namespace cloudybench::obs {
 /// to run — the determinism property test compares them directly.
 std::string ChromeTraceJson(const TraceRecorder& recorder);
 
+/// Same trace, with the Timeline's journal overlaid as global instant
+/// events ("ph":"i", scope "g") so fail-over phases, scaling decisions and
+/// checkpoints land as vertical markers on the Perfetto span view.
+std::string ChromeTraceJson(const TraceRecorder& recorder,
+                            const Timeline& timeline);
+
 util::Status WriteChromeTraceFile(const TraceRecorder& recorder,
                                   const std::string& path);
 
@@ -26,6 +33,29 @@ std::string MetricsJsonl(const MetricRegistry& registry);
 
 util::Status WriteMetricsJsonlFile(const MetricRegistry& registry,
                                    const std::string& path);
+
+/// Serializes a Timeline — sampled metric series and the event journal
+/// merged into one stream ordered by (t_us, samples-before-events,
+/// metric name / emission order):
+///
+///   t_us,record,name,kind,value,detail
+///
+/// `record` is "sample" (name = metric, kind/detail empty) or "event"
+/// (name = scope). Plotting a fail-over timeline is one filter away; see
+/// README. Deterministic bytes for a given cell at any --jobs.
+std::string TimelineCsv(const Timeline& timeline);
+
+/// The same merged stream as JSON Lines, one object per row:
+///   {"t_us":..,"record":"sample","name":..,"value":..}
+///   {"t_us":..,"record":"event","scope":..,"kind":..,"detail":..,"value":..}
+std::string TimelineJsonl(const Timeline& timeline);
+
+/// File writers; parent directories are created as needed (templated
+/// per-cell paths like "timelines/cdb4/cell.csv" just work).
+util::Status WriteTimelineCsvFile(const Timeline& timeline,
+                                  const std::string& path);
+util::Status WriteTimelineJsonlFile(const Timeline& timeline,
+                                    const std::string& path);
 
 }  // namespace cloudybench::obs
 

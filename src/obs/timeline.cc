@@ -1,0 +1,81 @@
+#include "obs/timeline.h"
+
+namespace cloudybench::obs {
+
+Timeline& Timeline::Get() {
+  thread_local Timeline timeline;
+  return timeline;
+}
+
+void Timeline::Clear() {
+  events_.clear();
+  samples_.clear();
+}
+
+void Timeline::Event(int64_t t_us, std::string scope, std::string kind,
+                     std::string detail, double value) {
+  if (!enabled()) return;
+  events_.push_back(TimelineEvent{t_us, std::move(scope), std::move(kind),
+                                  std::move(detail), value});
+}
+
+void Timeline::AddSample(const std::string& metric, int64_t t_us,
+                         double value) {
+  if (!enabled()) return;
+  samples_[metric].push_back(SamplePoint{t_us, value});
+}
+
+size_t Timeline::sample_count() const {
+  size_t n = 0;
+  for (const auto& [metric, points] : samples_) n += points.size();
+  return n;
+}
+
+const TimelineEvent* Timeline::FindEvent(const std::string& kind) const {
+  for (const TimelineEvent& event : events_) {
+    if (event.kind == kind) return &event;
+  }
+  return nullptr;
+}
+
+TimelineSampler::TimelineSampler(sim::Environment* env, sim::SimTime interval)
+    : env_(env), interval_(interval) {}
+
+void TimelineSampler::Start() {
+  // Only spawn when the timeline is live: a disabled cell keeps exactly the
+  // DES event set it had before this subsystem existed (zero overhead), and
+  // the loop can never mutate simulation state either way.
+  if (started_ || !Timeline::Get().enabled()) return;
+  started_ = true;
+  env_->Spawn(Loop());
+}
+
+void TimelineSampler::SampleOnce() {
+  Timeline& timeline = Timeline::Get();
+  if (!timeline.enabled()) return;
+  int64_t now_us = env_->Now().us;
+  const MetricRegistry& registry = MetricRegistry::Get();
+  for (const auto& [name, counter] : registry.counters()) {
+    timeline.AddSample(name, now_us, static_cast<double>(counter.value()));
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    timeline.AddSample(name, now_us, value);
+  }
+  // Series (TPS, metered vCores) are sampled by their owners on their own
+  // cadence; re-recording the latest value here lines them up with the
+  // gauges on the sampler's clock so one artifact carries the whole cell.
+  for (const auto& [name, series] : registry.series()) {
+    if (!series->empty()) {
+      timeline.AddSample(name, now_us, series->points().back().value);
+    }
+  }
+}
+
+sim::Process TimelineSampler::Loop() {
+  for (;;) {
+    co_await env_->Delay(interval_);
+    SampleOnce();
+  }
+}
+
+}  // namespace cloudybench::obs

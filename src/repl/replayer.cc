@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/timeline.h"
 #include "util/logging.h"
 
 namespace cloudybench::repl {
@@ -89,6 +90,13 @@ void Replayer::Ship(const LogRecord& record) {
     return;
   }
   pending_lsns_.insert(record.lsn);
+  if (backlog() >= backlog_hwm_next_) {
+    // Journal each doubling of the backlog high-water mark: an
+    // O(log n)-event trail of replication falling behind.
+    obs::EmitEvent(env_, scope_, "replay.backlog_hwm", "",
+                   static_cast<double>(backlog()));
+    while (backlog_hwm_next_ <= backlog()) backlog_hwm_next_ *= 2;
+  }
   env_->Spawn(ShipOne(record));
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <deque>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
@@ -74,6 +76,10 @@ class Replayer {
   /// happen asynchronously in simulated time).
   void Ship(const storage::LogRecord& record);
 
+  /// Event-journal identity ("cluster.CDB2#0.repl0"); set by the owning
+  /// cluster. Backlog high-water marks are journaled under it.
+  void SetScope(std::string scope) { scope_ = std::move(scope); }
+
   /// All records with LSN <= applied_lsn() are visible on the replica.
   int64_t applied_lsn() const;
   bool IsApplied(int64_t lsn) const { return applied_lsn() >= lsn; }
@@ -112,6 +118,11 @@ class Replayer {
   std::set<int64_t> pending_lsns_;  // shipped, not yet applied
   int64_t last_shipped_lsn_ = 0;
   int64_t records_applied_ = 0;
+
+  std::string scope_ = "repl";
+  /// Next backlog size worth journaling; doubles on each emission so a
+  /// runaway backlog produces O(log n) "replay.backlog_hwm" events.
+  int64_t backlog_hwm_next_ = 64;
 
   util::RunningStat insert_lag_;
   util::RunningStat update_lag_;

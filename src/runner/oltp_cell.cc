@@ -30,6 +30,7 @@ CellDeployment::CellDeployment(
   cluster = std::make_unique<cloud::Cluster>(&env, cfg, spec.n_ro);
   cluster->Load(schemas, spec.scale_factor);
   cluster->PrewarmBuffers();
+  sampler.Start();
 }
 
 SalesWorkloadConfig SalesConfigFor(const CellSpec& spec) {

@@ -6,6 +6,7 @@
 
 #include "cloud/cluster.h"
 #include "core/sales_workload.h"
+#include "obs/timeline.h"
 #include "runner/runner.h"
 #include "sim/environment.h"
 #include "storage/synthetic_table.h"
@@ -23,6 +24,10 @@ struct CellDeployment {
 
   sim::Environment env;
   std::unique_ptr<cloud::Cluster> cluster;
+  /// Periodic metric sampling for the cell's timeline artifact; Start() is
+  /// called after deploy and no-ops when the thread-local Timeline is
+  /// disabled, so cells without timeline templates pay nothing.
+  obs::TimelineSampler sampler{&env};
 };
 
 /// Maps the spec's pattern label ("RO" / "RW" / "WO") plus seed to a sales

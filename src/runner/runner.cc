@@ -30,7 +30,7 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 /// function with exception isolation, and exports the trace.
 CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
                        const RunnerOptions& options) {
-  CellContext ctx{spec, index, "", ""};
+  CellContext ctx{spec, index, "", "", "", ""};
   if (!options.trace_template.empty()) {
     ctx.trace_path = ExpandCellTemplate(options.trace_template, spec, index);
   }
@@ -38,14 +38,26 @@ CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
     ctx.metrics_path =
         ExpandCellTemplate(options.metrics_template, spec, index);
   }
+  if (!options.timeline_csv_template.empty()) {
+    ctx.timeline_csv_path =
+        ExpandCellTemplate(options.timeline_csv_template, spec, index);
+  }
+  if (!options.timeline_jsonl_template.empty()) {
+    ctx.timeline_jsonl_path =
+        ExpandCellTemplate(options.timeline_jsonl_template, spec, index);
+  }
 
   // Fresh thread-local observability state per cell: metric names
-  // (cluster.<name>#<seq>) and trace bytes depend only on the cell, never
-  // on which cells this worker ran before.
+  // (cluster.<name>#<seq>), trace bytes and timeline rows depend only on
+  // the cell, never on which cells this worker ran before.
   obs::MetricRegistry::Get().Clear();
   obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
   recorder.Clear();
   recorder.SetEnabled(!ctx.trace_path.empty());
+  obs::Timeline& timeline = obs::Timeline::Get();
+  timeline.Clear();
+  timeline.SetEnabled(!ctx.timeline_csv_path.empty() ||
+                      !ctx.timeline_jsonl_path.empty());
 
   auto wall0 = std::chrono::steady_clock::now();
   CellResult result;
@@ -71,6 +83,24 @@ CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
                      << "': trace export failed: " << written;
     }
   }
+  if (!ctx.timeline_csv_path.empty()) {
+    util::Status written =
+        obs::WriteTimelineCsvFile(timeline, ctx.timeline_csv_path);
+    if (!written.ok()) {
+      CB_LOG(kError) << "cell '" << result.id
+                     << "': timeline CSV export failed: " << written;
+    }
+  }
+  if (!ctx.timeline_jsonl_path.empty()) {
+    util::Status written =
+        obs::WriteTimelineJsonlFile(timeline, ctx.timeline_jsonl_path);
+    if (!written.ok()) {
+      CB_LOG(kError) << "cell '" << result.id
+                     << "': timeline JSONL export failed: " << written;
+    }
+  }
+  timeline.SetEnabled(false);
+  timeline.Clear();
   recorder.SetEnabled(false);
   recorder.Clear();
   obs::MetricRegistry::Get().Clear();

@@ -18,11 +18,18 @@ namespace cloudybench::runner {
 /// after it returns. `metrics_path` must be consumed *inside* the cell
 /// (e.g. OltpEvaluator::Options::metrics_export_path) because the metric
 /// registry's gauges unregister when the cell's cluster is destroyed.
+/// `timeline_csv_path` / `timeline_jsonl_path` are handled by the runner
+/// like the trace: the worker's thread-local Timeline is enabled before the
+/// cell and the artifacts are written after it returns. Cells that want
+/// periodic metric samples (not just journal events) additionally start a
+/// TimelineSampler inside their sim::Environment — see runner::CellDeployment.
 struct CellContext {
   const CellSpec& spec;
   size_t index = 0;
   std::string trace_path;
   std::string metrics_path;
+  std::string timeline_csv_path;
+  std::string timeline_jsonl_path;
 };
 
 using CellFn = std::function<CellResult(const CellContext&)>;
@@ -40,6 +47,11 @@ struct RunnerOptions {
   /// Per-cell metrics-snapshot path template, surfaced to the cell via
   /// CellContext::metrics_path.
   std::string metrics_template;
+  /// Per-cell timeline artifact templates (CSV / JSONL). Either being
+  /// non-empty arms the thread-local obs::Timeline for the cell; the runner
+  /// writes the artifacts after the cell returns.
+  std::string timeline_csv_template;
+  std::string timeline_jsonl_template;
   /// Wall/sim-time accounting line after the sweep. Goes to stderr so that
   /// stdout (tables, JSONL) stays byte-identical across thread counts.
   bool print_summary = true;

@@ -125,6 +125,19 @@ double TimeSeries::MeanInWindow(double t0, double t1) const {
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
+double TimeSeries::MeanInTrailingWindow(double t1, double width) const {
+  double t0 = t1 - width;
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time_s > t0 && p.time_s <= t1) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
 double TimeSeries::MaxInWindow(double t0, double t1) const {
   double mx = 0.0;
   bool any = false;

@@ -80,6 +80,13 @@ class TimeSeries {
 
   /// Mean of values with time in [t0, t1).
   double MeanInWindow(double t0, double t1) const;
+  /// Mean of values with time in the left-open trailing window
+  /// (t1 - width, t1]. Collectors stamp each sample at the *end* of its
+  /// aggregation window, so "the last `width` seconds as of t1" naturally
+  /// includes a sample landing exactly on t1 and excludes one exactly on
+  /// t1 - width — no boundary epsilons needed (the benches used to fake
+  /// this with MeanInWindow(t0 + 0.001, t1 + 0.001)).
+  double MeanInTrailingWindow(double t1, double width) const;
   /// Max of values with time in [t0, t1); 0 when empty.
   double MaxInWindow(double t0, double t1) const;
   /// Step-function integral of value dt over [t0, t1): treats each sample as

@@ -167,6 +167,7 @@ TEST(MatrixRunnerTest, WritesJsonlArtifactInMatrixOrder) {
 }
 
 TEST(MatrixRunnerTest, TraceTemplateWritesPerCellChromeTrace) {
+  if (!obs::kCompiled) GTEST_SKIP() << "observability compiled out";
   std::string tmpl = testing::TempDir() + "/runner_test_{sut}_{index}.json";
   CellSpec spec;
   spec.sut = sut::SutKind::kCdb3;

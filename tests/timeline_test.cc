@@ -1,0 +1,267 @@
+// Tests for the deterministic telemetry timelines (src/obs/timeline.*):
+// sampler cadence, event-journal semantics, export merge ordering,
+// byte-identical per-cell artifacts across runner job counts, the fig7
+// fail-over phase sequence as seen from the journal, and the sampler's
+// wall-clock overhead bound.
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cluster.h"
+#include "core/collector.h"
+#include "core/sales_workload.h"
+#include "core/workload_manager.h"
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
+#include "runner/oltp_cell.h"
+#include "runner/runner.h"
+#include "sut/profiles.h"
+#include "util/logging.h"
+
+namespace cloudybench::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void ResetObsState() {
+  Timeline::Get().SetEnabled(false);
+  Timeline::Get().Clear();
+  MetricRegistry::Get().Clear();
+}
+
+/// Every test starts and ends with pristine thread-local obs state.
+class TimelineTest : public testing::Test {
+ protected:
+  void SetUp() override { ResetObsState(); }
+  void TearDown() override { ResetObsState(); }
+};
+
+TEST_F(TimelineTest, DisabledTimelineRecordsNothing) {
+  sim::Environment env;
+  MetricRegistry::Get().SetGauge("g", 1.0);
+  TimelineSampler sampler(&env, sim::Millis(100));
+  sampler.Start();  // no-op: timeline disabled
+  EmitEvent(&env, "scope", "kind", "detail", 1.0);
+  env.RunFor(sim::Seconds(1));
+  EXPECT_EQ(Timeline::Get().event_count(), 0u);
+  EXPECT_EQ(Timeline::Get().sample_count(), 0u);
+}
+
+TEST_F(TimelineTest, SamplerSnapshotsRegistryOnCadence) {
+  if (!kCompiled) GTEST_SKIP() << "observability compiled out";
+  sim::Environment env;
+  Timeline::Get().SetEnabled(true);
+  MetricRegistry& registry = MetricRegistry::Get();
+  double gauge_value = 1.0;
+  registry.RegisterGauge("test.gauge", [&] { return gauge_value; });
+  Counter* counter = registry.GetCounter("test.counter");
+
+  TimelineSampler sampler(&env, sim::Millis(100));
+  sampler.Start();
+  env.RunFor(sim::Millis(250));
+  gauge_value = 7.0;
+  counter->Add(3);
+  env.RunFor(sim::Millis(250));
+
+  const auto& samples = Timeline::Get().samples();
+  ASSERT_EQ(samples.count("test.gauge"), 1u);
+  ASSERT_EQ(samples.count("test.counter"), 1u);
+  const auto& gauge = samples.at("test.gauge");
+  // Ticks at 100/200/300/400/500 ms, timestamped in exact sim micros.
+  ASSERT_EQ(gauge.size(), 5u);
+  EXPECT_EQ(gauge[0].t_us, 100000);
+  EXPECT_EQ(gauge[4].t_us, 500000);
+  EXPECT_DOUBLE_EQ(gauge[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(gauge[2].value, 7.0);
+  EXPECT_DOUBLE_EQ(samples.at("test.counter")[4].value, 3.0);
+}
+
+TEST_F(TimelineTest, JournalKeepsEmissionOrderAndCsvMergesDeterministically) {
+  if (!kCompiled) GTEST_SKIP() << "observability compiled out";
+  sim::Environment env;
+  Timeline::Get().SetEnabled(true);
+  env.RunFor(sim::Millis(1));
+  EmitEvent(&env, "a", "first.kind", "with,comma", 1.5);
+  EmitEvent(&env, "b", "second.kind");
+  Timeline::Get().AddSample("metric.z", 1000, 2.0);
+  Timeline::Get().AddSample("metric.a", 1000, 3.0);
+
+  ASSERT_EQ(Timeline::Get().event_count(), 2u);
+  EXPECT_EQ(Timeline::Get().events()[0].kind, "first.kind");
+  const TimelineEvent* found = Timeline::Get().FindEvent("second.kind");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->t_us, 1000);
+
+  // Same timestamp: samples before events, metrics in name order, events
+  // in emission order; CSV fields with commas are degraded, not quoted.
+  std::string csv = TimelineCsv(Timeline::Get());
+  EXPECT_EQ(csv,
+            "t_us,record,name,kind,value,detail\n"
+            "1000,sample,metric.a,,3,\n"
+            "1000,sample,metric.z,,2,\n"
+            "1000,event,a,first.kind,1.5,with;comma\n"
+            "1000,event,b,second.kind,0,\n");
+}
+
+TEST_F(TimelineTest, ArtifactsByteIdenticalAcrossJobCounts) {
+  if (!kCompiled) GTEST_SKIP() << "observability compiled out";
+  std::vector<runner::CellSpec> cells;
+  for (sut::SutKind kind : {sut::SutKind::kAwsRds, sut::SutKind::kCdb3,
+                            sut::SutKind::kCdb4}) {
+    runner::CellSpec spec;
+    spec.sut = kind;
+    spec.scale_factor = 1;
+    spec.n_ro = 1;
+    spec.concurrency = 20;
+    spec.pattern = "RW";
+    spec.seed = 7;
+    spec.warmup = sim::Seconds(1);
+    spec.measure = sim::Seconds(2);
+    cells.push_back(spec);
+  }
+
+  auto run = [&](int jobs, const std::string& tag) {
+    runner::RunnerOptions options;
+    options.jobs = jobs;
+    options.print_summary = false;
+    options.timeline_csv_template =
+        testing::TempDir() + "/tl_" + tag + "_{sut}.csv";
+    options.timeline_jsonl_template =
+        testing::TempDir() + "/tl_" + tag + "_{sut}.jsonl";
+    runner::MatrixRunner(options).Run(cells, runner::RunOltpCell);
+    std::string bytes;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::string base =
+          testing::TempDir() + "/tl_" + tag + "_" + sut::SutName(cells[i].sut);
+      bytes += ReadFile(base + ".csv") + "\x1f" + ReadFile(base + ".jsonl");
+    }
+    return bytes;
+  };
+
+  std::string serial = run(1, "j1");
+  std::string parallel = run(8, "j8");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("replay.backlog_hwm"), std::string::npos);
+  EXPECT_EQ(serial, parallel);
+}
+
+/// The fig7 scenario, parameterized on the timeline switch: CDB4 under a
+/// read-write workload, RW restart injected mid-run, run to quiescence.
+struct FailoverRun {
+  int64_t commits = 0;
+  int64_t aborts = 0;
+  double wall_s = 0.0;
+};
+
+FailoverRun RunFailoverScenario(bool with_timeline) {
+  ResetObsState();
+  Timeline::Get().SetEnabled(with_timeline);
+  auto wall0 = std::chrono::steady_clock::now();
+
+  SalesWorkloadConfig cfg = SalesWorkloadConfig::ReadWrite();
+  cfg.seed = 11;
+  cfg.route_reads_to_replicas = false;
+  SalesTransactionSet txns(cfg);
+  cloud::ClusterConfig cluster_cfg =
+      sut::MakeProfile(sut::SutKind::kCdb4, 1.0);
+  sut::FreezeAtMaxCapacity(&cluster_cfg);
+  sim::Environment env;
+  cloud::Cluster cluster(&env, cluster_cfg, 1);
+  cluster.Load(txns.Schemas(), 1);
+  cluster.PrewarmBuffers();
+  TimelineSampler sampler(&env);
+  sampler.Start();
+
+  PerformanceCollector collector(&env, sim::Millis(250));
+  collector.Start();
+  WorkloadManager manager(&env, &cluster, &txns, &collector);
+  manager.SetConcurrency(50);
+  env.RunFor(sim::Seconds(2));
+  cluster.InjectRwRestart(env.Now());
+  env.RunFor(sim::Seconds(14));
+  manager.StopAll();
+  env.RunFor(sim::Seconds(1));
+
+  FailoverRun out;
+  out.commits = cluster.TotalCommits();
+  out.aborts = cluster.TotalAborts();
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall0)
+                   .count();
+  return out;
+}
+
+TEST_F(TimelineTest, JournalContainsFullFailoverPhaseSequence) {
+  if (!kCompiled) GTEST_SKIP() << "observability compiled out";
+  RunFailoverScenario(/*with_timeline=*/true);
+
+  // The CDB4 promote-RO state machine, in order, straight off the journal.
+  const std::vector<std::string> expected = {
+      "failover.inject",     "failover.detect",        "failover.prepare",
+      "failover.switchover", "failover.promote",       "failover.recovering",
+      "failover.recovered",  "failover.undo_complete", "failover.rejoin"};
+  std::vector<std::string> got;
+  int64_t last_t = -1;
+  for (const TimelineEvent& e : Timeline::Get().events()) {
+    EXPECT_GE(e.t_us, last_t) << "journal must be time-ordered";
+    last_t = std::max(last_t, e.t_us);
+    if (e.kind.rfind("failover.", 0) == 0) {
+      got.push_back(e.kind);
+      EXPECT_EQ(e.scope, "cluster.CDB4#0");
+    }
+  }
+  EXPECT_EQ(got, expected);
+
+  // Phase boundaries are readable off the journal: recovered lands exactly
+  // detect + prepare + switchover + recovering after the injection.
+  const cloud::RecoveryModel rm =
+      sut::MakeProfile(sut::SutKind::kCdb4, 1.0).recovery;
+  const TimelineEvent* inject = Timeline::Get().FindEvent("failover.inject");
+  const TimelineEvent* recovered =
+      Timeline::Get().FindEvent("failover.recovered");
+  ASSERT_NE(inject, nullptr);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->t_us - inject->t_us,
+            rm.detect.us + rm.prepare_phase.us + rm.switchover_phase.us +
+                rm.recovering_phase.us);
+  EXPECT_GT(Timeline::Get().sample_count(), 0u);
+}
+
+TEST_F(TimelineTest, TimelineDoesNotPerturbResultsAndOverheadIsBounded) {
+  // Warm-up run so neither measured run pays first-touch costs.
+  RunFailoverScenario(false);
+  FailoverRun off = RunFailoverScenario(false);
+  FailoverRun on = RunFailoverScenario(true);
+
+  // Identical simulated outcome: recording is synchronous and journal-only.
+  EXPECT_EQ(on.commits, off.commits);
+  EXPECT_EQ(on.aborts, off.aborts);
+  EXPECT_GT(on.commits, 0);
+
+  // Generous wall-clock bound: the 500 ms-cadence sampler must be noise
+  // next to ~30k simulated transactions (the issue budget is 5%; the CI
+  // bound is loose so scheduler jitter cannot flake the suite).
+  EXPECT_LT(on.wall_s, off.wall_s * 1.5 + 0.5)
+      << "timeline sampling overhead too high: " << off.wall_s << "s -> "
+      << on.wall_s << "s";
+}
+
+}  // namespace
+}  // namespace cloudybench::obs
+
+int main(int argc, char** argv) {
+  cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -394,6 +394,43 @@ TEST(TimeSeriesTest, WindowQueries) {
   EXPECT_DOUBLE_EQ(ts.MeanInWindow(10, 20), 0.0);
 }
 
+TEST(TimeSeriesTest, MeanInWindowEdgeCases) {
+  TimeSeries empty;
+  EXPECT_DOUBLE_EQ(empty.MeanInWindow(0.0, 1.0), 0.0);
+
+  TimeSeries ts;
+  ts.Add(1.0, 10);
+  ts.Add(2.0, 20);
+  ts.Add(3.0, 30);
+  // Empty window (t0 == t1) and inverted window select nothing.
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(3.0, 1.0), 0.0);
+  // Window entirely before / after every sample.
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(-5.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(3.5, 100.0), 0.0);
+  // Half-open [t0, t1): a boundary exactly on a sample includes the start
+  // sample and excludes the end sample.
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(1.0, 3.0), 15.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInWindow(2.0, 3.0), 20.0);
+}
+
+TEST(TimeSeriesTest, MeanInTrailingWindowIsHalfOpenAtTheStart) {
+  TimeSeries ts;
+  ts.Add(1.0, 10);
+  ts.Add(2.0, 20);
+  ts.Add(3.0, 30);
+  // (t1-width, t1]: the end boundary is included, the start excluded — the
+  // window a collector that stamps samples at window end needs, with no
+  // epsilon arithmetic.
+  EXPECT_DOUBLE_EQ(ts.MeanInTrailingWindow(3.0, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInTrailingWindow(3.0, 2.0), 25.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInTrailingWindow(2.0, 5.0), 15.0);
+  // Empty / miss cases.
+  EXPECT_DOUBLE_EQ(ts.MeanInTrailingWindow(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MeanInTrailingWindow(10.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(TimeSeries().MeanInTrailingWindow(1.0, 1.0), 0.0);
+}
+
 TEST(TimeSeriesTest, StepIntegralHoldsValues) {
   TimeSeries ts;
   ts.Add(0.0, 2.0);   // 2 vCores for [0,5)
