@@ -1,15 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the engine substrate primitives:
 // buffer-pool access, synthetic-table reads/writes, lock acquisition, WAL
-// appends and Zipf sampling. These quantify the simulator's own overheads
-// (every simulated transaction is built from these operations).
+// appends, Zipf sampling, and the DES kernel itself (schedule/dispatch,
+// spawn/join, and an end-to-end OLTP-cell events-per-second number). These
+// quantify the simulator's own overheads — every simulated transaction is
+// built from these operations, so scripts/perf_baseline.sh records them in
+// BENCH_core.json as the repo's tracked perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include "core/evaluators.h"
+#include "core/sales_workload.h"
+#include "runner/oltp_cell.h"
 #include "sim/environment.h"
 #include "storage/buffer_pool.h"
 #include "storage/synthetic_table.h"
 #include "storage/wal.h"
 #include "txn/lock_manager.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace cloudybench {
@@ -31,10 +38,12 @@ storage::TableSchema BenchSchema() {
 
 void BM_BufferPoolTouchHit(benchmark::State& state) {
   storage::BufferPool pool(64LL << 20);
-  for (int64_t i = 0; i < 1000; ++i) pool.Admit({0, i});
+  for (int64_t i = 0; i < 1024; ++i) pool.Admit({0, i});
+  // Power-of-two working set: the wrap is a mask, so the loop measures the
+  // pool's probe + LRU move rather than harness arithmetic.
   int64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.Touch({0, i++ % 1000}));
+    benchmark::DoNotOptimize(pool.Touch({0, i++ & 1023}));
   }
 }
 BENCHMARK(BM_BufferPoolTouchHit);
@@ -109,6 +118,21 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample);
 
+void BM_BufferPoolMarkTakeDirty(benchmark::State& state) {
+  // Checkpointer unit of work against a mostly-clean resident set: mark a
+  // handful of pages dirty, then TakeDirty them back out. Sensitive to
+  // whether TakeDirty is O(taken) or O(resident).
+  constexpr int64_t kResident = 4096;
+  storage::BufferPool pool(kResident * storage::BufferPool::kPageBytes);
+  for (int64_t i = 0; i < kResident; ++i) pool.Admit({0, i});
+  int64_t i = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 8; ++k) pool.MarkDirty({0, (i += 97) % kResident});
+    benchmark::DoNotOptimize(pool.TakeDirty(8));
+  }
+}
+BENCHMARK(BM_BufferPoolMarkTakeDirty);
+
 void BM_SimEventDispatch(benchmark::State& state) {
   // Cost of one schedule+dispatch round trip in the DES kernel.
   sim::Environment env;
@@ -120,6 +144,97 @@ void BM_SimEventDispatch(benchmark::State& state) {
   benchmark::DoNotOptimize(counter);
 }
 BENCHMARK(BM_SimEventDispatch);
+
+void BM_SimEventDispatchDeep(benchmark::State& state) {
+  // Same round trip against a realistically deep queue (a paper-scale cell
+  // keeps hundreds of pending timers/locks/IO completions): schedule one
+  // event behind 1024 pending ones, dispatch one. This is the headline
+  // scheduler-dispatch-throughput number in BENCH_core.json.
+  sim::Environment env;
+  int64_t counter = 0;
+  constexpr int64_t kDepth = 1024;
+  for (int64_t i = 0; i < kDepth; ++i) {
+    env.ScheduleCall(env.Now() + sim::Seconds(3600 + i), [&counter] { ++counter; });
+  }
+  for (auto _ : state) {
+    env.ScheduleCall(env.Now(), [&counter] { ++counter; });
+    env.Step();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_SimEventDispatchDeep);
+
+sim::Process SelfRescheduling(sim::Environment* env, int64_t* resumes) {
+  for (;;) {
+    co_await env->Delay(sim::Micros(1));
+    ++*resumes;
+  }
+}
+
+void BM_SimScheduleDispatchHandle(benchmark::State& state) {
+  // The coroutine-resume hot path: each Step pops one timer event and
+  // resumes a process that immediately re-arms its delay. No closures are
+  // involved — this is the path nearly every simulated event takes.
+  sim::Environment env;
+  int64_t resumes = 0;
+  env.Spawn(SelfRescheduling(&env, &resumes));
+  for (auto _ : state) {
+    env.Step();
+  }
+  benchmark::DoNotOptimize(resumes);
+}
+BENCHMARK(BM_SimScheduleDispatchHandle);
+
+sim::Process NapMicro(sim::Environment* env) {
+  co_await env->Delay(sim::Micros(1));
+}
+
+sim::Process JoinOne(sim::Environment* env, sim::ProcessRef target) {
+  co_await env->Join(std::move(target));
+}
+
+void BM_SimSpawnJoinCycle(benchmark::State& state) {
+  // Frame + ProcessState lifecycle cost: spawn a short-lived process and a
+  // joiner on it, drain both. Exercises Spawn bookkeeping, join wakeup and
+  // detached-frame reclamation.
+  sim::Environment env;
+  for (auto _ : state) {
+    sim::ProcessRef ref = env.Spawn(NapMicro(&env));
+    env.Spawn(JoinOne(&env, std::move(ref)));
+    env.Run();
+  }
+}
+BENCHMARK(BM_SimSpawnJoinCycle);
+
+void BM_OltpCellEventsPerSecond(benchmark::State& state) {
+  // End-to-end DES throughput: one small OLTP cell (SF1, 16 clients,
+  // RW sales mix) per iteration; items/sec reports *simulated events per
+  // wall second*, the number that bounds every EXPERIMENTS.md sweep.
+  util::SetLogLevel(util::LogLevel::kWarning);
+  int64_t events = 0;
+  for (auto _ : state) {
+    runner::CellSpec spec;
+    spec.sut = sut::SutKind::kCdb4;
+    spec.scale_factor = 1;
+    spec.n_ro = 1;
+    spec.concurrency = 16;
+    spec.pattern = "RW";
+    spec.seed = 42;
+    spec.warmup = sim::Millis(200);
+    spec.measure = sim::Seconds(1);
+    SalesTransactionSet txns(runner::SalesConfigFor(spec));
+    runner::CellDeployment rig(spec, txns.Schemas());
+    OltpEvaluator::Options options;
+    options.concurrency = spec.concurrency;
+    options.warmup = spec.warmup;
+    options.measure = spec.measure;
+    benchmark::DoNotOptimize(
+        OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options));
+    events += static_cast<int64_t>(rig.env.dispatched_events());
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_OltpCellEventsPerSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace cloudybench

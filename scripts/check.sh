@@ -53,11 +53,59 @@ timeline_smoke() {
   echo "=== [timeline] artifacts byte-identical across job counts ==="
 }
 
+# Runs the DES/storage micro benches against the committed perf baseline
+# (BENCH_core.json) and WARNS — never fails — when a benchmark is >2x
+# slower. Machines differ and laptops throttle; the smoke exists to catch
+# accidental hot-path regressions during review, not to gate merges on
+# wall-clock numbers.
+perf_smoke() {
+  local dir="build-check/release"
+  if [[ ! -f BENCH_core.json ]]; then
+    echo "=== [perf] BENCH_core.json missing; skipping perf smoke ==="
+    return 0
+  fi
+  echo "=== [perf] micro-bench smoke vs BENCH_core.json (warn-only) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_micro_engine
+  "${dir}/bench/bench_micro_engine" \
+    --benchmark_format=json --benchmark_min_time=0.1 \
+    > "${dir}/bench_core_now.json"
+  python3 - BENCH_core.json "${dir}/bench_core_now.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    baseline = json.load(f)["benchmarks"]
+with open(sys.argv[2]) as f:
+    raw = json.load(f)
+
+scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+slow = 0
+for b in raw.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    name = b["name"]
+    if name not in baseline:
+        continue
+    now_ns = b["real_time"] * scale[b.get("time_unit", "ns")]
+    base_ns = baseline[name]
+    if base_ns > 0 and now_ns > 2.0 * base_ns:
+        slow += 1
+        print(f"WARNING: [perf] {name}: {now_ns:.1f} ns/op vs baseline "
+              f"{base_ns:.1f} ns/op ({now_ns / base_ns:.2f}x)")
+if slow == 0:
+    print("[perf] all benchmarks within 2x of BENCH_core.json")
+else:
+    print(f"[perf] {slow} benchmark(s) >2x slower than baseline — "
+          "investigate (or refresh with scripts/perf_baseline.sh); "
+          "this smoke never fails the check")
+PY
+}
+
 case "${MODE}" in
   all)
     run_suite release
     runner_smoke
     timeline_smoke
+    perf_smoke
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
     ;;
@@ -65,6 +113,7 @@ case "${MODE}" in
     run_suite release
     runner_smoke
     timeline_smoke
+    perf_smoke
     ;;
   --asan-only)
     run_suite asan -DCLOUDYBENCH_SANITIZE=address

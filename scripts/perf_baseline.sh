@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Refreshes the committed perf baseline BENCH_core.json from
+# bench_micro_engine. The baseline is the contract behind the check.sh
+# perf smoke (warn when a hot path regresses >2x) and the ISSUE/PR
+# before/after evidence; re-run this after an intentional perf change on
+# the machine whose numbers you want to publish.
+#
+# Usage: scripts/perf_baseline.sh [build-dir]
+#   build-dir defaults to build-perf (configured Release here if absent).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+DIR="${1:-build-perf}"
+
+if [[ ! -f "${DIR}/CMakeCache.txt" ]]; then
+  cmake -S . -B "${DIR}" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${DIR}" -j "${JOBS}" --target bench_micro_engine
+
+RAW="${DIR}/bench_core_raw.json"
+"${DIR}/bench/bench_micro_engine" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  > "${RAW}"
+
+# Reduce google-benchmark's JSON to the stable shape the perf smoke
+# consumes: {benchmark name -> ns/op (real time)} plus context metadata.
+# An existing "seed_reference" section (historical pre-optimization
+# numbers, kept for before/after evidence) is carried over untouched.
+python3 - "${RAW}" BENCH_core.json <<'PY'
+import json, os, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+seed_reference = None
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            seed_reference = json.load(f).get("seed_reference")
+    except (json.JSONDecodeError, OSError):
+        pass
+
+ns_per_op = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    t = b["real_time"]
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    ns_per_op[b["name"]] = round(t * scale, 2)
+
+out = {
+    "schema": "cloudybench-perf-baseline-v1",
+    "source": "bench/bench_micro_engine.cc via scripts/perf_baseline.sh",
+    "time_unit": "ns_per_op_real",
+    "context": {
+        "num_cpus": raw.get("context", {}).get("num_cpus"),
+        "build_type": raw.get("context", {}).get("library_build_type"),
+    },
+    "benchmarks": dict(sorted(ns_per_op.items())),
+}
+if seed_reference is not None:
+    out["seed_reference"] = seed_reference
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(ns_per_op)} benchmarks)")
+PY

@@ -22,6 +22,7 @@ ComputeNode::ComputeNode(sim::Environment* env, Config config,
                          storage::LogManager* log)
     : env_(env),
       config_(std::move(config)),
+      obs_scope_("node." + config_.name),
       tables_(tables),
       cpu_(cpu),
       buffer_(config_.buffer_bytes),
@@ -195,7 +196,7 @@ void ComputeNode::DemoteToRo(storage::TableSet* replica) {
 void ComputeNode::SetCapacityFraction(double fraction) {
   CB_CHECK(fraction > 0.0 && fraction <= 1.0);
   if (fraction != capacity_fraction_) {
-    obs::EmitEvent(env_, "node." + config_.name, "capacity.fraction",
+    obs::EmitEvent(env_, obs_scope_, "capacity.fraction",
                    fraction < capacity_fraction_ ? "throttle" : "boost",
                    fraction);
     capacity_fraction_ = fraction;

@@ -154,6 +154,7 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
 
   sim::Environment* env_;
   Config config_;
+  std::string obs_scope_;  // "node.<name>", built once instead of per event
   storage::TableSet* tables_;
   sim::SlotResource* cpu_;
   storage::BufferPool buffer_;

@@ -13,38 +13,58 @@ MetricRegistry& MetricRegistry::Get() {
   return registry;
 }
 
-Counter* MetricRegistry::GetCounter(const std::string& name) {
-  return &counters_[name];
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    // Only a genuinely new counter materializes a std::string key.
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return &it->second;
 }
 
-void MetricRegistry::RegisterGauge(const std::string& name,
+void MetricRegistry::RegisterGauge(std::string_view name,
                                    std::function<double()> fn) {
-  gauges_[name] = std::move(fn);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), std::move(fn));
+  } else {
+    it->second = std::move(fn);
+  }
 }
 
-void MetricRegistry::SetGauge(const std::string& name, double value) {
-  gauges_[name] = [value] { return value; };
+void MetricRegistry::SetGauge(std::string_view name, double value) {
+  RegisterGauge(name, [value] { return value; });
 }
 
 void MetricRegistry::RegisterHistogram(
-    const std::string& name, const util::LatencyHistogram* histogram) {
-  histograms_[name] = histogram;
+    std::string_view name, const util::LatencyHistogram* histogram) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name), histogram);
+  } else {
+    it->second = histogram;
+  }
 }
 
-void MetricRegistry::RegisterSeries(const std::string& name,
+void MetricRegistry::RegisterSeries(std::string_view name,
                                     const util::TimeSeries* series) {
-  series_[name] = series;
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    series_.emplace(std::string(name), series);
+  } else {
+    it->second = series;
+  }
 }
 
 template <typename Map>
-void MetricRegistry::ErasePrefix(Map& map, const std::string& prefix) {
+void MetricRegistry::ErasePrefix(Map& map, std::string_view prefix) {
   for (auto it = map.lower_bound(prefix); it != map.end();) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
     it = map.erase(it);
   }
 }
 
-void MetricRegistry::UnregisterPrefix(const std::string& prefix) {
+void MetricRegistry::UnregisterPrefix(std::string_view prefix) {
   ErasePrefix(counters_, prefix);
   ErasePrefix(gauges_, prefix);
   ErasePrefix(histograms_, prefix);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "util/stats.h"
 
@@ -55,21 +56,23 @@ class MetricRegistry {
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
-  /// Finds or creates an owned counter.
-  Counter* GetCounter(const std::string& name);
+  /// Finds or creates an owned counter. Heterogeneous lookup: a counter
+  /// bumped per transaction from a string literal (or any string_view) does
+  /// not construct a std::string key unless the entry is actually new.
+  Counter* GetCounter(std::string_view name);
 
   /// Registers a gauge evaluated lazily at snapshot time (overwrites any
   /// previous gauge with the same name).
-  void RegisterGauge(const std::string& name, std::function<double()> fn);
+  void RegisterGauge(std::string_view name, std::function<double()> fn);
   /// Convenience: a gauge pinned to a constant value.
-  void SetGauge(const std::string& name, double value);
+  void SetGauge(std::string_view name, double value);
 
-  void RegisterHistogram(const std::string& name,
+  void RegisterHistogram(std::string_view name,
                          const util::LatencyHistogram* histogram);
-  void RegisterSeries(const std::string& name, const util::TimeSeries* series);
+  void RegisterSeries(std::string_view name, const util::TimeSeries* series);
 
   /// Removes every entry whose name starts with `prefix`.
-  void UnregisterPrefix(const std::string& prefix);
+  void UnregisterPrefix(std::string_view prefix);
   void Clear();
 
   size_t size() const {
@@ -78,26 +81,30 @@ class MetricRegistry {
   }
 
   // ---- snapshot access (exporters) ----
-  const std::map<std::string, Counter>& counters() const { return counters_; }
+  /// All maps use a transparent comparator so the hot mutation paths above
+  /// take std::string_view; iteration order (and thus every exported
+  /// artifact) is unchanged — still lexicographic by name.
+  using CounterMap = std::map<std::string, Counter, std::less<>>;
+  using GaugeMap = std::map<std::string, std::function<double()>, std::less<>>;
+  using HistogramMap =
+      std::map<std::string, const util::LatencyHistogram*, std::less<>>;
+  using SeriesMap = std::map<std::string, const util::TimeSeries*, std::less<>>;
+
+  const CounterMap& counters() const { return counters_; }
   /// Evaluates every gauge callback.
   std::map<std::string, double> GaugeValues() const;
-  const std::map<std::string, const util::LatencyHistogram*>& histograms()
-      const {
-    return histograms_;
-  }
-  const std::map<std::string, const util::TimeSeries*>& series() const {
-    return series_;
-  }
+  const HistogramMap& histograms() const { return histograms_; }
+  const SeriesMap& series() const { return series_; }
 
  private:
   template <typename Map>
-  static void ErasePrefix(Map& map, const std::string& prefix);
+  static void ErasePrefix(Map& map, std::string_view prefix);
 
   int64_t next_instance_id_ = 0;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, std::function<double()>> gauges_;
-  std::map<std::string, const util::LatencyHistogram*> histograms_;
-  std::map<std::string, const util::TimeSeries*> series_;
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap histograms_;
+  SeriesMap series_;
 };
 
 }  // namespace cloudybench::obs

@@ -19,10 +19,15 @@ void Timeline::Event(int64_t t_us, std::string scope, std::string kind,
                                   std::move(detail), value});
 }
 
-void Timeline::AddSample(const std::string& metric, int64_t t_us,
+void Timeline::AddSample(std::string_view metric, int64_t t_us,
                          double value) {
   if (!enabled()) return;
-  samples_[metric].push_back(SamplePoint{t_us, value});
+  auto it = samples_.find(metric);
+  if (it == samples_.end()) {
+    it = samples_.emplace(std::string(metric), std::vector<SamplePoint>())
+             .first;
+  }
+  it->second.push_back(SamplePoint{t_us, value});
 }
 
 size_t Timeline::sample_count() const {
@@ -31,7 +36,7 @@ size_t Timeline::sample_count() const {
   return n;
 }
 
-const TimelineEvent* Timeline::FindEvent(const std::string& kind) const {
+const TimelineEvent* Timeline::FindEvent(std::string_view kind) const {
   for (const TimelineEvent& event : events_) {
     if (event.kind == kind) return &event;
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -68,21 +69,24 @@ class Timeline {
 
   void Event(int64_t t_us, std::string scope, std::string kind,
              std::string detail, double value);
-  void AddSample(const std::string& metric, int64_t t_us, double value);
+  /// Heterogeneous lookup: sampling an already-known metric (every tick
+  /// after the first) never constructs a std::string key.
+  void AddSample(std::string_view metric, int64_t t_us, double value);
+
+  using SampleMap =
+      std::map<std::string, std::vector<SamplePoint>, std::less<>>;
 
   const std::vector<TimelineEvent>& events() const { return events_; }
-  const std::map<std::string, std::vector<SamplePoint>>& samples() const {
-    return samples_;
-  }
+  const SampleMap& samples() const { return samples_; }
   size_t event_count() const { return events_.size(); }
   size_t sample_count() const;
   /// First event with this kind, nullptr when absent.
-  const TimelineEvent* FindEvent(const std::string& kind) const;
+  const TimelineEvent* FindEvent(std::string_view kind) const;
 
  private:
   bool enabled_ = false;
   std::vector<TimelineEvent> events_;
-  std::map<std::string, std::vector<SamplePoint>> samples_;
+  SampleMap samples_;
 };
 
 /// The journal hook every emitter calls. Synchronous append — recording

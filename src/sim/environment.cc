@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/pool.h"
+
 namespace cloudybench::sim {
 
 namespace internal_task {
@@ -12,8 +14,9 @@ void ScheduleHandleAt(Environment* env, SimTime at, std::coroutine_handle<> h) {
 
 SimTime EnvNow(Environment* env) { return env->Now(); }
 
-void NotifyDetachedFinished(Environment* env, std::coroutine_handle<> h) {
-  env->detached_live_.erase(h.address());
+void NotifyDetachedFinished(Environment* env, std::coroutine_handle<> h,
+                            uint32_t live_index) {
+  env->RemoveDetached(live_index);
   env->finished_.push_back(h);
 }
 
@@ -25,21 +28,22 @@ Environment::~Environment() {
   // Destroy still-suspended detached roots. Destroying a root frame also
   // destroys any inline-awaited child frames it owns, so the event queue may
   // hold dangling handles afterwards — we drop the queue without touching
-  // them.
-  for (void* addr : detached_live_) {
-    std::coroutine_handle<>::from_address(addr).destroy();
+  // them. Closures still parked in the slab are destroyed by ~CallSlab.
+  for (const DetachedEntry& entry : detached_live_) {
+    entry.handle.destroy();
   }
   detached_live_.clear();
 }
 
 void Environment::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {
   CB_CHECK_GE(at.us, now_.us) << "cannot schedule into the past";
-  queue_.push(Event{at, next_seq_++, h, nullptr});
+  queue_.Push(Event{at.us, next_seq_++, h, 0});
 }
 
 void Environment::ScheduleCall(SimTime at, std::function<void()> fn) {
   CB_CHECK_GE(at.us, now_.us) << "cannot schedule into the past";
-  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+  uint32_t slot = calls_.Put(std::move(fn));
+  queue_.Push(Event{at.us, next_seq_++, nullptr, slot});
 }
 
 ProcessRef Environment::Spawn(Process process) {
@@ -48,23 +52,21 @@ ProcessRef Environment::Spawn(Process process) {
   auto& promise = h.promise();
   promise.env = this;
   promise.detached = true;
-  promise.state = std::make_shared<ProcessState>();
+  promise.state = std::allocate_shared<ProcessState>(
+      RecyclingAllocator<ProcessState>{});
   ProcessRef ref = promise.state;
-  detached_live_.insert(h.address());
+  promise.live_index = static_cast<uint32_t>(detached_live_.size());
+  detached_live_.push_back(DetachedEntry{h, &promise});
   h.resume();        // run until the first suspension (or completion)
   CollectFinished();
   return ref;
 }
 
-void Environment::DispatchEvent(Event ev) {
-  now_ = ev.at;
-  ++dispatched_;
-  if (ev.handle) {
-    ev.handle.resume();
-  } else {
-    ev.fn();
-  }
-  CollectFinished();
+void Environment::RemoveDetached(uint32_t index) {
+  DetachedEntry& entry = detached_live_[index];
+  entry = detached_live_.back();
+  entry.promise->live_index = index;
+  detached_live_.pop_back();
 }
 
 void Environment::CollectFinished() {
@@ -75,14 +77,6 @@ void Environment::CollectFinished() {
   }
 }
 
-bool Environment::Step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  DispatchEvent(std::move(ev));
-  return true;
-}
-
 void Environment::Run() {
   while (Step()) {
   }
@@ -90,10 +84,8 @@ void Environment::Run() {
 
 void Environment::RunUntil(SimTime t) {
   CB_CHECK_GE(t.us, now_.us);
-  while (!queue_.empty() && queue_.top().at <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    DispatchEvent(std::move(ev));
+  while (!queue_.empty() && queue_.Top().at_us <= t.us) {
+    DispatchEvent(queue_.PopTop());
   }
   now_ = t;
 }

@@ -4,10 +4,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_heap.h"
 #include "sim/sim_time.h"
 #include "sim/task.h"
 
@@ -34,6 +33,14 @@ namespace cloudybench::sim {
 /// one environment per worker thread with no synchronization; the only
 /// process-wide state an experiment touches (trace recorder, metric
 /// registry) is thread-local for the same reason.
+///
+/// Hot-path layout (DESIGN.md §4f): events are 32-byte PODs on a 4-ary
+/// implicit min-heap; ScheduleCall closures live in a recycling slab and
+/// events carry only a slot index; ProcessState blocks come from a
+/// thread-local free list; detached-frame bookkeeping is a swap-remove
+/// vector indexed from the promise. None of these change the (time, seq)
+/// dispatch order, so simulated results are bit-identical to the naive
+/// priority_queue implementation they replaced.
 class Environment {
  public:
   Environment() = default;
@@ -84,6 +91,9 @@ class Environment {
   }
 
   /// Dispatches the next event. Returns false when the queue is empty.
+  /// Defined inline below — one schedule+dispatch round trip is the DES
+  /// kernel's unit of work, and resources/locks step the environment from
+  /// many translation units.
   bool Step();
 
   /// Runs until the event queue drains.
@@ -101,34 +111,51 @@ class Environment {
 
  private:
   friend void internal_task::NotifyDetachedFinished(Environment*,
-                                                    std::coroutine_handle<>);
+                                                    std::coroutine_handle<>,
+                                                    uint32_t);
 
-  struct Event {
-    SimTime at;
-    uint64_t seq;
-    std::coroutine_handle<> handle;       // exactly one of handle/fn is set
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at.us != b.at.us) return a.at.us > b.at.us;
-      return a.seq > b.seq;
-    }
+  /// A live detached root frame plus its promise, so completion can
+  /// swap-remove by index (the promise records its slot) without hashing.
+  struct DetachedEntry {
+    std::coroutine_handle<> handle;
+    internal_task::PromiseBase* promise;
   };
 
-  void DispatchEvent(Event ev);
-  void CollectFinished();
+  void DispatchEvent(const Event& ev);  // inline, below
+  void CollectFinished();               // out-of-line slow path
+  void RemoveDetached(uint32_t index);
 
   SimTime now_{0};
   uint64_t next_seq_ = 0;
   uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventHeap queue_;
+  CallSlab calls_;
   // Frames of detached processes that reached final suspend and can be
   // destroyed once the current dispatch step unwinds.
   std::vector<std::coroutine_handle<>> finished_;
   // Live detached frames, destroyed at teardown if still suspended.
-  std::unordered_set<void*> detached_live_;
+  std::vector<DetachedEntry> detached_live_;
 };
+
+inline void Environment::DispatchEvent(const Event& ev) {
+  now_ = SimTime{ev.at_us};
+  ++dispatched_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    // Move the closure out before invoking so the slot is immediately
+    // recyclable (the call itself may schedule more calls).
+    std::function<void()> fn = calls_.Take(ev.fn_slot);
+    fn();
+  }
+  if (!finished_.empty()) CollectFinished();
+}
+
+inline bool Environment::Step() {
+  if (queue_.empty()) return false;
+  DispatchEvent(queue_.PopTop());
+  return true;
+}
 
 }  // namespace cloudybench::sim
 

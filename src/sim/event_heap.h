@@ -1,0 +1,140 @@
+#ifndef CLOUDYBENCH_SIM_EVENT_HEAP_H_
+#define CLOUDYBENCH_SIM_EVENT_HEAP_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace cloudybench::sim {
+
+/// One scheduled DES event, kept deliberately POD-sized (32 bytes) so heap
+/// sift operations are plain memory moves. The total order is (at_us, seq);
+/// `seq` is unique per environment, so the order is total and dispatch is
+/// deterministic regardless of the container's internal layout.
+///
+/// Exactly one of the two payloads is active: a coroutine handle (the common
+/// case — timer expiry, resource grant, join wakeup) or, when `handle` is
+/// null, an index into the environment's CallSlab holding a rare
+/// ScheduleCall closure. Keeping closures out of the event itself is what
+/// lets the heap move raw PODs instead of `std::function`s.
+struct Event {
+  int64_t at_us = 0;
+  uint64_t seq = 0;
+  std::coroutine_handle<> handle;
+  uint32_t fn_slot = 0;
+};
+
+/// 4-ary implicit min-heap over Events ordered by (at_us, seq).
+///
+/// Why 4-ary instead of the binary heap inside std::priority_queue: the
+/// tree is half as deep (fewer dependent compare-swap levels per push/pop)
+/// and the four children of a node sit in adjacent slots — one or two cache
+/// lines — so the extra compares per level are nearly free. With POD events
+/// a sift step is a 32-byte move, not a std::function move.
+///
+/// Determinism: the key (at_us, seq) is a total order (seq is unique), so
+/// Pop() yields exactly the same sequence as any other correct
+/// priority queue — heap arity and internal layout cannot change results.
+class EventHeap {
+ public:
+  bool empty() const { return slots_.empty(); }
+  size_t size() const { return slots_.size(); }
+  void clear() { slots_.clear(); }
+  void reserve(size_t n) { slots_.reserve(n); }
+
+  const Event& Top() const { return slots_.front(); }
+
+  void Push(const Event& e) {
+    size_t hole = slots_.size();
+    slots_.push_back(e);  // grow first; the hole is then sifted up
+    size_t start = hole;
+    while (hole > 0) {
+      size_t parent = (hole - 1) >> 2;
+      if (!Before(e, slots_[parent])) break;
+      slots_[hole] = slots_[parent];
+      hole = parent;
+    }
+    if (hole != start) slots_[hole] = e;  // push_back already wrote `start`
+  }
+
+  /// Removes and returns the minimum event.
+  Event PopTop() {
+    Event top = slots_.front();
+    size_t n = slots_.size() - 1;
+    if (n > 0) {
+      // Sift the hole down, pulling up the smallest of each node's <= 4
+      // children, then drop the detached last element into the final hole.
+      Event last = slots_[n];
+      size_t hole = 0;
+      for (;;) {
+        size_t first_child = (hole << 2) + 1;
+        if (first_child >= n) break;
+        size_t best = first_child;
+        size_t end = first_child + 4 < n ? first_child + 4 : n;
+        for (size_t c = first_child + 1; c < end; ++c) {
+          if (Before(slots_[c], slots_[best])) best = c;
+        }
+        if (!Before(slots_[best], last)) break;
+        slots_[hole] = slots_[best];
+        hole = best;
+      }
+      slots_[hole] = last;
+    }
+    slots_.pop_back();
+    return top;
+  }
+
+ private:
+  static bool Before(const Event& a, const Event& b) {
+    if (a.at_us != b.at_us) return a.at_us < b.at_us;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Event> slots_;
+};
+
+/// Recycling slab for the rare ScheduleCall closures. Slots are reused via
+/// a free list, so steady-state scheduling of control actions (failure
+/// injection, timeouts) allocates nothing once the slab has warmed up.
+///
+/// Ownership contract: a closure put in the slab is destroyed exactly once —
+/// either by Take() (dispatch moves it out and the moved-to local dies after
+/// the call) or by the slab's destructor for calls still pending at
+/// environment teardown. tests/sim_test.cc pins this down.
+class CallSlab {
+ public:
+  uint32_t Put(std::function<void()> fn) {
+    uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      slots_[idx] = std::move(fn);
+    } else {
+      idx = static_cast<uint32_t>(slots_.size());
+      slots_.push_back(std::move(fn));
+    }
+    return idx;
+  }
+
+  /// Moves the closure out and recycles the slot. The slot is emptied
+  /// eagerly so the closure's captures die with the returned object, not at
+  /// some later Put() into the same slot.
+  std::function<void()> Take(uint32_t idx) {
+    std::function<void()> fn = std::move(slots_[idx]);
+    slots_[idx] = nullptr;
+    free_.push_back(idx);
+    return fn;
+  }
+
+  size_t live() const { return slots_.size() - free_.size(); }
+
+ private:
+  std::vector<std::function<void()>> slots_;
+  std::vector<uint32_t> free_;
+};
+
+}  // namespace cloudybench::sim
+
+#endif  // CLOUDYBENCH_SIM_EVENT_HEAP_H_

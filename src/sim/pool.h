@@ -1,0 +1,74 @@
+#ifndef CLOUDYBENCH_SIM_POOL_H_
+#define CLOUDYBENCH_SIM_POOL_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cloudybench::sim {
+
+/// Thread-local recycling allocator for fixed-size control blocks.
+///
+/// Used with std::allocate_shared so ProcessState (and its shared_ptr
+/// control block, fused into one allocation) comes off a free list instead
+/// of the global allocator — Spawn/Join stop allocating in steady state.
+///
+/// The free list is thread-local, which matches the codebase's thread model:
+/// an Environment is thread-affine and ProcessRefs never cross threads (the
+/// matrix runner gives each worker its own cells). Blocks are returned to
+/// the list of whichever thread released the last reference and freed for
+/// real at thread exit.
+///
+/// Each distinct T gets its own free list (the allocate_shared rebind
+/// produces one concrete node type per payload type), so every recycled
+/// block is exactly the right size.
+template <typename T>
+struct RecyclingAllocator {
+  using value_type = T;
+
+  RecyclingAllocator() = default;
+  template <typename U>
+  RecyclingAllocator(const RecyclingAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    if (n == 1) {
+      FreeList& fl = List();
+      if (!fl.blocks.empty()) {
+        void* p = fl.blocks.back();
+        fl.blocks.pop_back();
+        return static_cast<T*>(p);
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    if (n == 1) {
+      List().blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const RecyclingAllocator&,
+                         const RecyclingAllocator&) noexcept {
+    return true;
+  }
+
+ private:
+  struct FreeList {
+    std::vector<void*> blocks;
+    ~FreeList() {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  };
+
+  static FreeList& List() {
+    thread_local FreeList list;
+    return list;
+  }
+};
+
+}  // namespace cloudybench::sim
+
+#endif  // CLOUDYBENCH_SIM_POOL_H_

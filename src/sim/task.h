@@ -2,6 +2,7 @@
 #define CLOUDYBENCH_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -19,7 +20,8 @@ namespace internal_task {
 /// Environment definition (Environment itself includes this header).
 void ScheduleHandleAt(Environment* env, SimTime at, std::coroutine_handle<> h);
 SimTime EnvNow(Environment* env);
-void NotifyDetachedFinished(Environment* env, std::coroutine_handle<> h);
+void NotifyDetachedFinished(Environment* env, std::coroutine_handle<> h,
+                            uint32_t live_index);
 
 }  // namespace internal_task
 
@@ -41,6 +43,9 @@ struct PromiseBase {
   /// Set when spawned detached via Environment::Spawn.
   ProcessRef state;
   bool detached = false;
+  /// Slot in the environment's detached-live vector; maintained by
+  /// swap-remove so Spawn/finish bookkeeping never hashes or allocates.
+  uint32_t live_index = 0;
 };
 
 struct FinalAwaiter {
@@ -65,7 +70,7 @@ struct FinalAwaiter {
     if (p.detached) {
       // Detached process: the environment reclaims the frame after the
       // current dispatch step.
-      NotifyDetachedFinished(p.env, h);
+      NotifyDetachedFinished(p.env, h, p.live_index);
     }
     return std::noop_coroutine();
   }

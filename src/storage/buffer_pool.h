@@ -2,8 +2,6 @@
 #define CLOUDYBENCH_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "storage/row.h"
@@ -18,6 +16,15 @@ namespace cloudybench::storage {
 /// contrasts: AWS RDS must flush dirty pages (checkpointing overhead, slow
 /// ARIES restart), while storage-disaggregated CDBs ship redo instead and
 /// never write pages back.
+///
+/// Layout (DESIGN.md §4f): frames live in one contiguous vector and carry
+/// intrusive prev/next indices for two lists — the LRU chain and a separate
+/// dirty chain kept in the same recency order (per-frame monotonic stamps
+/// make the ordered dirty insert exact even when MarkDirty runs long after
+/// the page was touched). The page index is open-addressing with
+/// fibonacci hashing and backward-shift deletion. Steady-state Touch/Admit/
+/// MarkDirty/TakeDirty therefore never allocate, and TakeDirty is O(pages
+/// taken) instead of O(pages resident).
 class BufferPool {
  public:
   static constexpr int32_t kPageBytes = 8192;
@@ -34,7 +41,10 @@ class BufferPool {
     bool victim_dirty = false;
   };
 
-  /// Looks up `page`; on hit it becomes most-recently-used.
+  /// Looks up `page`; on hit it becomes most-recently-used. Defined inline
+  /// below: this is the single hottest storage call (every page access in
+  /// every transaction), and keeping it in the header lets callers in other
+  /// translation units inline the probe + LRU move without LTO.
   bool Touch(PageId page);
 
   /// Inserts `page` (caller has performed the miss I/O), evicting the LRU
@@ -48,7 +58,7 @@ class BufferPool {
   /// Clears the dirty bit (page written back).
   void MarkClean(PageId page);
 
-  bool IsResident(PageId page) const { return index_.count(page) > 0; }
+  bool IsResident(PageId page) const { return FindFrame(page) >= 0; }
   bool IsDirty(PageId page) const;
 
   /// Takes up to `max_pages` dirty pages in LRU order and clears their dirty
@@ -65,7 +75,7 @@ class BufferPool {
 
   int64_t capacity_pages() const { return capacity_pages_; }
   int64_t capacity_bytes() const { return capacity_pages_ * kPageBytes; }
-  int64_t resident_pages() const { return static_cast<int64_t>(index_.size()); }
+  int64_t resident_pages() const { return resident_; }
   int64_t dirty_pages() const { return dirty_count_; }
 
   int64_t hits() const { return hits_; }
@@ -78,22 +88,103 @@ class BufferPool {
   int64_t forced_dirty_evictions() const { return forced_dirty_evictions_; }
 
  private:
+  static constexpr int32_t kNil = -1;
+
   struct Frame {
     PageId page;
+    uint64_t stamp = 0;  ///< recency clock at last touch/admit
+    int32_t lru_prev = kNil;
+    int32_t lru_next = kNil;
+    int32_t dirty_prev = kNil;
+    int32_t dirty_next = kNil;
     bool dirty = false;
   };
-  using LruList = std::list<Frame>;
 
   void EvictOne(AdmitResult* result);
 
+  // ---- page index (open addressing, power-of-two, fibonacci hash) ----
+  size_t Slot(PageId page) const {
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(page.table))
+                    << 48) ^
+                   static_cast<uint64_t>(page.page_no);
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ULL) >> index_shift_);
+  }
+  /// Frame index or kNil. Inline (header) — see Touch.
+  int32_t FindFrame(PageId page) const {
+    size_t slot = Slot(page);
+    for (;;) {
+      int32_t f = index_[slot];
+      if (f == kNil) return kNil;
+      if (frames_[static_cast<size_t>(f)].page == page) return f;
+      slot = (slot + 1) & index_mask_;
+    }
+  }
+  void IndexInsert(PageId page, int32_t frame);
+  void IndexErase(PageId page);
+  void GrowIndexIfNeeded();
+
+  // ---- intrusive lists ----
+  void LruPushFront(int32_t f);
+  void LruUnlink(int32_t f);
+  void DirtyUnlink(int32_t f);
+  /// Inserts `f` into the dirty chain keeping it sorted by stamp
+  /// (descending from head). O(1) when the page was just touched — the
+  /// overwhelmingly common case — O(dirtier-and-more-recent) otherwise.
+  void DirtyInsertOrdered(int32_t f);
+
   int64_t capacity_pages_;
-  LruList lru_;  // front = MRU, back = LRU
-  std::unordered_map<PageId, LruList::iterator, PageIdHash> index_;
+  int64_t resident_ = 0;
+  uint64_t clock_ = 0;
+
+  std::vector<Frame> frames_;
+  std::vector<int32_t> free_frames_;
+  int32_t lru_head_ = kNil;   ///< MRU end
+  int32_t lru_tail_ = kNil;   ///< LRU end (eviction victim)
+  int32_t dirty_head_ = kNil; ///< most recently used dirty page
+  int32_t dirty_tail_ = kNil; ///< coldest dirty page (checkpointed first)
+
+  std::vector<int32_t> index_;  ///< slot -> frame index, kNil = empty
+  size_t index_mask_ = 0;
+  int index_shift_ = 64;
+
   int64_t dirty_count_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t forced_dirty_evictions_ = 0;
 };
+
+inline bool BufferPool::Touch(PageId page) {
+  int32_t f = FindFrame(page);
+  if (f == kNil) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  Frame& frame = frames_[static_cast<size_t>(f)];
+  frame.stamp = ++clock_;
+  if (f != lru_head_) {
+    // Fused move-to-front: f is not the head, so it has a predecessor and
+    // the list is non-empty — the generic unlink/push branches fold away.
+    frames_[static_cast<size_t>(frame.lru_prev)].lru_next = frame.lru_next;
+    if (frame.lru_next != kNil) {
+      frames_[static_cast<size_t>(frame.lru_next)].lru_prev = frame.lru_prev;
+    } else {
+      lru_tail_ = frame.lru_prev;
+    }
+    frame.lru_prev = kNil;
+    frame.lru_next = lru_head_;
+    frames_[static_cast<size_t>(lru_head_)].lru_prev = f;
+    lru_head_ = f;
+  }
+  if (frame.dirty && f != dirty_head_) {
+    DirtyUnlink(f);
+    frame.dirty_prev = kNil;
+    frame.dirty_next = dirty_head_;
+    frames_[static_cast<size_t>(dirty_head_)].dirty_prev = f;
+    dirty_head_ = f;
+  }
+  return true;
+}
 
 }  // namespace cloudybench::storage
 

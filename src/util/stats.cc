@@ -107,6 +107,10 @@ double LatencyHistogram::Percentile(double p) const {
 void TimeSeries::Add(double time_s, double value) {
   if (!points_.empty()) {
     CB_CHECK_GE(time_s, points_.back().time_s) << "TimeSeries must be appended in time order";
+  } else {
+    // Collectors append one point per aggregation window for the whole
+    // measurement; skip the first few doubling reallocations up front.
+    points_.reserve(64);
   }
   points_.push_back(Point{time_s, value});
 }
@@ -202,11 +206,66 @@ double TimeSeries::FirstTimeAtMost(double t0, double threshold) const {
 }
 
 std::vector<double> TimeSeries::SlotMeans(double slot_s, int n_slots) const {
-  std::vector<double> out;
-  out.reserve(static_cast<size_t>(n_slots));
-  for (int i = 0; i < n_slots; ++i) {
-    out.push_back(MeanInWindow(i * slot_s, (i + 1) * slot_s));
+  CB_CHECK_GT(slot_s, 0.0);
+  std::vector<double> sums(static_cast<size_t>(n_slots), 0.0);
+  std::vector<int64_t> counts(static_cast<size_t>(n_slots), 0);
+  // Points are time-ordered, so one pass buckets everything. Slot i covers
+  // [i*slot_s, (i+1)*slot_s) with boundaries computed as the exact same
+  // products the old per-slot MeanInWindow scan used, so bucketing is
+  // bit-identical to it.
+  size_t i = 0;
+  for (const Point& p : points_) {
+    if (p.time_s < 0.0) continue;
+    while (i < static_cast<size_t>(n_slots) &&
+           p.time_s >= (static_cast<double>(i) + 1.0) * slot_s) {
+      ++i;
+    }
+    if (i >= static_cast<size_t>(n_slots)) break;
+    sums[i] += p.value;
+    ++counts[i];
   }
+  std::vector<double> out(static_cast<size_t>(n_slots), 0.0);
+  for (size_t i = 0; i < sums.size(); ++i) {
+    if (counts[i] > 0) out[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return out;
+}
+
+size_t TimeSeries::QuantileRank(double q) const {
+  CB_CHECK(q >= 0.0 && q <= 1.0);
+  size_t n = points_.size();
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(n))) - 1;
+  return static_cast<size_t>(std::clamp<int64_t>(rank, 0,
+                                                 static_cast<int64_t>(n) - 1));
+}
+
+double TimeSeries::ValueQuantile(double q) const {
+  if (points_.empty()) return 0.0;
+  scratch_.clear();
+  scratch_.reserve(points_.size());
+  for (const Point& p : points_) scratch_.push_back(p.value);
+  size_t rank = QuantileRank(q);
+  std::nth_element(scratch_.begin(),
+                   scratch_.begin() + static_cast<ptrdiff_t>(rank),
+                   scratch_.end());
+  return scratch_[rank];
+}
+
+std::vector<double> TimeSeries::ValueQuantiles(
+    const std::vector<double>& qs) const {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  if (points_.empty()) {
+    out.assign(qs.size(), 0.0);
+    return out;
+  }
+  scratch_.clear();
+  scratch_.reserve(points_.size());
+  for (const Point& p : points_) scratch_.push_back(p.value);
+  // One shared sort serves every requested quantile.
+  std::sort(scratch_.begin(), scratch_.end());
+  for (double q : qs) out.push_back(scratch_[QuantileRank(q)]);
   return out;
 }
 

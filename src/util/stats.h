@@ -103,10 +103,27 @@ class TimeSeries {
   /// First time >= t0 at which value drops <= threshold; -1 if never.
   double FirstTimeAtMost(double t0, double threshold) const;
   /// Resamples into fixed-width slot means over [0, n_slots*slot_s).
+  /// Single pass over the series (points are time-ordered), not one scan
+  /// per slot.
   std::vector<double> SlotMeans(double slot_s, int n_slots) const;
 
+  /// Nearest-rank quantile of the recorded *values*, q in [0, 1]. Uses
+  /// nth_element over a reused scratch buffer — no full sort and no fresh
+  /// copy allocation per call.
+  double ValueQuantile(double q) const;
+  /// Several quantiles at once: one shared sort of the scratch buffer
+  /// serves every requested q (cheaper than repeated selection once more
+  /// than ~two quantiles are wanted).
+  std::vector<double> ValueQuantiles(const std::vector<double>& qs) const;
+
  private:
+  size_t QuantileRank(double q) const;
+
   std::vector<Point> points_;  // appended in nondecreasing time order
+  /// Value scratch for the quantile queries. Mutable so the (logically
+  /// const) queries can reuse its capacity; TimeSeries is single-threaded
+  /// like everything the collectors own, so there is no sharing hazard.
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace cloudybench::util

@@ -1,6 +1,10 @@
 // Tests for the discrete-event simulation kernel: event ordering, coroutine
 // processes, inline task calls, join, waiters, and the two resource types.
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -452,6 +456,111 @@ TEST(RateResourceTest, ZeroUnitsCostNothing) {
   env.Run();
   EXPECT_DOUBLE_EQ(t, 0.0);
   EXPECT_DOUBLE_EQ(r.consumed(), 0.0);
+}
+
+// ------------------------------------------- scheduler heap (4-ary) order
+
+Process RecordAfterDelay(Environment* env, SimTime at, std::vector<int>* order,
+                         int tag) {
+  co_await env->Delay(at);
+  order->push_back(tag);
+}
+
+TEST(SchedulerHeapTest, SameTimestampEventsDispatchInScheduleOrder) {
+  // Property test for the indexed-heap rewrite: over random interleavings of
+  // ScheduleCall and Spawn (whose first Delay goes through ScheduleHandle)
+  // at heavily colliding timestamps, dispatch order must equal a stable sort
+  // of schedule order by time — the (time, seq) total-order contract that
+  // makes results independent of the queue's internal layout.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Pcg32 rng(seed);
+    Environment env;
+    std::vector<int> order;
+    std::vector<std::pair<int64_t, int>> expected;  // (time_us, tag)
+    const int kOps = 200;
+    for (int tag = 0; tag < kOps; ++tag) {
+      int64_t t_us = rng.NextInRange(0, 4) * 100;  // five buckets: collisions
+      expected.emplace_back(t_us, tag);
+      if (rng.NextBool(0.5)) {
+        env.ScheduleCall(Micros(t_us),
+                         [&order, tag] { order.push_back(tag); });
+      } else {
+        env.Spawn(RecordAfterDelay(&env, Micros(t_us), &order, tag));
+      }
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    env.Run();
+    ASSERT_EQ(order.size(), expected.size()) << "seed " << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(order[i], expected[i].second)
+          << "seed " << seed << " position " << i;
+    }
+  }
+}
+
+TEST(SchedulerHeapTest, CallScheduledDuringDispatchRunsAfterSameTimePeers) {
+  // An event scheduled while dispatching time t gets a fresh (larger) seq,
+  // so it runs after every event already queued for t — not before.
+  Environment env;
+  std::vector<std::string> order;
+  env.ScheduleCall(Micros(100), [&] {
+    order.push_back("a");
+    env.ScheduleCall(env.Now(), [&] { order.push_back("a.child"); });
+  });
+  env.ScheduleCall(Micros(100), [&] { order.push_back("b"); });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a.child"}));
+}
+
+// ------------------------------------------------ closure slab ownership
+
+TEST(SchedulerHeapTest, SlabClosureDestroyedExactlyOnceAfterDispatch) {
+  int deleted = 0;
+  bool ran = false;
+  {
+    Environment env;
+    auto token = std::shared_ptr<int>(new int(7),
+                                      [&deleted](int* p) {
+                                        ++deleted;
+                                        delete p;
+                                      });
+    std::weak_ptr<int> weak = token;
+    env.ScheduleCall(Micros(10), [token, &ran] { ran = (*token == 7); });
+    token.reset();
+    EXPECT_FALSE(weak.expired());  // the slab keeps the capture alive
+    EXPECT_EQ(deleted, 0);
+    env.Run();
+    EXPECT_TRUE(ran);
+    // Dispatch moved the closure out of its slot; the capture died with it
+    // rather than lingering until the slot is reused or the env dies.
+    EXPECT_TRUE(weak.expired());
+    EXPECT_EQ(deleted, 1);
+  }
+  EXPECT_EQ(deleted, 1);  // environment teardown must not double-destroy
+}
+
+TEST(SchedulerHeapTest, SlabClosurePendingAtTeardownDestroyedExactlyOnce) {
+  int deleted = 0;
+  std::weak_ptr<int> weak;
+  {
+    Environment env;
+    auto token = std::shared_ptr<int>(new int(1),
+                                      [&deleted](int* p) {
+                                        ++deleted;
+                                        delete p;
+                                      });
+    weak = token;
+    env.ScheduleCall(Seconds(100), [token] {});  // never dispatched
+    token.reset();
+    EXPECT_FALSE(weak.expired());
+    EXPECT_EQ(deleted, 0);
+  }
+  // ~Environment / ~CallSlab owns still-parked closures.
+  EXPECT_TRUE(weak.expired());
+  EXPECT_EQ(deleted, 1);
 }
 
 }  // namespace

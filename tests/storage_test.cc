@@ -1,7 +1,10 @@
 // Tests for the storage substrate: synthetic tables, buffer pool, disk
 // device, and the group-commit WAL. Also covers the net module's Link.
 
+#include <algorithm>
+#include <list>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -400,6 +403,187 @@ TEST(LinkTest, ConcurrentTransfersShareBandwidth) {
   env.Run();
   EXPECT_NEAR(t1, 0.5, 1e-9);
   EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+// ------------------------------------------- BufferPool trace equivalence
+
+// Reference model of the pre-rewrite pool: std::list LRU + unordered_map
+// lookup, O(resident) TakeDirty walk from the cold end. The intrusive-list /
+// open-addressing rewrite must emit byte-identical hit/miss/eviction/dirty
+// sequences on any operation trace — this is the determinism contract that
+// keeps every simulated result unchanged.
+class ReferenceBufferPool {
+ public:
+  explicit ReferenceBufferPool(int64_t capacity_bytes)
+      : capacity_pages_(
+            std::max<int64_t>(1, capacity_bytes / BufferPool::kPageBytes)) {}
+
+  bool Touch(PageId page) {
+    auto it = map_.find(page);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  BufferPool::AdmitResult Admit(PageId page) {
+    BufferPool::AdmitResult result;
+    if (map_.count(page) > 0) return result;
+    if (static_cast<int64_t>(lru_.size()) >= capacity_pages_) {
+      EvictOne(&result);
+    }
+    lru_.push_front(Entry{page, false});
+    map_[page] = lru_.begin();
+    return result;
+  }
+
+  void MarkDirty(PageId page) {
+    auto it = map_.find(page);
+    if (it == map_.end() || it->second->dirty) return;
+    it->second->dirty = true;
+    ++dirty_count_;
+  }
+
+  void MarkClean(PageId page) {
+    auto it = map_.find(page);
+    if (it == map_.end() || !it->second->dirty) return;
+    it->second->dirty = false;
+    --dirty_count_;
+  }
+
+  bool IsResident(PageId page) const { return map_.count(page) > 0; }
+  bool IsDirty(PageId page) const {
+    auto it = map_.find(page);
+    return it != map_.end() && it->second->dirty;
+  }
+
+  std::vector<PageId> TakeDirty(size_t max_pages) {
+    std::vector<PageId> taken;
+    for (auto it = lru_.rbegin(); it != lru_.rend() && taken.size() < max_pages;
+         ++it) {
+      if (it->dirty) {
+        it->dirty = false;
+        --dirty_count_;
+        taken.push_back(it->page);
+      }
+    }
+    return taken;
+  }
+
+  void SetCapacity(int64_t capacity_bytes) {
+    capacity_pages_ =
+        std::max<int64_t>(1, capacity_bytes / BufferPool::kPageBytes);
+    while (static_cast<int64_t>(lru_.size()) > capacity_pages_) {
+      EvictOne(nullptr);
+    }
+  }
+
+  void Clear() {
+    lru_.clear();
+    map_.clear();
+    dirty_count_ = 0;
+  }
+
+  int64_t resident_pages() const { return static_cast<int64_t>(lru_.size()); }
+  int64_t dirty_pages() const { return dirty_count_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t forced_dirty_evictions() const { return forced_dirty_evictions_; }
+
+ private:
+  struct Entry {
+    PageId page;
+    bool dirty = false;
+  };
+
+  void EvictOne(BufferPool::AdmitResult* result) {
+    Entry victim = lru_.back();
+    if (victim.dirty) {
+      --dirty_count_;
+      ++forced_dirty_evictions_;
+      if (result != nullptr) result->victim_dirty = true;
+    }
+    map_.erase(victim.page);
+    lru_.pop_back();
+    if (result != nullptr) {
+      result->evicted = true;
+      result->victim = victim.page;
+    }
+  }
+
+  int64_t capacity_pages_;
+  std::list<Entry> lru_;
+  std::unordered_map<PageId, std::list<Entry>::iterator, PageIdHash> map_;
+  int64_t dirty_count_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t forced_dirty_evictions_ = 0;
+};
+
+TEST(BufferPoolTraceTest, MatchesReferenceModelOnRandom100kOpTrace) {
+  const int64_t kCapBytes = 256 * BufferPool::kPageBytes;
+  BufferPool pool(kCapBytes);
+  ReferenceBufferPool ref(kCapBytes);
+  util::Pcg32 rng(20260805);
+  auto rand_page = [&rng] {
+    return PageId{static_cast<TableId>(rng.NextBounded(3)),
+                  static_cast<int64_t>(rng.NextBounded(1500))};
+  };
+  for (int op = 0; op < 100000; ++op) {
+    uint32_t r = rng.NextBounded(100);
+    if (r < 55) {
+      // Engine access path: touch, admit on miss.
+      PageId p = rand_page();
+      bool hit_pool = pool.Touch(p);
+      bool hit_ref = ref.Touch(p);
+      ASSERT_EQ(hit_pool, hit_ref) << "op " << op;
+      if (!hit_pool) {
+        BufferPool::AdmitResult a = pool.Admit(p);
+        BufferPool::AdmitResult b = ref.Admit(p);
+        ASSERT_EQ(a.evicted, b.evicted) << "op " << op;
+        ASSERT_EQ(a.victim_dirty, b.victim_dirty) << "op " << op;
+        if (a.evicted) {
+          ASSERT_EQ(a.victim, b.victim) << "op " << op;
+        }
+      }
+    } else if (r < 75) {
+      PageId p = rand_page();
+      pool.MarkDirty(p);
+      ref.MarkDirty(p);
+    } else if (r < 80) {
+      PageId p = rand_page();
+      pool.MarkClean(p);
+      ref.MarkClean(p);
+    } else if (r < 90) {
+      PageId p = rand_page();
+      ASSERT_EQ(pool.IsResident(p), ref.IsResident(p)) << "op " << op;
+      ASSERT_EQ(pool.IsDirty(p), ref.IsDirty(p)) << "op " << op;
+    } else if (r < 97) {
+      size_t n = 1 + rng.NextBounded(32);
+      std::vector<PageId> a = pool.TakeDirty(n);
+      std::vector<PageId> b = ref.TakeDirty(n);
+      ASSERT_EQ(a, b) << "op " << op;
+    } else if (r < 99) {
+      int64_t pages = 64 + static_cast<int64_t>(rng.NextBounded(512));
+      pool.SetCapacity(pages * BufferPool::kPageBytes);
+      ref.SetCapacity(pages * BufferPool::kPageBytes);
+    } else if (rng.NextBounded(10) == 0) {
+      pool.Clear();
+      ref.Clear();
+    }
+    if (op % 1000 == 0) {
+      ASSERT_EQ(pool.resident_pages(), ref.resident_pages()) << "op " << op;
+      ASSERT_EQ(pool.dirty_pages(), ref.dirty_pages()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(pool.hits(), ref.hits());
+  EXPECT_EQ(pool.misses(), ref.misses());
+  EXPECT_EQ(pool.resident_pages(), ref.resident_pages());
+  EXPECT_EQ(pool.dirty_pages(), ref.dirty_pages());
+  EXPECT_EQ(pool.forced_dirty_evictions(), ref.forced_dirty_evictions());
 }
 
 TEST(LinkTest, ProfilesMatchPaperTableIV) {
