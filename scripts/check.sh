@@ -53,6 +53,25 @@ timeline_smoke() {
   echo "=== [timeline] artifacts byte-identical across job counts ==="
 }
 
+# Same contract for the fault/availability matrix (DESIGN.md §4g): the
+# two-scenario --smoke subset must produce byte-identical stdout and JSONL
+# rows at --jobs=1 and --jobs=2 — degradation probes, fault schedules and
+# breaker transitions all live on the per-cell deterministic event queues,
+# so any divergence means a fault hook leaked cross-cell or wall-clock
+# state. (~40 s per run on one core.)
+fault_smoke() {
+  local dir="build-check/release"
+  echo "=== [fault] determinism smoke (--smoke, --jobs=1 vs --jobs=2) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_fault_matrix
+  "${dir}/bench/bench_fault_matrix" --smoke --jobs=1 \
+    --jsonl="${dir}/fault_j1.jsonl" > "${dir}/fault_j1.txt"
+  "${dir}/bench/bench_fault_matrix" --smoke --jobs=2 \
+    --jsonl="${dir}/fault_j2.jsonl" > "${dir}/fault_j2.txt"
+  diff "${dir}/fault_j1.txt" "${dir}/fault_j2.txt"
+  diff "${dir}/fault_j1.jsonl" "${dir}/fault_j2.jsonl"
+  echo "=== [fault] output + artifacts byte-identical across job counts ==="
+}
+
 # Runs the DES/storage micro benches against the committed perf baseline
 # (BENCH_core.json) and WARNS — never fails — when a benchmark is >2x
 # slower. Machines differ and laptops throttle; the smoke exists to catch
@@ -105,6 +124,7 @@ case "${MODE}" in
     run_suite release
     runner_smoke
     timeline_smoke
+    fault_smoke
     perf_smoke
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
@@ -113,6 +133,7 @@ case "${MODE}" in
     run_suite release
     runner_smoke
     timeline_smoke
+    fault_smoke
     perf_smoke
     ;;
   --asan-only)

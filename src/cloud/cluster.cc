@@ -52,7 +52,16 @@ ComputeNode* Cluster::BuildNode(const std::string& name, bool is_rw,
       env_, node_cfg, tables, cpu, local_disk_.get(), storage_link,
       storage_.get(), remote_buffer_.get(),
       is_rw ? log_mgr_.get() : nullptr));
-  return nodes_.back().get();
+  ComputeNode* node = nodes_.back().get();
+  if (degradation_ != nullptr) {
+    // Nodes added after EnableDegradation (scale-out) get the same fetch
+    // policy, on their own jitter stream.
+    const DegradationPolicy& policy = degradation_->policy();
+    node->EnableFetchPolicy(
+        policy.fetch,
+        policy.fetch_seed + (nodes_.size() - 1) * 0x9e3779b9ULL);
+  }
+  return node;
 }
 
 void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
@@ -268,10 +277,62 @@ ComputeNode* Cluster::RouteRead() {
     for (size_t attempt = 0; attempt < ro_nodes_.size(); ++attempt) {
       ComputeNode* candidate = ro_nodes_[rr_next_ % ro_nodes_.size()];
       rr_next_ = (rr_next_ + 1) % std::max<size_t>(1, ro_nodes_.size());
-      if (candidate->available()) return candidate;
+      if (!candidate->available()) continue;
+      // Circuit breaker: an RO whose breaker is Open (down or drowning in
+      // replay backlog) is excluded until its half-open probation passes.
+      if (degradation_ != nullptr && !degradation_->ReadEligible(candidate)) {
+        continue;
+      }
+      return candidate;
     }
   }
   return current_rw_;
+}
+
+repl::Replayer* Cluster::ReplayerFor(ComputeNode* node) {
+  for (auto& replayer : replayers_) {
+    if (replayer->replica_tables() == node->tables()) return replayer.get();
+  }
+  return nullptr;
+}
+
+std::vector<net::Link*> Cluster::LinksByRole(std::string_view role) {
+  // Link names encode their role as a suffix: "<node>-storage",
+  // "<cluster>-repl<N>", "<cluster>-rdma".
+  std::string needle = "-" + std::string(role);
+  std::vector<net::Link*> out;
+  for (auto& link : links_) {
+    if (link->config().name.find(needle) != std::string::npos) {
+      out.push_back(link.get());
+    }
+  }
+  return out;
+}
+
+void Cluster::EnableDegradation(const DegradationPolicy& policy) {
+  CB_CHECK(loaded_) << "EnableDegradation before Load";
+  CB_CHECK(degradation_ == nullptr) << "EnableDegradation called twice";
+  degradation_ =
+      std::make_unique<DegradationController>(env_, this, policy);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->EnableFetchPolicy(policy.fetch,
+                                 policy.fetch_seed + i * 0x9e3779b9ULL);
+  }
+  degradation_->Start();
+  obs::EmitEvent(env_, Scope(), "degradation.enabled",
+                 "fetch deadlines, RO breaker, RW shedding");
+}
+
+int64_t Cluster::TotalFetchTimeouts() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) total += node->fetch_timeouts();
+  return total;
+}
+
+int64_t Cluster::TotalShedRejects() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) total += node->shed_rejects();
+  return total;
 }
 
 ResourceVector Cluster::ServiceResources() const {
@@ -309,7 +370,16 @@ sim::Process Cluster::CheckpointLoop() {
 void Cluster::InjectRwRestart(sim::SimTime at) {
   env_->ScheduleCall(at, [this] {
     ComputeNode* failed = current_rw_;
-    if (!failed->available()) return;  // already failing
+    // Double-injection guard: while a recovery is in flight (or the node is
+    // killed/down) the buffer, active-txn and log-backlog figures no longer
+    // describe a crash — snapshotting them again would corrupt the recovery
+    // model's inputs. Ignore the injection and journal it.
+    if (rw_recovery_in_flight_ || rw_killed_ || !failed->available()) {
+      obs::EmitEvent(env_, Scope(), "failover.ignored",
+                     "rw restart while recovery in flight");
+      return;
+    }
+    rw_recovery_in_flight_ = true;
     int64_t dirty = failed->dirty_pages();
     int64_t active = failed->active_txns();
     int64_t backlog = log_mgr_->pending_bytes();
@@ -410,6 +480,7 @@ sim::Process Cluster::RwRecovery(ComputeNode* failed, int64_t dirty_pages,
     obs::EmitEvent(env_, Scope(), "failover.rejoin",
                    failed->name() + " rejoined as RO");
     ro_nodes_.push_back(failed);
+    rw_recovery_in_flight_ = false;
     co_return;
   }
 
@@ -434,6 +505,7 @@ sim::Process Cluster::InPlaceRecovery(ComputeNode* failed,
                  duration.ToSeconds());
   co_await env_->Delay(duration);
   failed->SetAvailable(true);
+  rw_recovery_in_flight_ = false;
   obs::EmitEvent(env_, Scope(), "failover.recovered",
                  failed->name() + " serving again");
   env_->Spawn(CapacityRamp(failed));
@@ -442,7 +514,13 @@ sim::Process Cluster::InPlaceRecovery(ComputeNode* failed,
 void Cluster::InjectRwKill(sim::SimTime at) {
   env_->ScheduleCall(at, [this] {
     ComputeNode* victim = current_rw_;
-    if (!victim->available()) return;
+    // Same guard as InjectRwRestart: re-snapshotting a node that is already
+    // down or recovering would corrupt the kill snapshot.
+    if (rw_recovery_in_flight_ || rw_killed_ || !victim->available()) {
+      obs::EmitEvent(env_, Scope(), "failover.ignored",
+                     "rw kill while recovery in flight");
+      return;
+    }
     killed_dirty_pages_ = victim->dirty_pages();
     killed_active_txns_ = victim->active_txns();
     killed_log_backlog_ = log_mgr_->pending_bytes();
@@ -460,7 +538,11 @@ util::Status Cluster::ManualStartRw() {
   if (!rw_killed_) {
     return util::Status::FailedPrecondition("RW node was not killed");
   }
+  if (rw_recovery_in_flight_) {
+    return util::Status::FailedPrecondition("RW recovery already in flight");
+  }
   rw_killed_ = false;
+  rw_recovery_in_flight_ = true;
   obs::EmitEvent(env_, Scope(), "failover.manual_start", "operator start");
   env_->Spawn(InPlaceRecovery(current_rw_, killed_dirty_pages_,
                               killed_active_txns_, killed_log_backlog_));

@@ -3,10 +3,12 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cloud/autoscaler.h"
 #include "cloud/compute_node.h"
+#include "cloud/degradation.h"
 #include "cloud/meter.h"
 #include "cloud/pricing.h"
 #include "cloud/services.h"
@@ -143,14 +145,54 @@ class Cluster {
   storage::LogManager* log_manager() { return log_mgr_.get(); }
   StorageService* storage_service() { return storage_.get(); }
   RemoteBufferPool* remote_buffer() { return remote_buffer_.get(); }
+  /// RDS-style local NVMe device; nullptr for disaggregated SUTs.
+  storage::DiskDevice* local_disk() { return local_disk_.get(); }
+  /// The device absorbing log appends — owned or the shared pool device.
+  storage::DiskDevice* log_device() {
+    return log_device_ != nullptr ? log_device_.get()
+                                  : cfg_.shared_log_device;
+  }
   ResourceMeter& meter() { return *meter_; }
   Autoscaler& autoscaler() { return *autoscaler_; }
   const ClusterConfig& config() const { return cfg_; }
 
+  /// The replayer feeding `node`'s replica tables; nullptr for the RW node.
+  /// Matched by table set rather than index because promotion swaps which
+  /// node sits on which replica.
+  repl::Replayer* ReplayerFor(ComputeNode* node);
+  /// Every link whose role suffix matches: "storage" (per-node storage
+  /// links), "repl" (replication links), "rdma" (CDB4's remote-buffer
+  /// fabric). The fault injector's link targets resolve through this.
+  std::vector<net::Link*> LinksByRole(std::string_view role);
+  /// Public event-journal scope ("cluster.CDB4#0") for subsystems — fault
+  /// injector, degradation controller — that journal under this cluster's
+  /// identity.
+  std::string ObsScope() const { return Scope(); }
+
+  // ---- graceful degradation (DESIGN.md §4g) ----
+  /// Arms deadline/backoff fetch policies on every node (including ones
+  /// added later), the RO circuit breaker consulted by RouteRead(), and RW
+  /// load shedding. Call after Load(), at most once. Off by default: a
+  /// cluster that never calls this is byte-identical to the pre-§4g build.
+  void EnableDegradation(const DegradationPolicy& policy);
+  DegradationController* degradation() { return degradation_.get(); }
+
+  /// Sum of fetch timeouts / shed rejects over all nodes (availability
+  /// reporting).
+  int64_t TotalFetchTimeouts() const;
+  int64_t TotalShedRejects() const;
+
   // ---- fail-over (restart model) ----
+  /// Injections landing while an RW recovery is already in flight (or the
+  /// node is killed) are ignored and journaled as "failover.ignored": a
+  /// second snapshot of a node that is already down would corrupt the
+  /// crash-time dirty/active/backlog figures the recovery charges from.
   void InjectRwRestart(sim::SimTime at);
   void InjectRoRestart(size_t ro_index, sim::SimTime at);
   bool rw_available() const { return current_rw_->available(); }
+  /// True from an accepted RW injection until the failed node has fully
+  /// rejoined (promote path) or resumed serving (in-place path).
+  bool rw_recovery_in_flight() const { return rw_recovery_in_flight_; }
 
   // ---- fail-over (kill/stop model) ----
   // §II-E: the kill/stop APIs leave the service down until the operator
@@ -222,6 +264,9 @@ class Cluster {
   bool loaded_ = false;
   size_t rr_next_ = 0;
   std::string metric_prefix_;
+  std::unique_ptr<DegradationController> degradation_;
+  /// Guards against double injection (see InjectRwRestart).
+  bool rw_recovery_in_flight_ = false;
   // Kill/stop model state: crash snapshot awaiting a manual start.
   bool rw_killed_ = false;
   int64_t killed_dirty_pages_ = 0;

@@ -59,6 +59,64 @@ sim::Task<void> ComputeNode::ChargeCpu(sim::SimTime demand) {
   co_await cpu_->Consume(demand);
 }
 
+util::Status ComputeNode::Admit() {
+  if (shedding_) {
+    ++shed_rejects_;
+    return Status::ResourceExhausted(config_.name + " shedding load");
+  }
+  return Status::OK();
+}
+
+void ComputeNode::EnableFetchPolicy(const FetchPolicy& policy, uint64_t seed) {
+  fetch_policy_ = policy;
+  fetch_policy_.enabled = true;
+  // Dedicated stream: backoff jitter must never perturb workload draws.
+  fetch_rng_ = util::Pcg32(seed, 0xfe7c4b0ffULL);
+}
+
+sim::SimTime ComputeNode::EstimateMissDelay(storage::PageId pid) const {
+  switch (config_.miss_path) {
+    case MissPath::kLocalDisk:
+      return local_disk_->EstimatedReadDelay(BufferPool::kPageBytes);
+    case MissPath::kDisaggregatedStorage:
+      return storage_link_->EstimatedTransferDelay(BufferPool::kPageBytes) +
+             storage_service_->EstimatedReadDelay(BufferPool::kPageBytes);
+    case MissPath::kRemoteBufferThenStorage:
+      if (remote_buffer_->Contains(pid)) {
+        return remote_buffer_->EstimatedFetchDelay();
+      }
+      return storage_link_->EstimatedTransferDelay(BufferPool::kPageBytes) +
+             storage_service_->EstimatedReadDelay(BufferPool::kPageBytes);
+  }
+  return sim::SimTime{0};
+}
+
+sim::SimTime ComputeNode::BackoffDelay(int attempt) {
+  int64_t us = fetch_policy_.backoff_base.us
+               << std::min(attempt, 20);  // 2^attempt, overflow-safe
+  us = std::min(us, fetch_policy_.backoff_cap.us);
+  us += static_cast<int64_t>(static_cast<double>(us) * fetch_policy_.jitter *
+                             fetch_rng_.NextDouble());
+  return sim::SimTime{us};
+}
+
+sim::Task<util::Status> ComputeNode::AwaitFetchSlot(storage::PageId pid) {
+  for (int attempt = 0;; ++attempt) {
+    if (EstimateMissDelay(pid) <= fetch_policy_.deadline) {
+      co_return Status::OK();
+    }
+    ++fetch_timeouts_;
+    if (attempt >= fetch_policy_.max_retries) {
+      co_return Status::Unavailable(config_.name +
+                                    " fetch deadline exceeded; retries "
+                                    "exhausted");
+    }
+    ++fetch_retries_;
+    co_await env_->Delay(BackoffDelay(attempt));
+    if (!available_) co_return Status::Unavailable(config_.name + " down");
+  }
+}
+
 sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
                                                 bool for_write) {
   if (!available_) co_return Status::Unavailable(config_.name + " down");
@@ -68,6 +126,10 @@ sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
     // Miss: pay the architecture's miss path, including its CPU cost —
     // full page-processing for disk/storage reads, near-free for
     // one-sided RDMA reads from the remote buffer pool.
+    if (fetch_policy_.enabled) {
+      util::Status slot = co_await AwaitFetchSlot(pid);
+      if (!slot.ok()) co_return slot;
+    }
     ++storage_reads_;
     switch (config_.miss_path) {
       case MissPath::kLocalDisk: {

@@ -18,6 +18,7 @@
 #include "txn/engine.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
+#include "util/random.h"
 
 namespace cloudybench::cloud {
 
@@ -32,6 +33,25 @@ enum class MissPath {
   /// Memory disaggregation (CDB4): try the RDMA remote buffer pool first,
   /// fall back to the storage service.
   kRemoteBufferThenStorage,
+};
+
+/// Deadline/backoff policy for buffer-miss fetches (graceful degradation,
+/// DESIGN.md §4g). Disabled by default: the miss path is byte-identical to
+/// the pre-policy build until Cluster::EnableDegradation arms it.
+struct FetchPolicy {
+  bool enabled = false;
+  /// A fetch attempt fails fast when its deterministic completion estimate
+  /// (device/link virtual queues, see EstimatedReadDelay and friends)
+  /// exceeds this deadline — the DES cannot cancel a coroutine mid-await,
+  /// and the estimates are exact for FIFO resources anyway.
+  sim::SimTime deadline = sim::Millis(40);
+  int max_retries = 3;
+  sim::SimTime backoff_base = sim::Millis(2);
+  sim::SimTime backoff_cap = sim::Millis(64);
+  /// Backoff is stretched by (1 + jitter * U[0,1)) drawn from the node's
+  /// dedicated RNG stream, decorrelating retry herds without perturbing
+  /// workload draws.
+  double jitter = 0.5;
 };
 
 /// One database compute node: CPU slots, a local buffer pool, and the
@@ -90,6 +110,7 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
   storage::TableSet* tables() override { return tables_; }
   txn::LockManager* lock_manager() override { return &locks_; }
   bool available() const override { return available_; }
+  util::Status Admit() override;
   sim::Task<void> ChargeCpu(sim::SimTime demand) override;
   sim::Task<util::Status> AccessPage(storage::PageId page,
                                      bool for_write) override;
@@ -126,6 +147,20 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
   /// Resizes the buffer pool (serverless memory scaling / Fig. 8 sweep).
   void SetBufferBytes(int64_t bytes);
 
+  // ---- graceful degradation (DESIGN.md §4g) ----
+  /// Arms deadline/backoff on the miss path. `seed` feeds the node's own
+  /// Pcg32 stream for backoff jitter; workload RNG draws are untouched.
+  void EnableFetchPolicy(const FetchPolicy& policy, uint64_t seed);
+  const FetchPolicy& fetch_policy() const { return fetch_policy_; }
+  int64_t fetch_timeouts() const { return fetch_timeouts_; }
+  int64_t fetch_retries() const { return fetch_retries_; }
+  /// Admission-control load shedding: while on, Admit() refuses new
+  /// transactions with kResourceExhausted. Driven (with hysteresis and
+  /// journaling) by the cluster's DegradationController.
+  void SetShedding(bool on) { shedding_ = on; }
+  bool shedding() const { return shedding_; }
+  int64_t shed_rejects() const { return shed_rejects_; }
+
   /// Throttles effective CPU capacity to `fraction` of the allocation
   /// without changing the billed allocation (post-fail-over ramp,
   /// multi-tenant throttling). Each change is journaled as a
@@ -152,6 +187,16 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
                            page.page_no};
   }
 
+  /// Deterministic completion estimate for serving a miss of `pid` now,
+  /// along this architecture's miss path (fetch-deadline input).
+  sim::SimTime EstimateMissDelay(storage::PageId pid) const;
+  /// Exponential backoff with multiplicative jitter for retry `attempt`.
+  sim::SimTime BackoffDelay(int attempt);
+  /// Deadline/backoff gate before the miss fetch; OK when the fetch may
+  /// proceed, kUnavailable when retries are exhausted or the node fails
+  /// mid-backoff.
+  sim::Task<util::Status> AwaitFetchSlot(storage::PageId pid);
+
   sim::Environment* env_;
   Config config_;
   std::string obs_scope_;  // "node.<name>", built once instead of per event
@@ -172,6 +217,14 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
   double allocated_memory_gb_;
   int64_t storage_reads_ = 0;
   int64_t backend_flushes_ = 0;
+
+  // Graceful-degradation state; inert until EnableFetchPolicy/SetShedding.
+  FetchPolicy fetch_policy_;
+  util::Pcg32 fetch_rng_{0, 0};
+  bool shedding_ = false;
+  int64_t fetch_timeouts_ = 0;
+  int64_t fetch_retries_ = 0;
+  int64_t shed_rejects_ = 0;
 };
 
 }  // namespace cloudybench::cloud

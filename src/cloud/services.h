@@ -43,6 +43,12 @@ class StorageService {
   int replication_factor() const { return config_.replication_factor; }
   double provisioned_iops() const { return device_.provisioned_iops(); }
 
+  /// Deterministic page-read estimate (graceful-degradation deadline input;
+  /// reflects any fail-slow fault injected into the backing device).
+  sim::SimTime EstimatedReadDelay(int64_t bytes) const {
+    return device_.EstimatedReadDelay(bytes);
+  }
+
  private:
   Config config_;
   storage::DiskDevice device_;
@@ -74,6 +80,12 @@ class RemoteBufferPool {
   int64_t resident_pages() const { return pool_.resident_pages(); }
   int64_t fetches() const { return fetches_; }
   double hit_rate() const { return pool_.hit_rate(); }
+
+  /// Deterministic fetch estimate (RDMA link queue + fixed fetch latency).
+  sim::SimTime EstimatedFetchDelay() const {
+    return rdma_link_->EstimatedTransferDelay(storage::BufferPool::kPageBytes) +
+           fetch_latency_;
+  }
 
   /// Coherence traffic counter (cache-invalidation messages applied).
   int64_t invalidations() const { return invalidations_; }

@@ -35,6 +35,7 @@ void PerformanceCollector::RecordCommit(TxnType type, double latency_ms) {
   ++commits_[static_cast<size_t>(type)];
   latency_[static_cast<size_t>(type)].Add(latency_ms * 1000.0);  // micros
   latency_all_.Add(latency_ms * 1000.0);
+  if (window_capture_) window_latency_.Add(latency_ms * 1000.0);
 }
 
 void PerformanceCollector::RecordAbort(TxnType) { ++total_aborts_; }

@@ -45,6 +45,15 @@ class PerformanceCollector {
   void RecordAbort(TxnType type);
   void RecordUnavailable(TxnType type);
 
+  /// Windowed latency capture: while on, commits also feed a separate
+  /// histogram, so an evaluator can bracket a fault window with two
+  /// ScheduleCalls and read the in-window p99 afterwards (availability
+  /// matrix). Toggling only redirects bookkeeping — no sim-time effect.
+  void SetWindowCapture(bool on) { window_capture_ = on; }
+  const util::LatencyHistogram& window_latency() const {
+    return window_latency_;
+  }
+
   int64_t commits() const { return total_commits_; }
   int64_t aborts() const { return total_aborts_; }
   int64_t unavailable_errors() const { return total_unavailable_; }
@@ -85,6 +94,8 @@ class PerformanceCollector {
   std::array<int64_t, kTxnTypes> commits_{};
   std::array<util::LatencyHistogram, kTxnTypes> latency_{};
   util::LatencyHistogram latency_all_;
+  bool window_capture_ = false;
+  util::LatencyHistogram window_latency_;
   util::TimeSeries tps_;
 };
 

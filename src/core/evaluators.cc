@@ -225,6 +225,77 @@ FailoverResult FailoverEvaluator::Run(sim::Environment* env,
   return result;
 }
 
+AvailabilityResult AvailabilityEvaluator::Run(sim::Environment* env,
+                                              cloud::Cluster* cluster,
+                                              TransactionSet* txns,
+                                              const Options& options) {
+  CB_CHECK(options.fault_start <= options.fault_end);
+  CB_CHECK(options.fault_end <= options.measure);
+  PerformanceCollector collector(env);
+  collector.Start();
+  WorkloadManager manager(env, cluster, txns, &collector);
+  manager.SetConcurrency(options.concurrency);
+  env->RunFor(options.warmup);
+
+  sim::SimTime base = env->Now();
+  double base_s = base.ToSeconds();
+  AvailabilityResult result;
+  result.baseline_tps =
+      collector.MeanTps(base_s - options.warmup.ToSeconds() / 2, base_s);
+
+  // Bracket the fault window with a latency capture; the scheduled calls
+  // only flip collector bookkeeping, so they cannot perturb the simulation.
+  int64_t commits_at_fault_start = 0;
+  env->ScheduleCall(base + options.fault_start,
+                    [&collector, &commits_at_fault_start] {
+                      commits_at_fault_start = collector.commits();
+                      collector.SetWindowCapture(true);
+                    });
+  int64_t commits_at_fault_end = 0;
+  env->ScheduleCall(base + options.fault_end,
+                    [&collector, &commits_at_fault_end] {
+                      commits_at_fault_end = collector.commits();
+                      collector.SetWindowCapture(false);
+                    });
+  if (options.arm) options.arm(base);
+
+  env->RunFor(options.measure);
+  manager.StopAll();
+  double end_s = env->Now().ToSeconds();
+
+  double fault_start_s = base_s + options.fault_start.ToSeconds();
+  double fault_end_s = base_s + options.fault_end.ToSeconds();
+  result.goodput_tps = collector.MeanTps(fault_start_s, end_s);
+  result.commits = collector.commits();
+  result.fault_window_commits = commits_at_fault_end - commits_at_fault_start;
+  result.fault_p99_ms = collector.window_latency().p99() / 1000.0;
+
+  // Availability: the share of sampling windows from fault start onward
+  // that committed anything at all.
+  int windows = 0;
+  int live_windows = 0;
+  for (const util::TimeSeries::Point& p : collector.tps_series().points()) {
+    if (p.time_s <= fault_start_s || p.time_s > end_s) continue;
+    ++windows;
+    if (p.value > 0.0) ++live_windows;
+  }
+  result.availability_pct =
+      windows > 0 ? 100.0 * static_cast<double>(live_windows) /
+                        static_cast<double>(windows)
+                  : 0.0;
+
+  double target = options.target_fraction * result.baseline_tps;
+  double t_r = collector.tps_series().FirstSustainedAtLeast(fault_end_s,
+                                                            target, 4);
+  if (t_r >= 0) {
+    result.recovered = true;
+    result.recovery_seconds = t_r - fault_end_s;
+  } else {
+    result.recovery_seconds = end_s - fault_end_s;
+  }
+  return result;
+}
+
 int FindSaturationConcurrency(
     int64_t scale_factor,
     const std::function<std::unique_ptr<cloud::Cluster>(sim::Environment*)>&

@@ -154,6 +154,56 @@ class FailoverEvaluator {
                             TransactionSet* txns, const Options& options);
 };
 
+/// ---- Availability under injected faults — DESIGN.md §4g ------------------
+
+struct AvailabilityResult {
+  /// Mean committed TPS over the pre-fault half of the warmup tail.
+  double baseline_tps = 0;
+  /// Fraction (%) of TPS sampling windows with at least one commit, from
+  /// fault start to the end of the measurement window.
+  double availability_pct = 0;
+  /// Mean committed TPS over that same window (goodput: shed/timed-out
+  /// requests do not count).
+  double goodput_tps = 0;
+  /// p99 commit latency (ms) of transactions completing inside the fault
+  /// window [fault_start, fault_end].
+  double fault_p99_ms = 0;
+  /// Seconds from the fault clearing until TPS sustains
+  /// `target_fraction * baseline_tps`; the full remaining observation when
+  /// it never does.
+  double recovery_seconds = 0;
+  bool recovered = false;
+  int64_t commits = 0;
+  int64_t fault_window_commits = 0;
+};
+
+/// Drives a fixed-concurrency workload across a fault window armed by the
+/// caller and reports how much service survived. The fault schedule is
+/// injected through the `arm` callback so this evaluator (cb_core) stays
+/// independent of the fault library (cb_fault) that builds the schedules.
+class AvailabilityEvaluator {
+ public:
+  struct Options {
+    int concurrency = 100;
+    sim::SimTime warmup = sim::Seconds(5);
+    sim::SimTime measure = sim::Seconds(45);
+    /// Fault window, relative to the start of the measurement window; used
+    /// to bracket the in-fault latency capture and the recovery clock. Set
+    /// from FaultPlan::FirstInjectAt / LastClearAt (plus recovery slack for
+    /// crash kinds).
+    sim::SimTime fault_start = sim::Seconds(5);
+    sim::SimTime fault_end = sim::Seconds(15);
+    double target_fraction = 0.9;
+    /// Called once with the absolute base time of the measurement window;
+    /// the caller arms its FaultInjector (or anything else) against it.
+    std::function<void(sim::SimTime base)> arm;
+  };
+
+  static AvailabilityResult Run(sim::Environment* env,
+                                cloud::Cluster* cluster, TransactionSet* txns,
+                                const Options& options);
+};
+
 /// ---- tau calibration — paper §II-C ---------------------------------------
 
 /// "We obtain the concurrency number tau where a tested database reaches

@@ -1,0 +1,293 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace cloudybench::fault {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+struct KindEntry {
+  FaultKind kind;
+  const char* name;
+};
+
+constexpr KindEntry kKinds[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kCrashLoop, "crash-loop"},
+    {FaultKind::kCorrelatedCrash, "correlated-crash"},
+    {FaultKind::kLinkDegrade, "link-degrade"},
+    {FaultKind::kLinkBlackhole, "link-blackhole"},
+    {FaultKind::kDiskFailSlow, "disk-fail-slow"},
+    {FaultKind::kReplayStall, "replay-stall"},
+};
+
+bool IsLinkTarget(std::string_view target) {
+  return target == "link.storage" || target == "link.repl" ||
+         target == "link.rdma";
+}
+
+bool IsNodeTarget(std::string_view target) {
+  if (target == "rw" || target == "ro") return true;
+  if (target.size() > 2 && target.substr(0, 2) == "ro") {
+    return target.find_first_not_of("0123456789", 2) == std::string_view::npos;
+  }
+  return false;
+}
+
+bool IsDiskTarget(std::string_view target) {
+  return target == "disk" || target == "storage" || target == "log";
+}
+
+/// Per-kind constraint check; the parser's last gate.
+Status Validate(const FaultSpec& spec) {
+  std::string prefix = std::string(FaultKindName(spec.kind)) + ": ";
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      if (!IsNodeTarget(spec.target)) {
+        return Status::InvalidArgument(prefix + "target must be rw or ro<N>");
+      }
+      break;
+    case FaultKind::kCrashLoop:
+    case FaultKind::kCorrelatedCrash:
+      if (spec.target != "rw") {
+        return Status::InvalidArgument(prefix + "target must be rw");
+      }
+      if (spec.kind == FaultKind::kCrashLoop) {
+        if (spec.duration.us <= 0) {
+          return Status::InvalidArgument(prefix + "needs duration > 0");
+        }
+        if (spec.magnitude <= 0.0) {
+          return Status::InvalidArgument(
+              prefix + "magnitude is the crash period in seconds (> 0)");
+        }
+      }
+      break;
+    case FaultKind::kLinkDegrade:
+      if (!IsLinkTarget(spec.target)) {
+        return Status::InvalidArgument(
+            prefix + "target must be link.storage, link.repl or link.rdma");
+      }
+      if (spec.duration.us <= 0) {
+        return Status::InvalidArgument(prefix + "needs duration > 0");
+      }
+      if (spec.magnitude < 1.0) {
+        return Status::InvalidArgument(
+            prefix + "magnitude is the degrade factor (>= 1)");
+      }
+      break;
+    case FaultKind::kLinkBlackhole:
+      if (!IsLinkTarget(spec.target)) {
+        return Status::InvalidArgument(
+            prefix + "target must be link.storage, link.repl or link.rdma");
+      }
+      if (spec.duration.us <= 0) {
+        return Status::InvalidArgument(prefix + "needs duration > 0");
+      }
+      break;
+    case FaultKind::kDiskFailSlow:
+      if (!IsDiskTarget(spec.target)) {
+        return Status::InvalidArgument(
+            prefix + "target must be disk, storage or log");
+      }
+      if (spec.duration.us <= 0) {
+        return Status::InvalidArgument(prefix + "needs duration > 0");
+      }
+      if (spec.magnitude < 1.0) {
+        return Status::InvalidArgument(
+            prefix + "magnitude is the slow-down factor (>= 1)");
+      }
+      break;
+    case FaultKind::kReplayStall:
+      if (spec.target != "replay") {
+        return Status::InvalidArgument(prefix + "target must be replay");
+      }
+      if (spec.duration.us <= 0) {
+        return Status::InvalidArgument(prefix + "needs duration > 0");
+      }
+      break;
+  }
+  if (spec.at.us < 0) {
+    return Status::InvalidArgument(prefix + "at must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string FormatDuration(sim::SimTime t) {
+  std::ostringstream out;
+  if (t.us % 1000000 == 0) {
+    out << t.us / 1000000 << "s";
+  } else if (t.us % 1000 == 0) {
+    out << t.us / 1000 << "ms";
+  } else {
+    out << t.us << "us";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  for (const KindEntry& entry : kKinds) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream out;
+  out << FaultKindName(kind) << " target=" << target
+      << " at=" << FormatDuration(at);
+  if (duration.us > 0) out << " duration=" << FormatDuration(duration);
+  if (magnitude > 0.0) out << " magnitude=" << magnitude;
+  return out.str();
+}
+
+sim::SimTime FaultPlan::FirstInjectAt() const {
+  sim::SimTime first{0};
+  bool any = false;
+  for (const FaultSpec& spec : specs) {
+    if (!any || spec.at < first) first = spec.at;
+    any = true;
+  }
+  return first;
+}
+
+sim::SimTime FaultPlan::LastClearAt() const {
+  sim::SimTime last{0};
+  for (const FaultSpec& spec : specs) {
+    sim::SimTime clear = spec.at + spec.duration;
+    if (clear > last) last = clear;
+  }
+  return last;
+}
+
+Result<sim::SimTime> ParseDuration(std::string_view text) {
+  size_t digits = 0;
+  double scale = 0.0;
+  if (text.size() > 2 && text.substr(text.size() - 2) == "us") {
+    digits = text.size() - 2;
+    scale = 1.0;
+  } else if (text.size() > 2 && text.substr(text.size() - 2) == "ms") {
+    digits = text.size() - 2;
+    scale = 1e3;
+  } else if (text.size() > 1 && text.back() == 's') {
+    digits = text.size() - 1;
+    scale = 1e6;
+  } else {
+    return Status::InvalidArgument("duration '" + std::string(text) +
+                                   "' needs an s/ms/us suffix");
+  }
+  std::string number(text.substr(0, digits));
+  char* end = nullptr;
+  double value = std::strtod(number.c_str(), &end);
+  if (end != number.c_str() + number.size() || number.empty()) {
+    return Status::InvalidArgument("malformed duration '" + std::string(text) +
+                                   "'");
+  }
+  if (value < 0.0) {
+    return Status::InvalidArgument("negative duration '" + std::string(text) +
+                                   "'");
+  }
+  return sim::SimTime{static_cast<int64_t>(value * scale)};
+}
+
+Result<FaultSpec> ParseFaultSpec(std::string_view text) {
+  FaultSpec spec;
+  bool have_kind = false;
+  bool have_target = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view pair = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec field '" + std::string(pair) +
+                                     "' is not key=value");
+    }
+    std::string_view key = pair.substr(0, eq);
+    std::string_view value = pair.substr(eq + 1);
+    if (key == "kind") {
+      bool found = false;
+      for (const KindEntry& entry : kKinds) {
+        if (value == entry.name) {
+          spec.kind = entry.kind;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("unknown fault kind '" +
+                                       std::string(value) + "'");
+      }
+      have_kind = true;
+    } else if (key == "target") {
+      spec.target = std::string(value);
+      have_target = true;
+    } else if (key == "at") {
+      CB_ASSIGN_OR_RETURN(spec.at, ParseDuration(value));
+    } else if (key == "duration") {
+      CB_ASSIGN_OR_RETURN(spec.duration, ParseDuration(value));
+    } else if (key == "magnitude") {
+      std::string number(value);
+      char* end = nullptr;
+      spec.magnitude = std::strtod(number.c_str(), &end);
+      if (end != number.c_str() + number.size() || number.empty()) {
+        return Status::InvalidArgument("malformed magnitude '" + number + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault spec key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  if (!have_kind) {
+    return Status::InvalidArgument("fault spec is missing kind=");
+  }
+  if (!have_target) {
+    return Status::InvalidArgument("fault spec is missing target=");
+  }
+  CB_RETURN_IF_ERROR(Validate(spec));
+  return spec;
+}
+
+Result<FaultPlan> ParseFaultPlan(std::string_view text) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t semi = text.find(';', pos);
+    if (semi == std::string_view::npos) semi = text.size();
+    std::string_view piece = text.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (piece.empty()) {
+      if (semi == text.size()) break;
+      continue;
+    }
+    CB_ASSIGN_OR_RETURN(FaultSpec spec, ParseFaultSpec(piece));
+    plan.specs.push_back(std::move(spec));
+    if (semi == text.size()) break;
+  }
+  return plan;
+}
+
+std::string FaultPlanHelp() {
+  return
+      "fault plan grammar: spec[;spec...], each spec key=value pairs:\n"
+      "  kind=       crash | crash-loop | correlated-crash | link-degrade |\n"
+      "              link-blackhole | disk-fail-slow | replay-stall\n"
+      "  target=     rw | ro<N> | link.storage | link.repl | link.rdma |\n"
+      "              disk | storage | log | replay\n"
+      "  at=         offset from measurement start (5s, 250ms, 1500us)\n"
+      "  duration=   fault window for clearing kinds\n"
+      "  magnitude=  degrade/slow-down factor; crash-loop period seconds\n"
+      "example: kind=link-degrade,target=link.storage,at=5s,duration=10s,"
+      "magnitude=16";
+}
+
+}  // namespace cloudybench::fault

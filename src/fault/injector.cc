@@ -1,0 +1,204 @@
+#include "fault/injector.h"
+
+#include <cstdlib>
+
+#include "obs/timeline.h"
+#include "util/logging.h"
+
+namespace cloudybench::fault {
+
+namespace {
+
+/// "ro" -> 0, "ro2" -> 2. Callers have already validated the shape.
+size_t RoIndex(const std::string& target) {
+  if (target.size() <= 2) return 0;
+  return static_cast<size_t>(std::strtoll(target.c_str() + 2, nullptr, 10));
+}
+
+std::string_view LinkRole(const std::string& target) {
+  return std::string_view(target).substr(sizeof("link.") - 1);
+}
+
+/// Fail-slow ramps are applied in this many discrete steps over the spec's
+/// duration (fail-slow faults creep, they don't switch).
+constexpr int kFailSlowSteps = 8;
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Environment* env, cloud::Cluster* cluster)
+    : env_(env), cluster_(cluster) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK(cluster != nullptr);
+}
+
+bool FaultInjector::TargetExists(const FaultSpec& spec) const {
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      if (spec.target == "rw") return true;
+      return RoIndex(spec.target) < cluster_->ro_count();
+    case FaultKind::kCrashLoop:
+    case FaultKind::kCorrelatedCrash:
+      return true;
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkBlackhole:
+      return !ResolveLinks(spec).empty();
+    case FaultKind::kDiskFailSlow:
+      return ResolveDisk(spec) != nullptr;
+    case FaultKind::kReplayStall:
+      return cluster_->replayer_count() > 0;
+  }
+  return false;
+}
+
+std::vector<net::Link*> FaultInjector::ResolveLinks(
+    const FaultSpec& spec) const {
+  return cluster_->LinksByRole(LinkRole(spec.target));
+}
+
+storage::DiskDevice* FaultInjector::ResolveDisk(const FaultSpec& spec) const {
+  if (spec.target == "disk") return cluster_->local_disk();
+  if (spec.target == "storage") return cluster_->storage_service()->device();
+  return cluster_->log_device();
+}
+
+void FaultInjector::Journal(const char* kind, const FaultSpec& spec) {
+  obs::EmitEvent(env_, cluster_->ObsScope(), kind, spec.ToString(),
+                 spec.magnitude);
+}
+
+int FaultInjector::Arm(const FaultPlan& plan, sim::SimTime base) {
+  int armed = 0;
+  for (const FaultSpec& spec : plan.specs) {
+    if (!TargetExists(spec)) {
+      ++skipped_;
+      continue;
+    }
+    ArmSpec(spec, base);
+    ++armed;
+  }
+  return armed;
+}
+
+void FaultInjector::InjectCrash(const FaultSpec& spec) {
+  Journal("fault.inject", spec);
+  ++injected_;
+  if (spec.target == "rw") {
+    // The cluster's own double-injection guard ignores overlapping crashes
+    // (which a crash loop intentionally provokes).
+    cluster_->InjectRwRestart(env_->Now());
+  } else {
+    size_t index = RoIndex(spec.target);
+    if (index < cluster_->ro_count()) {
+      cluster_->InjectRoRestart(index, env_->Now());
+    }
+  }
+}
+
+void FaultInjector::InjectCorrelated(const FaultSpec& spec) {
+  Journal("fault.inject", spec);
+  ++injected_;
+  // RW plus every replica at once (AZ outage). RO indices are snapshot
+  // before the RW injection so the promote path's reshuffle cannot skew
+  // them: all injections land at the same instant anyway.
+  size_t ro_count = cluster_->ro_count();
+  cluster_->InjectRwRestart(env_->Now());
+  for (size_t i = 0; i < ro_count; ++i) {
+    cluster_->InjectRoRestart(i, env_->Now());
+  }
+}
+
+void FaultInjector::SetLinks(const FaultSpec& spec, bool on) {
+  for (net::Link* link : ResolveLinks(spec)) {
+    if (spec.kind == FaultKind::kLinkBlackhole) {
+      link->SetBlackhole(on);
+    } else if (on) {
+      link->SetDegraded(spec.magnitude, spec.magnitude);
+    } else {
+      link->SetDegraded(1.0, 1.0);
+    }
+  }
+  if (on) {
+    Journal("fault.inject", spec);
+    ++injected_;
+  } else {
+    Journal("fault.clear", spec);
+    ++cleared_;
+  }
+}
+
+void FaultInjector::SetDisk(const FaultSpec& spec, bool on, double factor) {
+  storage::DiskDevice* disk = ResolveDisk(spec);
+  if (disk == nullptr) return;
+  if (on) {
+    disk->SetFailSlow(factor, factor);
+  } else {
+    disk->ClearFailSlow();
+    Journal("fault.clear", spec);
+    ++cleared_;
+  }
+}
+
+void FaultInjector::SetReplay(const FaultSpec& spec, bool on) {
+  for (size_t i = 0; i < cluster_->replayer_count(); ++i) {
+    cluster_->replayer(i)->SetStalled(on);
+  }
+  if (on) {
+    Journal("fault.inject", spec);
+    ++injected_;
+  } else {
+    Journal("fault.clear", spec);
+    ++cleared_;
+  }
+}
+
+void FaultInjector::ArmSpec(const FaultSpec& spec, sim::SimTime base) {
+  sim::SimTime start = base + spec.at;
+  sim::SimTime end = start + spec.duration;
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kCorrelatedCrash:
+      env_->ScheduleCall(start, [this, spec] {
+        spec.kind == FaultKind::kCrash ? InjectCrash(spec)
+                                       : InjectCorrelated(spec);
+      });
+      break;
+    case FaultKind::kCrashLoop: {
+      sim::SimTime period = sim::Seconds(spec.magnitude);
+      for (sim::SimTime offset{0}; offset < spec.duration;
+           offset += period) {
+        env_->ScheduleCall(start + offset, [this, spec] { InjectCrash(spec); });
+      }
+      break;
+    }
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkBlackhole:
+      env_->ScheduleCall(start, [this, spec] { SetLinks(spec, true); });
+      env_->ScheduleCall(end, [this, spec] { SetLinks(spec, false); });
+      break;
+    case FaultKind::kDiskFailSlow: {
+      // Creeping degradation: ramp to `magnitude` over the window in
+      // discrete steps, then recover instantly (operator replaces the disk).
+      env_->ScheduleCall(start, [this, spec] {
+        Journal("fault.inject", spec);
+        ++injected_;
+      });
+      sim::SimTime step = spec.duration * (1.0 / kFailSlowSteps);
+      for (int i = 0; i < kFailSlowSteps; ++i) {
+        double factor = 1.0 + (spec.magnitude - 1.0) *
+                                  static_cast<double>(i + 1) / kFailSlowSteps;
+        env_->ScheduleCall(start + step * static_cast<double>(i),
+                           [this, spec, factor] {
+                             SetDisk(spec, true, factor);
+                           });
+      }
+      env_->ScheduleCall(end, [this, spec] { SetDisk(spec, false, 1.0); });
+      break;
+    }
+    case FaultKind::kReplayStall:
+      env_->ScheduleCall(start, [this, spec] { SetReplay(spec, true); });
+      env_->ScheduleCall(end, [this, spec] { SetReplay(spec, false); });
+      break;
+  }
+}
+
+}  // namespace cloudybench::fault

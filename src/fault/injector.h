@@ -1,0 +1,64 @@
+#ifndef CLOUDYBENCH_FAULT_INJECTOR_H_
+#define CLOUDYBENCH_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/cluster.h"
+#include "fault/fault.h"
+#include "sim/environment.h"
+
+namespace cloudybench::fault {
+
+/// Arms a FaultPlan against one cluster: every spec becomes scheduled calls
+/// on the cluster's deterministic event queue — an injection (journaled as
+/// "fault.inject") and, for clearing kinds, a matching restore
+/// ("fault.clear"). Specs whose target does not exist on this SUT (e.g.
+/// `disk` on a disaggregated architecture, `replay` with zero replicas) are
+/// skipped, so one plan spans all five architectures.
+///
+/// Link and replayer targets are resolved at fire time, not arm time, so
+/// links created by later scale-out are covered too.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Environment* env, cloud::Cluster* cluster);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every applicable spec at `base + spec.at`. Returns the number
+  /// of specs armed (skipped specs are counted separately). Callable more
+  /// than once (e.g. one plan per measurement phase); the schedules add up.
+  int Arm(const FaultPlan& plan, sim::SimTime base);
+
+  int64_t injected() const { return injected_; }
+  int64_t cleared() const { return cleared_; }
+  int skipped() const { return skipped_; }
+
+ private:
+  /// True when the spec's target exists on this cluster right now.
+  bool TargetExists(const FaultSpec& spec) const;
+  void ArmSpec(const FaultSpec& spec, sim::SimTime base);
+  void Journal(const char* kind, const FaultSpec& spec);
+
+  /// Fire-time applications (each journals "fault.inject"/"fault.clear").
+  void InjectCrash(const FaultSpec& spec);
+  void InjectCorrelated(const FaultSpec& spec);
+  void SetLinks(const FaultSpec& spec, bool on);
+  void SetDisk(const FaultSpec& spec, bool on, double factor);
+  void SetReplay(const FaultSpec& spec, bool on);
+
+  std::vector<net::Link*> ResolveLinks(const FaultSpec& spec) const;
+  storage::DiskDevice* ResolveDisk(const FaultSpec& spec) const;
+
+  sim::Environment* env_;
+  cloud::Cluster* cluster_;
+  int64_t injected_ = 0;
+  int64_t cleared_ = 0;
+  int skipped_ = 0;
+};
+
+}  // namespace cloudybench::fault
+
+#endif  // CLOUDYBENCH_FAULT_INJECTOR_H_

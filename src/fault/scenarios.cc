@@ -1,0 +1,39 @@
+#include "fault/scenarios.h"
+
+namespace cloudybench::fault {
+
+const std::vector<Scenario>& BuiltinScenarios() {
+  // The `at` offsets are relative to the measurement window; the bench adds
+  // its warmup. Magnitudes are picked so every SUT visibly degrades without
+  // flat-lining: the interesting output is *how differently* the five
+  // architectures bend.
+  static const std::vector<Scenario> kScenarios = {
+      {"crash", "single RW crash; restart-model recovery",
+       "kind=crash,target=rw,at=5s"},
+      {"crash-loop", "RW crashes every 8s for 24s (flapping pod)",
+       "kind=crash-loop,target=rw,at=5s,duration=24s,magnitude=8"},
+      {"correlated", "RW and every RO crash together (AZ outage)",
+       "kind=correlated-crash,target=rw,at=5s"},
+      {"link-degrade", "storage fabric 16x latency, 1/16 bandwidth for 10s",
+       "kind=link-degrade,target=link.storage,at=5s,duration=10s,"
+       "magnitude=16;"
+       "kind=link-degrade,target=link.rdma,at=5s,duration=10s,magnitude=16"},
+      {"disk-fail-slow",
+       "data/log devices creep to 8x slower over 10s, then recover",
+       "kind=disk-fail-slow,target=storage,at=5s,duration=10s,magnitude=8;"
+       "kind=disk-fail-slow,target=disk,at=5s,duration=10s,magnitude=8;"
+       "kind=disk-fail-slow,target=log,at=5s,duration=10s,magnitude=8"},
+      {"replay-stall", "replica replay stops for 10s; backlog and lag grow",
+       "kind=replay-stall,target=replay,at=5s,duration=10s"},
+  };
+  return kScenarios;
+}
+
+const Scenario* FindScenario(const std::string& name) {
+  for (const Scenario& scenario : BuiltinScenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+}  // namespace cloudybench::fault

@@ -1,0 +1,30 @@
+#ifndef CLOUDYBENCH_FAULT_SCENARIOS_H_
+#define CLOUDYBENCH_FAULT_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+namespace cloudybench::fault {
+
+/// A named fault schedule from the availability matrix (bench_fault_matrix).
+/// The plan is kept as a *plan string*, not a parsed FaultPlan, so every
+/// matrix run exercises the production parser on exactly what a user could
+/// pass via --faults=.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::string plan;
+};
+
+/// The six built-in scenarios (one per fault kind the taxonomy reaches from
+/// bench flags; blackhole rides inside link-degrade's family and is covered
+/// by unit tests). Each plan is valid for every SUT: specs whose target an
+/// architecture lacks are skipped at arm time.
+const std::vector<Scenario>& BuiltinScenarios();
+
+/// nullptr when no scenario has that name.
+const Scenario* FindScenario(const std::string& name);
+
+}  // namespace cloudybench::fault
+
+#endif  // CLOUDYBENCH_FAULT_SCENARIOS_H_

@@ -54,8 +54,47 @@ sim::Task<void> Link::Transfer(int64_t bytes) {
   ++messages_;
   obs::SpanScope net_span(env_, TraceTrack(), obs::Layer::kNet,
                           "link.transfer");
+  // Blackholed senders park until the fault clears; the resumed coroutine
+  // re-checks because a second blackhole window may have opened meanwhile.
+  while (blackhole_) {
+    sim::Waiter gate(env_);
+    blackholed_waiters_.push_back(&gate);
+    co_await gate;
+  }
   co_await bandwidth_.Acquire(static_cast<double>(bytes));
-  co_await env_->Delay(config_.latency);
+  co_await env_->Delay(config_.latency * latency_mult_);
+}
+
+void Link::SetDegraded(double latency_mult, double bandwidth_div) {
+  CB_CHECK_GE(latency_mult, 1.0);
+  CB_CHECK_GE(bandwidth_div, 1.0);
+  latency_mult_ = latency_mult;
+  bandwidth_div_ = bandwidth_div;
+  bandwidth_.SetRate(NominalRate() / bandwidth_div_);
+}
+
+void Link::SetBlackhole(bool on) {
+  blackhole_ = on;
+  if (!on) {
+    // Completing a waiter resumes its transfer at the current instant; swap
+    // first because resumed senders can re-park if a new window opens.
+    std::vector<sim::Waiter*> parked;
+    parked.swap(blackholed_waiters_);
+    for (sim::Waiter* w : parked) w->Complete(0);
+  }
+}
+
+void Link::ClearFaults() {
+  latency_mult_ = 1.0;
+  bandwidth_div_ = 1.0;
+  bandwidth_.SetRate(NominalRate());
+  SetBlackhole(false);
+}
+
+sim::SimTime Link::EstimatedTransferDelay(int64_t bytes) const {
+  if (blackhole_) return kUnreachable;
+  return bandwidth_.EstimatedWait(static_cast<double>(bytes)) +
+         config_.latency * latency_mult_;
 }
 
 }  // namespace cloudybench::net

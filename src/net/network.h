@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 #include "sim/environment.h"
@@ -53,6 +54,28 @@ class Link {
   int64_t bytes_transferred() const { return bytes_transferred_; }
   int64_t messages() const { return messages_; }
 
+  // ---- fault hooks (src/fault) ----
+  /// Degrades the link: propagation latency is multiplied by `latency_mult`
+  /// and bandwidth scaled to nominal/`bandwidth_div` (both >= 1; applies to
+  /// future reservations — in-flight transfers keep their grant).
+  void SetDegraded(double latency_mult, double bandwidth_div);
+  /// Blackhole: transfers park on a waiter queue and deliver nothing until
+  /// the blackhole clears (partition / switch brownout).
+  void SetBlackhole(bool on);
+  /// Restores nominal latency, bandwidth and blackhole state.
+  void ClearFaults();
+  bool degraded() const {
+    return latency_mult_ != 1.0 || bandwidth_div_ != 1.0;
+  }
+  bool blackholed() const { return blackhole_; }
+
+  /// Deterministic completion estimate for a Transfer(bytes) issued now:
+  /// bandwidth virtual-queue wait plus propagation latency. Returns
+  /// kUnreachable while blackholed, so deadline-based callers fail fast
+  /// instead of parking forever.
+  sim::SimTime EstimatedTransferDelay(int64_t bytes) const;
+  static constexpr sim::SimTime kUnreachable{int64_t{1} << 60};
+
   /// Mean utilization over [t0, t1) against provisioned bandwidth; requires
   /// callers to snapshot bytes_transferred() (the meter does).
   static double Gbps(int64_t bytes, double seconds) {
@@ -66,11 +89,20 @@ class Link {
   /// a stale track id must be re-allocated rather than reused.
   uint64_t TraceTrack();
 
+  /// Nominal bytes/second from the config (SetDegraded divides this).
+  double NominalRate() const { return config_.bandwidth_gbps * 1e9 / 8.0; }
+
   sim::Environment* env_;
   LinkConfig config_;
   sim::RateResource bandwidth_;  // bytes per second
   int64_t bytes_transferred_ = 0;
   int64_t messages_ = 0;
+  // Fault state; all 1.0/false/empty in a healthy link, and the hot path
+  // only pays one multiply and one branch for them.
+  double latency_mult_ = 1.0;
+  double bandwidth_div_ = 1.0;
+  bool blackhole_ = false;
+  std::vector<sim::Waiter*> blackholed_waiters_;
   uint64_t trace_track_ = 0;
   uint64_t trace_epoch_ = 0;
 };

@@ -120,9 +120,28 @@ sim::Process Replayer::ShipOne(LogRecord record) {
   }
 }
 
+void Replayer::SetStalled(bool stalled) {
+  if (stalled == stalled_) return;
+  stalled_ = stalled;
+  obs::EmitEvent(env_, scope_, stalled ? "replay.stall" : "replay.resume", "",
+                 static_cast<double>(backlog()));
+  if (!stalled_) {
+    // Wake every parked lane; swap first — a resumed lane re-parks on a
+    // fresh waiter if another stall window opens at the same instant.
+    std::vector<sim::Waiter*> parked;
+    parked.swap(stall_waiters_);
+    for (sim::Waiter* w : parked) w->Complete(0);
+  }
+}
+
 sim::Process Replayer::LaneLoop(int lane) {
   auto& queue = lane_queues_[static_cast<size_t>(lane)];
   for (;;) {
+    while (stalled_) {
+      sim::Waiter gate(env_);
+      stall_waiters_.push_back(&gate);
+      co_await gate;
+    }
     if (queue.empty()) {
       sim::Waiter waiter(env_);
       lane_waiters_[static_cast<size_t>(lane)] = &waiter;

@@ -80,6 +80,13 @@ class Replayer {
   /// cluster. Backlog high-water marks are journaled under it.
   void SetScope(std::string scope) { scope_ = std::move(scope); }
 
+  // ---- fault hook (src/fault) ----
+  /// Replay stall: while stalled, lanes stop applying — records still ship
+  /// and queue, so the backlog (and replica lag) grows. Resuming wakes every
+  /// lane; journaled as "replay.stall" / "replay.resume".
+  void SetStalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
   /// All records with LSN <= applied_lsn() are visible on the replica.
   int64_t applied_lsn() const;
   bool IsApplied(int64_t lsn) const { return applied_lsn() >= lsn; }
@@ -115,6 +122,8 @@ class Replayer {
 
   std::vector<std::deque<storage::LogRecord>> lane_queues_;
   std::vector<sim::Waiter*> lane_waiters_;
+  bool stalled_ = false;
+  std::vector<sim::Waiter*> stall_waiters_;
   std::set<int64_t> pending_lsns_;  // shipped, not yet applied
   int64_t last_shipped_lsn_ = 0;
   int64_t records_applied_ = 0;

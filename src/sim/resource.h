@@ -107,6 +107,19 @@ class RateResource {
   /// Whether an Acquire issued now would have to wait (backlogged device).
   bool backlogged() const { return next_free_ > env_->Now(); }
 
+  /// Deterministic completion estimate for an Acquire(units) issued now,
+  /// without reserving anything: current virtual-queue backlog plus the
+  /// units' own service time. Because reservations are FIFO and the rate
+  /// only changes between reservations, the estimate is exact for the next
+  /// caller — which is what lets deadline-based timeouts (graceful
+  /// degradation, src/fault) decide *before* awaiting, since the DES has no
+  /// coroutine cancellation.
+  SimTime EstimatedWait(double units) const {
+    SimTime queue = next_free_ > env_->Now() ? next_free_ - env_->Now()
+                                             : SimTime{0};
+    return queue + Seconds(units / rate_);
+  }
+
  private:
   Environment* env_;
   double rate_;

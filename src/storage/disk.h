@@ -34,9 +34,33 @@ class DiskDevice {
   sim::Task<void> Read(int64_t bytes);
   sim::Task<void> Write(int64_t bytes);
 
-  /// Autoscaling of provisioned IOPS (serverless storage tiers).
+  /// Autoscaling of provisioned IOPS (serverless storage tiers). Composes
+  /// with a fail-slow fault: the effective rate is provisioned/iops_div.
   void SetProvisionedIops(double iops);
-  double provisioned_iops() const { return iops_.rate(); }
+  double provisioned_iops() const { return provisioned_iops_; }
+
+  // ---- fault hooks (src/fault) ----
+  /// Fail-slow degradation: effective IOPS drop to provisioned/`iops_div`
+  /// and access latencies are multiplied by `latency_mult` (both >= 1).
+  /// Billing keeps seeing the provisioned figure — a gray-failing disk is
+  /// the same SKU, just slower.
+  void SetFailSlow(double iops_div, double latency_mult);
+  void ClearFailSlow() { SetFailSlow(1.0, 1.0); }
+  bool fail_slow() const {
+    return fail_iops_div_ != 1.0 || fail_latency_mult_ != 1.0;
+  }
+
+  /// Deterministic completion estimates for an I/O issued now (IOPS
+  /// virtual-queue wait + degraded device latency) — the fetch-deadline
+  /// inputs for graceful degradation.
+  sim::SimTime EstimatedReadDelay(int64_t bytes) const {
+    return iops_.EstimatedWait(TokensFor(bytes)) +
+           config_.read_latency * fail_latency_mult_;
+  }
+  sim::SimTime EstimatedWriteDelay(int64_t bytes) const {
+    return iops_.EstimatedWait(TokensFor(bytes)) +
+           config_.write_latency * fail_latency_mult_;
+  }
 
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
@@ -52,6 +76,9 @@ class DiskDevice {
   sim::Environment* env_;
   Config config_;
   sim::RateResource iops_;
+  double provisioned_iops_;
+  double fail_iops_div_ = 1.0;
+  double fail_latency_mult_ = 1.0;
   int64_t reads_ = 0;
   int64_t writes_ = 0;
 };

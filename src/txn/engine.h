@@ -35,6 +35,14 @@ class Engine {
   /// True while the node can serve requests (false during fail-over).
   virtual bool available() const = 0;
 
+  /// Admission control, consulted by the TxnManager before a transaction's
+  /// first operation (never mid-transaction: shedding a transaction that
+  /// already holds locks would waste the work it queued for). The base
+  /// engine admits everything; cloud::ComputeNode returns
+  /// kResourceExhausted while load shedding is active (graceful
+  /// degradation, DESIGN.md §4g).
+  virtual util::Status Admit() { return util::Status::OK(); }
+
   /// Charges `demand` of CPU work against the node's vCores (queueing under
   /// load, stretching under fractional serverless capacity).
   virtual sim::Task<void> ChargeCpu(sim::SimTime demand) = 0;

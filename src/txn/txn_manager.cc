@@ -43,6 +43,15 @@ void TxnManager::FinishTxnTrace(Transaction* txn, bool committed) {
   txn->root_span_ = obs::SpanHandle{};
 }
 
+util::Status TxnManager::AdmitFirstOp(Transaction* txn) {
+  if (!txn->held_locks_.empty() || !txn->writes_.empty()) {
+    return Status::OK();
+  }
+  Status admitted = engine_->Admit();
+  if (!admitted.ok()) Abort(txn);
+  return admitted;
+}
+
 const Transaction::WriteOp* TxnManager::FindStaged(const Transaction& txn,
                                                    storage::TableId table,
                                                    int64_t key) const {
@@ -91,6 +100,9 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
+  }
+  if (Status admitted = AdmitFirstOp(txn); !admitted.ok()) {
+    co_return admitted;
   }
   engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.read);
@@ -142,6 +154,9 @@ sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
     Abort(txn);
     co_return Status::Unavailable("node down");
   }
+  if (Status admitted = AdmitFirstOp(txn); !admitted.ok()) {
+    co_return admitted;
+  }
   engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.write);
   Status locked;
@@ -184,6 +199,9 @@ sim::Task<util::Status> TxnManager::Update(Transaction* txn,
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
+  }
+  if (Status admitted = AdmitFirstOp(txn); !admitted.ok()) {
+    co_return admitted;
   }
   engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.write);
@@ -228,6 +246,9 @@ sim::Task<util::Status> TxnManager::Delete(Transaction* txn,
   if (!engine_->available()) {
     Abort(txn);
     co_return Status::Unavailable("node down");
+  }
+  if (Status admitted = AdmitFirstOp(txn); !admitted.ok()) {
+    co_return admitted;
   }
   engine_->set_trace_track(txn->trace_track_);
   co_await engine_->ChargeCpu(costs_.write);

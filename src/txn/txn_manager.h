@@ -108,6 +108,10 @@ class TxnManager {
   int64_t active_txns() const { return active_txns_; }
 
  private:
+  /// Admission check on a transaction's first operation only (no held
+  /// locks, no staged writes yet): a shed transaction has cost nothing.
+  /// Aborts the transaction and returns the engine's status when refused.
+  util::Status AdmitFirstOp(Transaction* txn);
   /// Finds the latest staged write for (table,key); nullptr if none.
   const Transaction::WriteOp* FindStaged(const Transaction& txn,
                                          storage::TableId table,

@@ -274,6 +274,59 @@ TEST(ClusterTest, CommittedDataSurvivesFailover) {
   EXPECT_EQ(committed, committed_before);
 }
 
+TEST(ClusterTest, RwRestartWhileRecoveryInFlightIsIgnored) {
+  // Regression: a second InjectRwRestart landing while the first recovery
+  // is still in flight used to re-snapshot the (already down) node's dirty/
+  // active/backlog figures and corrupt the recovery model's inputs. The
+  // guard must ignore it and recovery must still complete normally.
+  Rig rig(SutKind::kAwsRds, 1);
+  bool stop = false;
+  int64_t committed = 0;
+  for (int w = 0; w < 4; ++w) {
+    rig.env.Spawn(Worker(&rig.env, rig.cluster.get(),
+                         51 + static_cast<uint64_t>(w), &stop, &committed));
+  }
+  rig.cluster->InjectRwRestart(sim::Seconds(5));
+  rig.env.RunUntil(sim::Seconds(6));
+  EXPECT_FALSE(rig.cluster->rw_available());
+  EXPECT_TRUE(rig.cluster->rw_recovery_in_flight());
+
+  // Double injection mid-recovery: ignored, does not restart the clock or
+  // spawn a second recovery.
+  rig.cluster->InjectRwRestart(sim::Seconds(6));
+  // A kill landing mid-recovery is equally ignored (it would otherwise
+  // leave the cluster waiting for a manual start that recovery races).
+  rig.cluster->InjectRwKill(sim::Seconds(7));
+  rig.env.RunUntil(sim::Seconds(8));
+  EXPECT_FALSE(rig.cluster->rw_killed());
+  EXPECT_TRUE(rig.cluster->rw_recovery_in_flight());
+
+  rig.env.RunUntil(sim::Seconds(60));
+  stop = true;
+  rig.env.RunUntil(sim::Seconds(70));
+  EXPECT_TRUE(rig.cluster->rw_available());
+  EXPECT_FALSE(rig.cluster->rw_recovery_in_flight());
+  EXPECT_GT(committed, 100);
+}
+
+TEST(ClusterTest, PromotePathClearsRecoveryInFlightOnRejoin) {
+  // CDB4's promote path holds the guard until the failed node has fully
+  // rejoined as an RO, so a crash landing mid-switch-over cannot corrupt
+  // the reshuffle.
+  Rig rig(SutKind::kCdb4, 1);
+  rig.cluster->InjectRwRestart(sim::Seconds(5));
+  rig.env.RunUntil(sim::Seconds(10));
+  // New RW is serving but the old node has not rejoined yet.
+  EXPECT_TRUE(rig.cluster->rw_available());
+  EXPECT_TRUE(rig.cluster->rw_recovery_in_flight());
+  rig.cluster->InjectRwRestart(sim::Seconds(10));
+  rig.env.RunUntil(sim::Seconds(11));
+  EXPECT_TRUE(rig.cluster->rw_available());  // injection was ignored
+  rig.env.RunUntil(sim::Seconds(30));
+  EXPECT_FALSE(rig.cluster->rw_recovery_in_flight());
+  EXPECT_EQ(rig.cluster->ro_count(), 1u);
+}
+
 TEST(ClusterTest, RoRestartRoutesReadsToRw) {
   Rig rig(SutKind::kCdb3, 1);
   rig.cluster->InjectRoRestart(0, sim::Seconds(1));
