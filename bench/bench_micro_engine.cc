@@ -6,10 +6,13 @@
 // built from these operations, so scripts/perf_baseline.sh records them in
 // BENCH_core.json as the repo's tracked perf trajectory.
 
+#include <optional>
+
 #include <benchmark/benchmark.h>
 
 #include "core/evaluators.h"
 #include "core/sales_workload.h"
+#include "load/arrival.h"
 #include "runner/oltp_cell.h"
 #include "sim/environment.h"
 #include "storage/buffer_pool.h"
@@ -205,6 +208,35 @@ void BM_SimSpawnJoinCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimSpawnJoinCycle);
+
+void BM_ArrivalGeneration(benchmark::State& state) {
+  // Open-loop schedule synthesis (src/load/): batch generation of a mixed
+  // three-stream plan — thinned Poisson under a diurnal shape, an MMPP-2
+  // burst stream, and a fixed tick. items/sec is arrivals materialized per
+  // wall second; the saturation bench's dispatcher refills from exactly
+  // this path, so it bounds how much offered load a cell can script.
+  util::Result<load::ArrivalPlan> plan = load::ParseArrivalPlan(
+      "process=poisson,rate=5000,shape=diurnal,period=10s,amplitude=0.5;"
+      "process=mmpp,rate=500,rate2=4000,dwell=200ms;"
+      "process=fixed,rate=1000");
+  CB_CHECK(plan.ok());
+  int64_t arrivals = 0;
+  std::vector<load::Arrival> batch;
+  std::optional<load::ArrivalGenerator> gen;
+  gen.emplace(*plan, 42, sim::Seconds(3600));
+  for (auto _ : state) {
+    batch.clear();
+    size_t n = gen->NextBatch(4096, &batch);
+    if (n == 0) {  // horizon exhausted: restart the schedule
+      gen.emplace(*plan, 42, sim::Seconds(3600));
+      n = gen->NextBatch(4096, &batch);
+    }
+    arrivals += static_cast<int64_t>(n);
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(arrivals);
+}
+BENCHMARK(BM_ArrivalGeneration)->Unit(benchmark::kMicrosecond);
 
 void BM_OltpCellEventsPerSecond(benchmark::State& state) {
   // End-to-end DES throughput: one small OLTP cell (SF1, 16 clients,

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + ctest in Release, then again with
 # AddressSanitizer and ThreadSanitizer (-DCLOUDYBENCH_SANITIZE=...), plus a
-# matrix-runner determinism smoke: bench_runner_demo's stdout and per-cell
-# timeline CSV artifacts must be byte-identical at --jobs=1 and --jobs=2.
+# matrix-runner determinism smokes: bench_runner_demo, the fault matrix
+# and the open-loop saturation bench must produce byte-identical stdout
+# (and JSONL / timeline CSV artifacts) at --jobs=1 and --jobs=2.
 # Build trees live under build-check/ so the developer's main build/ is
 # left alone. The sanitizer suites run every test, including the timeline
 # suite, under ASan/TSan via ctest.
@@ -72,6 +73,25 @@ fault_smoke() {
   echo "=== [fault] output + artifacts byte-identical across job counts ==="
 }
 
+# Same contract for the open-loop saturation bench (DESIGN.md §4h): the
+# two-SUT x two-rung --smoke subset must produce byte-identical stdout and
+# JSONL at --jobs=1 and --jobs=2 — arrival schedules, session RNG streams
+# and the driver's admit/park/retire machinery all derive from the cell
+# seed, so divergence means wall-clock or cross-cell state leaked into the
+# open loop.
+load_smoke() {
+  local dir="build-check/release"
+  echo "=== [load] determinism smoke (--smoke, --jobs=1 vs --jobs=2) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_saturation
+  "${dir}/bench/bench_saturation" --smoke --jobs=1 \
+    --jsonl="${dir}/load_j1.jsonl" > "${dir}/load_j1.txt"
+  "${dir}/bench/bench_saturation" --smoke --jobs=2 \
+    --jsonl="${dir}/load_j2.jsonl" > "${dir}/load_j2.txt"
+  diff "${dir}/load_j1.txt" "${dir}/load_j2.txt"
+  diff "${dir}/load_j1.jsonl" "${dir}/load_j2.jsonl"
+  echo "=== [load] output + artifacts byte-identical across job counts ==="
+}
+
 # Runs the DES/storage micro benches against the committed perf baseline
 # (BENCH_core.json) and WARNS — never fails — when a benchmark is >2x
 # slower. Machines differ and laptops throttle; the smoke exists to catch
@@ -125,6 +145,7 @@ case "${MODE}" in
     runner_smoke
     timeline_smoke
     fault_smoke
+    load_smoke
     perf_smoke
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
@@ -134,6 +155,7 @@ case "${MODE}" in
     runner_smoke
     timeline_smoke
     fault_smoke
+    load_smoke
     perf_smoke
     ;;
   --asan-only)

@@ -6,6 +6,7 @@
 #include "obs/metric_registry.h"
 #include "obs/timeline.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace cloudybench::cloud {
 
@@ -58,8 +59,8 @@ ComputeNode* Cluster::BuildNode(const std::string& name, bool is_rw,
     // policy, on their own jitter stream.
     const DegradationPolicy& policy = degradation_->policy();
     node->EnableFetchPolicy(
-        policy.fetch,
-        policy.fetch_seed + (nodes_.size() - 1) * 0x9e3779b9ULL);
+        policy.fetch, util::SplitSeed(policy.fetch_seed, util::kJitterStream,
+                                      nodes_.size() - 1));
   }
   return node;
 }
@@ -315,8 +316,8 @@ void Cluster::EnableDegradation(const DegradationPolicy& policy) {
   degradation_ =
       std::make_unique<DegradationController>(env_, this, policy);
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i]->EnableFetchPolicy(policy.fetch,
-                                 policy.fetch_seed + i * 0x9e3779b9ULL);
+    nodes_[i]->EnableFetchPolicy(
+        policy.fetch, util::SplitSeed(policy.fetch_seed, util::kJitterStream, i));
   }
   degradation_->Start();
   obs::EmitEvent(env_, Scope(), "degradation.enabled",

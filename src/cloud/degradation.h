@@ -21,8 +21,10 @@ class Cluster;
 struct DegradationPolicy {
   /// Deadline/backoff on buffer-miss fetches, armed on every node.
   FetchPolicy fetch;
-  /// Seed for the per-node backoff-jitter RNG streams (node index is mixed
-  /// in); a dedicated stream so workload draws stay untouched.
+  /// Root seed for the per-node backoff-jitter RNG streams; each node gets
+  /// util::SplitSeed(fetch_seed, kJitterStream, node_index) — a dedicated
+  /// stream-split substream so workload draws stay untouched and nearby
+  /// roots can never alias across nodes.
   uint64_t fetch_seed = 0x5eedfa;
 
   /// RO circuit breaker: probe cadence, the replay-backlog level (records)

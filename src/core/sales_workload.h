@@ -85,12 +85,26 @@ class TransactionSet {
   /// Base RNG seed for the workers driving this workload.
   virtual uint64_t Seed() const { return 1; }
 
+  /// Root seed for the next driver constructed against this set with the
+  /// derive-from-workload default (seed 0). Each call hands out a distinct
+  /// stream-split root (Seed() × a per-set manager nonce), so two managers
+  /// driving the same TransactionSet never reuse worker seed streams while
+  /// the workload config's seed still fully determines the run — the nonce
+  /// sequence depends only on construction order, which is deterministic
+  /// per experiment cell.
+  uint64_t NextManagerSeed() {
+    return util::SplitSeed(Seed(), util::kManagerStream, manager_nonce_++);
+  }
+
   /// Runs one complete transaction (begin..commit/abort) against `cluster`,
   /// reporting its type through `type_out`. The returned status is the
   /// client-visible outcome.
   virtual sim::Task<util::Status> RunOne(cloud::Cluster* cluster,
                                          util::Pcg32& rng,
                                          TxnType* type_out) = 0;
+
+ private:
+  uint64_t manager_nonce_ = 0;
 };
 
 /// The paper's T1-T4 sales transactions (Table II):

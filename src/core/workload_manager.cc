@@ -1,8 +1,13 @@
 #include "core/workload_manager.h"
 
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace cloudybench {
+
+uint64_t WorkloadManager::WorkerSeed(uint64_t root, uint64_t index) {
+  return util::SplitSeed(root, util::kWorkerStream, index);
+}
 
 WorkloadManager::WorkloadManager(sim::Environment* env,
                                  cloud::Cluster* cluster,
@@ -13,7 +18,7 @@ WorkloadManager::WorkloadManager(sim::Environment* env,
       cluster_(cluster),
       txns_(txns),
       collector_(collector),
-      seed_(seed != 0 ? seed : txns->Seed()) {
+      seed_(seed != 0 ? seed : txns->NextManagerSeed()) {
   CB_CHECK(env != nullptr);
   CB_CHECK(cluster != nullptr);
   CB_CHECK(txns != nullptr);
@@ -36,7 +41,7 @@ void WorkloadManager::SetConcurrency(int concurrency) {
   while (static_cast<int>(active_.size()) < concurrency) {
     auto control = std::make_shared<WorkerControl>();
     active_.push_back(control);
-    env_->Spawn(WorkerLoop(control, seed_ + (spawned_++)));
+    env_->Spawn(WorkerLoop(control, WorkerSeed(seed_, spawned_++)));
   }
 }
 

@@ -19,8 +19,14 @@ namespace cloudybench {
 /// graceful: surplus workers finish their in-flight transaction and exit.
 class WorkloadManager {
  public:
-  /// `seed` 0 (the default) derives worker seeds from txns->Seed(), so a
-  /// workload config's seed fully determines the run.
+  /// `seed` 0 (the default) derives this manager's root seed from
+  /// txns->NextManagerSeed() — a stream-split of txns->Seed() and a
+  /// per-TransactionSet manager nonce — so a workload config's seed fully
+  /// determines the run *and* two managers driving the same TransactionSet
+  /// (multi-tenant sweeps, repeated evaluator phases) get disjoint worker
+  /// seed streams. A non-zero `seed` pins the root directly; worker seeds
+  /// are always WorkerSeed(root, index), never sequential arithmetic, so
+  /// nearby explicit roots don't overlap either.
   WorkloadManager(sim::Environment* env, cloud::Cluster* cluster,
                   TransactionSet* txns, PerformanceCollector* collector,
                   uint64_t seed = 0);
@@ -36,6 +42,14 @@ class WorkloadManager {
 
   /// Stops every worker (they drain their current transaction).
   void StopAll() { SetConcurrency(0); }
+
+  /// The manager's resolved root seed (derived when constructed with 0).
+  uint64_t seed() const { return seed_; }
+
+  /// Worker `index`'s RNG seed under root `root`. Exposed so the seed
+  /// regression tests can assert that distinct managers' worker streams
+  /// never intersect.
+  static uint64_t WorkerSeed(uint64_t root, uint64_t index);
 
  private:
   struct WorkerControl {

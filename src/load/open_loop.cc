@@ -1,0 +1,324 @@
+#include "load/open_loop.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/collector.h"
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
+#include "sim/pool.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace cloudybench::load {
+
+namespace {
+
+/// Resident slab accounting for the session pool. Held by shared_ptr from
+/// every allocator copy (shared_ptr control blocks keep their allocator),
+/// so the counters outlive the driver even when leftover suspended frames
+/// release their sessions at environment teardown.
+struct PoolStats {
+  int64_t live = 0;
+  int64_t hwm = 0;
+};
+
+/// sim::RecyclingAllocator with live-block accounting — the open-loop
+/// bounded-memory contract (session_pool_hwm) is measured here, at the
+/// allocation layer, not inferred from driver bookkeeping.
+template <typename T>
+struct CountingPoolAllocator {
+  using value_type = T;
+
+  explicit CountingPoolAllocator(std::shared_ptr<PoolStats> s)
+      : stats(std::move(s)) {}
+  template <typename U>
+  CountingPoolAllocator(const CountingPoolAllocator<U>& other) noexcept
+      : stats(other.stats) {}
+
+  T* allocate(size_t n) {
+    stats->live += static_cast<int64_t>(n);
+    stats->hwm = std::max(stats->hwm, stats->live);
+    return inner.allocate(n);
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    stats->live -= static_cast<int64_t>(n);
+    inner.deallocate(p, n);
+  }
+
+  friend bool operator==(const CountingPoolAllocator& a,
+                         const CountingPoolAllocator& b) noexcept {
+    return a.stats == b.stats;
+  }
+
+  std::shared_ptr<PoolStats> stats;
+  sim::RecyclingAllocator<T> inner;
+};
+
+/// One logical user at rest: everything a session needs between
+/// transactions, and nothing more. Sessions spend most of their life as one
+/// of these pooled blocks; a coroutine frame exists only while one of the
+/// session's transactions is actually executing, so a million concurrent
+/// users cost ~a million of these, not a million coroutine stacks.
+struct Session {
+  util::Pcg32 rng;
+  /// The current transaction's scheduled instant (absolute sim micros):
+  /// the arrival time for the first, completion + think for the rest.
+  /// Latency and lag are both measured against it.
+  int64_t scheduled_us = 0;
+  int32_t txns_left = 0;
+  uint32_t stream = 0;
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// Shared run state. Coroutines and scheduled wakeups all hold a
+/// shared_ptr, so leftover suspended frames reclaimed at environment
+/// teardown never dangle even though OpenLoopDriver::Run has returned.
+struct State {
+  State(sim::Environment* e, cloud::Cluster* c, TransactionSet* t,
+        const ArrivalPlan& p, const OpenLoopOptions& o)
+      : env(e),
+        cluster(c),
+        txns(t),
+        plan(p),
+        options(o),
+        gen(p, o.seed, o.horizon),
+        collector(e),
+        pool_stats(std::make_shared<PoolStats>()) {}
+
+  sim::Environment* env;
+  cloud::Cluster* cluster;
+  TransactionSet* txns;
+  ArrivalPlan plan;
+  OpenLoopOptions options;
+  ArrivalGenerator gen;
+  PerformanceCollector collector;
+  std::shared_ptr<PoolStats> pool_stats;
+
+  /// Sliding window of the schedule: refilled batch-wise, never the run.
+  std::vector<Arrival> window;
+  size_t cursor = 0;
+  int64_t window_hwm = 0;
+
+  /// Sessions due to execute, waiting for an executing slot.
+  std::deque<SessionPtr> ready;
+
+  int64_t base_us = 0;
+  bool stopped = false;
+
+  int executing = 0;
+  int64_t executing_hwm = 0;
+  int64_t inflight = 0;
+  int64_t inflight_hwm = 0;
+  int64_t arrivals = 0;
+  util::LatencyHistogram lag_us;
+};
+
+using StatePtr = std::shared_ptr<State>;
+
+sim::Process RunTransaction(StatePtr state, SessionPtr sess);
+
+void EnqueueReady(State& st, SessionPtr sess) {
+  st.ready.push_back(std::move(sess));
+}
+
+/// Fills free executing slots from the ready queue, FIFO. Called after
+/// every event that frees a slot or adds a ready session.
+void Pump(const StatePtr& state) {
+  State& st = *state;
+  while (!st.stopped && st.executing < st.options.max_executing &&
+         !st.ready.empty()) {
+    SessionPtr sess = std::move(st.ready.front());
+    st.ready.pop_front();
+    st.env->Spawn(RunTransaction(state, std::move(sess)));
+  }
+}
+
+/// Executes exactly one of the session's transactions, then either parks
+/// the session for its think time (pooled block only — this frame dies) or
+/// retires it.
+sim::Process RunTransaction(StatePtr state, SessionPtr sess) {
+  State& st = *state;
+  ++st.executing;
+  st.executing_hwm = std::max(st.executing_hwm,
+                              static_cast<int64_t>(st.executing));
+  st.lag_us.Add(
+      static_cast<double>(st.env->Now().us - sess->scheduled_us));
+
+  TxnType type = TxnType::kOther;
+  util::Status s = co_await st.txns->RunOne(st.cluster, sess->rng, &type);
+
+  double latency_ms =
+      static_cast<double>(st.env->Now().us - sess->scheduled_us) / 1e3;
+  if (s.ok()) {
+    st.collector.RecordCommit(type, latency_ms);
+  } else if (s.IsUnavailable()) {
+    st.collector.RecordUnavailable(type);
+  } else {
+    st.collector.RecordAbort(type);
+  }
+
+  --st.executing;
+  if (st.stopped) {
+    --st.inflight;
+    co_return;
+  }
+  if (--sess->txns_left > 0) {
+    const ArrivalSpec& spec = st.plan.streams[sess->stream];
+    sess->scheduled_us = st.env->Now().us + spec.think.us;
+    if (spec.think.us > 0) {
+      // Park: the session survives as its pooled block inside this
+      // closure; no coroutine frame until the wakeup fires. (Read the
+      // wakeup time before the capture moves `sess` — argument evaluation
+      // order is unspecified.)
+      sim::SimTime wake{sess->scheduled_us};
+      st.env->ScheduleCall(
+          wake, [state, sess = std::move(sess)]() mutable {
+            if (state->stopped) {
+              --state->inflight;
+              return;
+            }
+            EnqueueReady(*state, std::move(sess));
+            Pump(state);
+          });
+    } else {
+      EnqueueReady(st, std::move(sess));
+    }
+  } else {
+    --st.inflight;  // retired; the block recycles when the last ref drops
+  }
+  Pump(state);
+}
+
+/// Walks the arrival schedule in real (simulated) time, admitting each
+/// arrival as a fresh session the instant it is due — never waiting on the
+/// SUT, which is the whole point of an open loop.
+sim::Process DispatcherLoop(StatePtr state) {
+  State& st = *state;
+  while (!st.stopped) {
+    if (st.cursor == st.window.size()) {
+      st.window.clear();
+      st.cursor = 0;
+      if (st.gen.NextBatch(st.options.batch, &st.window) == 0) break;
+      st.window_hwm = std::max(st.window_hwm,
+                               static_cast<int64_t>(st.window.size()));
+    }
+    const Arrival a = st.window[st.cursor];
+    int64_t at_us = st.base_us + a.t_us;
+    if (at_us > st.env->Now().us) {
+      co_await st.env->Delay(sim::SimTime{at_us - st.env->Now().us});
+      if (st.stopped) break;
+    }
+    ++st.cursor;
+
+    const ArrivalSpec& spec = st.plan.streams[a.stream];
+    SessionPtr sess = std::allocate_shared<Session>(
+        CountingPoolAllocator<Session>(st.pool_stats));
+    sess->rng =
+        util::SplitStream(st.options.seed, util::kSessionStream, a.seq);
+    sess->scheduled_us = at_us;
+    sess->txns_left = spec.txns_per_session;
+    sess->stream = a.stream;
+
+    ++st.arrivals;
+    ++st.inflight;
+    st.inflight_hwm = std::max(st.inflight_hwm, st.inflight);
+    EnqueueReady(st, std::move(sess));
+    Pump(state);
+  }
+}
+
+}  // namespace
+
+OpenLoopResult OpenLoopDriver::Run(sim::Environment* env,
+                                   cloud::Cluster* cluster,
+                                   TransactionSet* txns,
+                                   const ArrivalPlan& plan,
+                                   const OpenLoopOptions& options) {
+  CB_CHECK(env != nullptr);
+  CB_CHECK(txns != nullptr);
+  CB_CHECK(!plan.empty()) << "open-loop run needs at least one stream";
+  CB_CHECK_GT(options.horizon.us, 0);
+  CB_CHECK_GT(options.max_executing, 0);
+  CB_CHECK_GT(options.batch, 0u);
+
+  auto state = std::make_shared<State>(env, cluster, txns, plan, options);
+  state->base_us = env->Now().us;
+  state->collector.Start();
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Get();
+  state->collector.RegisterWith(&registry, "load.");
+  registry.RegisterGauge("load.offered", [state] {
+    return static_cast<double>(state->arrivals);
+  });
+  registry.RegisterGauge("load.inflight", [state] {
+    return static_cast<double>(state->inflight);
+  });
+  registry.RegisterGauge("load.executing", [state] {
+    return static_cast<double>(state->executing);
+  });
+  // Scheduled-vs-admitted lag of the oldest queued session: the live
+  // backlog signal a saturation timeline shows climbing.
+  registry.RegisterGauge("load.lag_ms", [state] {
+    if (state->ready.empty()) return 0.0;
+    return static_cast<double>(state->env->Now().us -
+                               state->ready.front()->scheduled_us) /
+           1e3;
+  });
+
+  std::string summary;
+  for (const ArrivalSpec& spec : plan.streams) {
+    if (!summary.empty()) summary += "; ";
+    summary += spec.ToString();
+  }
+  obs::EmitEvent(env, "load", "load.begin", summary,
+                 static_cast<double>(plan.streams.size()));
+
+  env->Spawn(DispatcherLoop(state));
+  env->RunUntil(sim::SimTime{state->base_us + options.horizon.us +
+                             options.drain.us});
+  state->stopped = true;
+
+  OpenLoopResult result;
+  result.arrivals = state->arrivals;
+  result.generated = static_cast<int64_t>(state->gen.generated());
+  double horizon_s = options.horizon.ToSeconds();
+  result.offered_tps = static_cast<double>(result.generated) / horizon_s;
+  result.goodput_tps =
+      static_cast<double>(state->collector.commits()) / horizon_s;
+  result.commits = state->collector.commits();
+  result.aborts = state->collector.aborts();
+  result.unavailable = state->collector.unavailable_errors();
+  result.incomplete = state->inflight;
+  result.p50_ms = state->collector.latency_all().p50() / 1e3;
+  result.p99_ms = state->collector.latency_all().p99() / 1e3;
+  result.max_ms = state->collector.latency_all().max() / 1e3;
+  result.lag_mean_ms = state->lag_us.mean() / 1e3;
+  result.lag_p99_ms = state->lag_us.p99() / 1e3;
+  result.lag_max_ms = state->lag_us.max() / 1e3;
+  result.inflight_hwm = state->inflight_hwm;
+  result.executing_hwm = state->executing_hwm;
+  result.session_pool_hwm = state->pool_stats->hwm;
+  result.schedule_window_hwm = state->window_hwm;
+  result.horizon_seconds = horizon_s;
+
+  obs::EmitEvent(env, "load", "load.end", "",
+                 static_cast<double>(result.arrivals));
+  if (!options.metrics_export_path.empty()) {
+    util::Status written =
+        obs::WriteMetricsJsonlFile(registry, options.metrics_export_path);
+    if (!written.ok()) {
+      CB_LOG(kError) << "metrics export failed: " << written;
+    }
+  }
+  registry.UnregisterPrefix("load.");
+  return result;
+}
+
+}  // namespace cloudybench::load

@@ -52,6 +52,35 @@ double Pcg32::NextDouble() {
 
 bool Pcg32::NextBool(double p) { return NextDouble() < p; }
 
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing, the standard way to
+/// expand one seed into many (Vigna; also java.util.SplittableRandom).
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t SplitSeed(uint64_t root, uint64_t label, uint64_t index) {
+  // Chain the three inputs through the finalizer with distinct additive
+  // constants so (root, label, index) permutations don't alias.
+  uint64_t h = Mix64(root + 0x9e3779b97f4a7c15ULL);
+  h = Mix64(h ^ (label + 0x9e3779b97f4a7c15ULL));
+  h = Mix64(h ^ (index + 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
+Pcg32 SplitStream(uint64_t root, uint64_t label, uint64_t index) {
+  uint64_t seed = SplitSeed(root, label, index);
+  // A second derivation (offset index space) selects the PCG stream
+  // increment, so even a seed collision cannot produce the same orbit.
+  uint64_t stream = SplitSeed(root, label, index ^ 0x5851f42d4c957f2dULL);
+  return Pcg32(seed, stream);
+}
+
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
   CB_CHECK_GT(n, 0u);
   CB_CHECK(theta > 0.0 && theta < 1.0) << "zipf theta must be in (0,1)";

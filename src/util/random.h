@@ -41,6 +41,32 @@ class Pcg32 {
   uint64_t inc_;
 };
 
+/// Splits one root seed into named, statistically independent substream
+/// seeds. `label` names the consumer (use a short tag constant such as
+/// `kWorkerStream`) and `index` distinguishes instances within it; the
+/// triple is mixed through the SplitMix64 finalizer, so nearby roots,
+/// labels or indices land in unrelated parts of the seed space.
+///
+/// This replaces the ad-hoc `seed + i * constant` arithmetic formerly used
+/// for worker and jitter streams: sequential derivation overlaps whenever
+/// two consumers start from nearby roots (manager A's worker 97 == manager
+/// B's worker 0), which silently correlates supposedly independent streams.
+uint64_t SplitSeed(uint64_t root, uint64_t label, uint64_t index = 0);
+
+/// A Pcg32 on its own derived (seed, stream-selector) pair. Two distinct
+/// (root, label, index) triples get distinct PCG sequences *and* distinct
+/// stream increments, so the generators never walk the same orbit even if
+/// a derived seed were to collide.
+Pcg32 SplitStream(uint64_t root, uint64_t label, uint64_t index = 0);
+
+/// Well-known stream labels. Any unique constant works; these keep the
+/// substrate's derivations greppable.
+inline constexpr uint64_t kWorkerStream = 0x776f726bULL;   // "work"
+inline constexpr uint64_t kSessionStream = 0x73657373ULL;  // "sess"
+inline constexpr uint64_t kJitterStream = 0x6a697474ULL;   // "jitt"
+inline constexpr uint64_t kArrivalStream = 0x61727276ULL;  // "arrv"
+inline constexpr uint64_t kManagerStream = 0x6d616e61ULL;  // "mana"
+
 /// Zipf-distributed generator over [0, n), most popular item is 0.
 /// Uses the YCSB/Gray "scrambled-free" analytic approximation, which is
 /// O(1) per sample after O(1) setup (no n-sized tables), so large key

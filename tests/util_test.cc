@@ -557,3 +557,63 @@ TEST(TimeSeriesTest, FirstSustainedAtLeastIgnoresBursts) {
 
 }  // namespace
 }  // namespace cloudybench::util
+
+namespace cloudybench::util {
+namespace {
+
+// ------------------------------------------------------- Seed splitting
+
+TEST(SplitSeedTest, NearbyRootsLabelsAndIndicesNeverCollide) {
+  // The collision surface the old `seed + i * constant` derivation had:
+  // nearby roots with overlapping index ranges. Every triple must map to a
+  // distinct seed.
+  std::set<uint64_t> seen;
+  int produced = 0;
+  for (uint64_t root : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{42},
+                        uint64_t{43}, uint64_t{50}, uint64_t{147}}) {
+    for (uint64_t label : {kWorkerStream, kSessionStream, kJitterStream,
+                           kArrivalStream, kManagerStream}) {
+      for (uint64_t index = 0; index < 64; ++index) {
+        seen.insert(SplitSeed(root, label, index));
+        ++produced;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), produced);
+}
+
+TEST(SplitSeedTest, SequentialArithmeticAliasGone) {
+  // tenancy.cc uses manager roots 50, 147, 244 (97 apart) with ~100+
+  // workers each; under sequential derivation manager A's worker 97 *was*
+  // manager B's worker 0. The split derivation keeps them apart.
+  EXPECT_NE(SplitSeed(50, kWorkerStream, 97), SplitSeed(147, kWorkerStream, 0));
+  EXPECT_NE(SplitSeed(147, kWorkerStream, 97),
+            SplitSeed(244, kWorkerStream, 0));
+}
+
+TEST(SplitSeedTest, DeterministicAndLabelSensitive) {
+  EXPECT_EQ(SplitSeed(7, kWorkerStream, 3), SplitSeed(7, kWorkerStream, 3));
+  EXPECT_NE(SplitSeed(7, kWorkerStream, 3), SplitSeed(7, kJitterStream, 3));
+  EXPECT_NE(SplitSeed(7, kWorkerStream, 3), SplitSeed(7, kWorkerStream, 4));
+  EXPECT_NE(SplitSeed(7, kWorkerStream, 3), SplitSeed(8, kWorkerStream, 3));
+}
+
+TEST(SplitStreamTest, DistinctTriplesGiveDivergingReplayableStreams) {
+  Pcg32 a = SplitStream(42, kSessionStream, 0);
+  Pcg32 b = SplitStream(42, kSessionStream, 1);
+  Pcg32 c = SplitStream(43, kSessionStream, 0);
+  Pcg32 a_replay = SplitStream(42, kSessionStream, 0);
+  int differs_ab = 0;
+  int differs_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    uint32_t x = a.Next();
+    EXPECT_EQ(x, a_replay.Next());  // replayable
+    if (x != b.Next()) ++differs_ab;
+    if (x != c.Next()) ++differs_ac;
+  }
+  EXPECT_GT(differs_ab, 32);
+  EXPECT_GT(differs_ac, 32);
+}
+
+}  // namespace
+}  // namespace cloudybench::util
