@@ -195,17 +195,14 @@ sim::Task<util::Status> ComputeNode::AccessPage(storage::PageId page,
 }
 
 sim::Task<util::Status> ComputeNode::CommitRecords(
-    std::vector<storage::LogRecord> records) {
+    const std::vector<storage::LogRecord>* records) {
   if (!config_.is_rw) {
     co_return Status::FailedPrecondition("commit on read-only node");
   }
   if (!available_) co_return Status::Unavailable(config_.name + " down");
   CB_CHECK(log_ != nullptr);
   obs::SpanScope log_span(env_, trace_track(), obs::Layer::kLog, "log.commit");
-  int64_t last_lsn = 0;
-  for (storage::LogRecord& rec : records) {
-    last_lsn = log_->Append(std::move(rec));
-  }
+  int64_t last_lsn = log_->AppendBatch(*records);
   co_await log_->WaitDurable(last_lsn);
   // Durability is the commit point: even if the node crashed the very next
   // instant, the records are on stable storage and already shipping to the

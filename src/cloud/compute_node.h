@@ -115,7 +115,7 @@ class ComputeNode : public txn::Engine, public ScalingTarget {
   sim::Task<util::Status> AccessPage(storage::PageId page,
                                      bool for_write) override;
   sim::Task<util::Status> CommitRecords(
-      std::vector<storage::LogRecord> records) override;
+      const std::vector<storage::LogRecord>* records) override;
 
   // ---- ScalingTarget ----
   double busy_core_seconds() const override { return cpu_->busy_core_seconds(); }

@@ -37,12 +37,20 @@ Environment::~Environment() {
 
 void Environment::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {
   CB_CHECK_GE(at.us, now_.us) << "cannot schedule into the past";
+  if (at.us == now_.us) {
+    ring_.push_back(Event{at.us, next_seq_++, h, 0});
+    return;
+  }
   queue_.Push(Event{at.us, next_seq_++, h, 0});
 }
 
 void Environment::ScheduleCall(SimTime at, std::function<void()> fn) {
   CB_CHECK_GE(at.us, now_.us) << "cannot schedule into the past";
   uint32_t slot = calls_.Put(std::move(fn));
+  if (at.us == now_.us) {
+    ring_.push_back(Event{at.us, next_seq_++, nullptr, slot});
+    return;
+  }
   queue_.Push(Event{at.us, next_seq_++, nullptr, slot});
 }
 
@@ -84,8 +92,11 @@ void Environment::Run() {
 
 void Environment::RunUntil(SimTime t) {
   CB_CHECK_GE(t.us, now_.us);
-  while (!queue_.empty() && queue_.Top().at_us <= t.us) {
-    DispatchEvent(queue_.PopTop());
+  // Ring entries are always at now_ (<= t), so only the heap top needs the
+  // window check; Step() itself dispatches in (time, seq) order.
+  while (ring_head_ < ring_.size() ||
+         (!queue_.empty() && queue_.Top().at_us <= t.us)) {
+    Step();
   }
   now_ = t;
 }

@@ -34,13 +34,16 @@ namespace cloudybench::sim {
 /// process-wide state an experiment touches (trace recorder, metric
 /// registry) is thread-local for the same reason.
 ///
-/// Hot-path layout (DESIGN.md §4f): events are 32-byte PODs on a 4-ary
+/// Hot-path layout (DESIGN.md §4f/§4i): events are 32-byte PODs on a 4-ary
 /// implicit min-heap; ScheduleCall closures live in a recycling slab and
 /// events carry only a slot index; ProcessState blocks come from a
 /// thread-local free list; detached-frame bookkeeping is a swap-remove
-/// vector indexed from the promise. None of these change the (time, seq)
-/// dispatch order, so simulated results are bit-identical to the naive
-/// priority_queue implementation they replaced.
+/// vector indexed from the promise. Events scheduled at the *current*
+/// instant (waiter wakeups, zero-delay handoffs — the majority in an OLTP
+/// cell) skip the heap entirely and go to a FIFO ring drained before the
+/// clock advances. None of these change the (time, seq) dispatch order, so
+/// simulated results are bit-identical to the naive priority_queue
+/// implementation they replaced; see §4i for the ring's ordering proof.
 class Environment {
  public:
   Environment() = default;
@@ -106,7 +109,9 @@ class Environment {
   void RunUntil(SimTime t);
   void RunFor(SimTime d) { RunUntil(now_ + d); }
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const {
+    return queue_.size() + (ring_.size() - ring_head_);
+  }
   uint64_t dispatched_events() const { return dispatched_; }
 
  private:
@@ -129,6 +134,12 @@ class Environment {
   uint64_t next_seq_ = 0;
   uint64_t dispatched_ = 0;
   EventHeap queue_;
+  // Same-tick events in FIFO order (== seq order: all of them were created
+  // at the current instant, after every heap entry stamped with this time).
+  // Invariant: every ring entry has at_us == now_.us, because the ring is
+  // drained before the clock is allowed to advance.
+  std::vector<Event> ring_;
+  size_t ring_head_ = 0;
   CallSlab calls_;
   // Frames of detached processes that reached final suspend and can be
   // destroyed once the current dispatch step unwinds.
@@ -152,6 +163,24 @@ inline void Environment::DispatchEvent(const Event& ev) {
 }
 
 inline bool Environment::Step() {
+  // Dispatch order at the current instant: heap entries stamped now_ first
+  // (they were scheduled before the clock reached now_, so they carry
+  // smaller seqs than anything in the ring), then the ring in FIFO order.
+  // Only when both are out of same-tick work does the heap advance the
+  // clock. This reproduces the (at_us, seq) total order exactly.
+  if (!queue_.empty() && queue_.Top().at_us == now_.us) {
+    DispatchEvent(queue_.PopTop());
+    return true;
+  }
+  if (ring_head_ < ring_.size()) {
+    Event ev = ring_[ring_head_++];
+    if (ring_head_ == ring_.size()) {
+      ring_.clear();
+      ring_head_ = 0;
+    }
+    DispatchEvent(ev);
+    return true;
+  }
   if (queue_.empty()) return false;
   DispatchEvent(queue_.PopTop());
   return true;

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/pool.h"
 #include "sim/sim_time.h"
 #include "util/logging.h"
 
@@ -37,6 +38,15 @@ using ProcessRef = std::shared_ptr<ProcessState>;
 namespace internal_task {
 
 struct PromiseBase {
+  /// Coroutine frames come off the thread-local FrameArena: promise_type
+  /// inherits these, so every Task<T>/Process frame is a size-class bucket
+  /// pop in steady state instead of a global-allocator round trip.
+  static void* operator new(size_t bytes) { return FrameArena::Allocate(bytes); }
+  static void operator delete(void* p) noexcept { FrameArena::Deallocate(p); }
+  static void operator delete(void* p, size_t) noexcept {
+    FrameArena::Deallocate(p);
+  }
+
   Environment* env = nullptr;
   /// Parent coroutine awaiting this task inline (call semantics).
   std::coroutine_handle<> continuation;

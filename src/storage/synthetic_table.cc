@@ -23,16 +23,15 @@ SyntheticTable::SyntheticTable(TableSchema schema, int64_t scale_factor)
 }
 
 std::optional<Row> SyntheticTable::Get(int64_t key) const {
-  auto it = overlay_.find(key);
-  if (it != overlay_.end()) return it->second;
-  if (tombstones_.count(key) > 0) return std::nullopt;
+  if (const Row* row = overlay_.Find(key)) return *row;
+  if (tombstones_.Contains(key)) return std::nullopt;
   if (InBase(key)) return schema_.generator(key);
   return std::nullopt;
 }
 
 bool SyntheticTable::Exists(int64_t key) const {
-  if (overlay_.count(key) > 0) return true;
-  if (tombstones_.count(key) > 0) return false;
+  if (overlay_.Contains(key)) return true;
+  if (tombstones_.Contains(key)) return false;
   return InBase(key);
 }
 
@@ -41,19 +40,25 @@ util::Status SyntheticTable::Insert(const Row& row) {
     return util::Status::AlreadyExists(schema_.name + " key " +
                                        std::to_string(row.key));
   }
-  overlay_[row.key] = row;
-  tombstones_.erase(row.key);
+  overlay_.InsertOrAssign(row.key, row);
+  tombstones_.Erase(row.key);
   next_key_ = std::max(next_key_, row.key + 1);
   ++live_rows_;
   return util::Status::OK();
 }
 
 util::Status SyntheticTable::Update(const Row& row) {
-  if (!Exists(row.key)) {
+  // Fast path: the row is already in the overlay (every update after the
+  // first for a given key) — one probe finds the slot, overwrite in place.
+  if (Row* existing = overlay_.Find(row.key)) {
+    *existing = row;
+    return util::Status::OK();
+  }
+  if (tombstones_.Contains(row.key) || !InBase(row.key)) {
     return util::Status::NotFound(schema_.name + " key " +
                                   std::to_string(row.key));
   }
-  overlay_[row.key] = row;
+  overlay_.InsertOrAssign(row.key, row);
   return util::Status::OK();
 }
 
@@ -62,23 +67,23 @@ util::Status SyntheticTable::Delete(int64_t key) {
     return util::Status::NotFound(schema_.name + " key " +
                                   std::to_string(key));
   }
-  overlay_.erase(key);
-  if (InBase(key)) tombstones_.insert(key);
+  overlay_.Erase(key);
+  if (InBase(key)) tombstones_.Insert(key);
   --live_rows_;
   return util::Status::OK();
 }
 
 uint64_t SyntheticTable::StateHash() const {
-  // XOR of per-entry hashes is order independent across unordered_map
-  // iteration, which is exactly what we need.
+  // XOR of per-entry hashes is order independent across the hash table's
+  // iteration order, which is exactly what we need.
   uint64_t h = 0;
-  for (const auto& [key, row] : overlay_) {
+  overlay_.ForEach([&h](int64_t, const Row& row) {
     h ^= row.Hash() * 0x2545f4914f6cdd1dULL;
-  }
-  for (int64_t key : tombstones_) {
+  });
+  tombstones_.ForEach([&h](int64_t key) {
     h ^= (static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL) *
          0xff51afd7ed558ccdULL;
-  }
+  });
   h ^= static_cast<uint64_t>(next_key_) * 0xc4ceb9fe1a85ec53ULL;
   return h;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "storage/row.h"
+#include "util/flat_hash.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -108,8 +109,12 @@ class SyntheticTable {
   int64_t next_key_;
   int64_t live_rows_;
   int32_t rows_per_page_;
-  std::unordered_map<int64_t, Row> overlay_;
-  std::unordered_set<int64_t> tombstones_;
+  // Flat open-addressing containers (util/flat_hash.h): every update of a
+  // mutated row is a single probe into one contiguous array, and the
+  // copy-on-write delta stays cache-dense. StateHash stays valid because it
+  // XOR-folds entries order-independently.
+  util::FlatMap64<Row> overlay_;
+  util::FlatSet64 tombstones_;
 };
 
 /// Name -> table registry owned by one engine instance (a compute node's

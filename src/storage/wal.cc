@@ -26,17 +26,25 @@ LogManager::LogManager(sim::Environment* env, DiskDevice* device)
   CB_CHECK(device != nullptr);
 }
 
-int64_t LogManager::Append(LogRecord record) {
-  record.lsn = next_lsn_++;
+int64_t LogManager::Append(const LogRecord& record) {
+  pending_.push_back(record);
+  LogRecord& rec = pending_.back();
+  rec.lsn = next_lsn_++;
   ++records_appended_;
-  pending_.push_back(std::move(record));
-  return pending_.back().lsn;
+  pending_bytes_ += rec.size_bytes();
+  return rec.lsn;
 }
 
-int64_t LogManager::pending_bytes() const {
-  int64_t bytes = 0;
-  for (const LogRecord& r : pending_) bytes += r.size_bytes();
-  return bytes;
+int64_t LogManager::AppendBatch(const std::vector<LogRecord>& records) {
+  if (records.empty()) return 0;
+  size_t base = pending_.size();
+  pending_.insert(pending_.end(), records.begin(), records.end());
+  for (size_t i = base; i < pending_.size(); ++i) {
+    pending_[i].lsn = next_lsn_++;
+    pending_bytes_ += pending_[i].size_bytes();
+  }
+  records_appended_ += static_cast<int64_t>(records.size());
+  return next_lsn_ - 1;
 }
 
 sim::Task<void> LogManager::WaitDurable(int64_t lsn) {
@@ -52,35 +60,42 @@ sim::Task<void> LogManager::WaitDurable(int64_t lsn) {
 
 sim::Process LogManager::FlushLoop() {
   while (flushed_lsn_ < next_lsn_ - 1) {
-    // Everything appended so far joins this batch (group commit).
+    // Everything appended so far joins this batch (group commit): the batch
+    // is all of pending_, so its size is exactly the running byte counter.
+    // Records appended while the device write is in flight have LSNs past
+    // `target` and join the next iteration's batch.
     int64_t target = next_lsn_ - 1;
-    int64_t batch_bytes = 0;
-    for (const LogRecord& r : pending_) {
-      if (r.lsn > target) break;
-      batch_bytes += r.size_bytes();
-    }
+    int64_t batch_bytes = pending_bytes_;
     co_await device_->Write(batch_bytes);
     ++flush_batches_;
     flushed_lsn_ = target;
 
     // Ship durable records in LSN order, stamping the commit instant.
-    while (!pending_.empty() && pending_.front().lsn <= target) {
-      LogRecord rec = std::move(pending_.front());
-      pending_.pop_front();
+    while (pending_head_ < pending_.size() &&
+           pending_[pending_head_].lsn <= target) {
+      LogRecord& rec = pending_[pending_head_++];
+      pending_bytes_ -= rec.size_bytes();
       rec.commit_time = env_->Now();
       for (const auto& listener : ship_listeners_) listener(rec);
     }
+    if (pending_head_ == pending_.size()) {
+      pending_.clear();  // capacity retained for the next batch
+      pending_head_ = 0;
+    }
 
-    // Wake committers whose records are durable.
-    auto it = waiters_.begin();
-    while (it != waiters_.end()) {
-      if (it->lsn <= flushed_lsn_) {
-        it->waiter->Complete(0);
-        it = waiters_.erase(it);
+    // Wake committers whose records are durable. Stable in-order
+    // compaction, NOT swap-remove: wake order decides the sequence numbers
+    // of the resume events and is therefore part of the deterministic
+    // schedule.
+    size_t kept = 0;
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i].lsn <= flushed_lsn_) {
+        waiters_[i].waiter->Complete(0);
       } else {
-        ++it;
+        waiters_[kept++] = waiters_[i];
       }
     }
+    waiters_.resize(kept);
   }
   flushing_ = false;
 }

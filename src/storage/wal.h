@@ -2,7 +2,6 @@
 #define CLOUDYBENCH_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -42,6 +41,13 @@ struct LogRecord {
 /// (group commit), which is what lets commit throughput exceed the log
 /// device's IOPS. Once records are durable they are handed, in LSN order,
 /// to every ship listener (the replication streams).
+///
+/// Hot-path layout (DESIGN.md §4i): the pending buffer is a FIFO over a
+/// flat vector (head cursor, capacity recycled once drained), unflushed
+/// bytes are a running counter instead of an O(pending) walk, and a whole
+/// commit batch appends in one call. Durable waiters are compacted
+/// *stably*: their wake order assigns event sequence numbers, so it is part
+/// of the deterministic schedule and must stay FIFO.
 class LogManager {
  public:
   /// `device` is the log store: local WAL disk (RDS), the storage service's
@@ -51,8 +57,13 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Buffers the record, assigns and returns its LSN.
-  int64_t Append(LogRecord record);
+  /// Buffers a copy of the record, assigns and returns its LSN.
+  int64_t Append(const LogRecord& record);
+
+  /// Appends a whole commit batch; returns the last LSN (0 if empty).
+  /// Equivalent to calling Append() per record, minus the per-call
+  /// bookkeeping — this is the txn commit path.
+  int64_t AppendBatch(const std::vector<LogRecord>& records);
 
   /// Resumes once every record with LSN <= `lsn` is durable.
   sim::Task<void> WaitDurable(int64_t lsn);
@@ -67,8 +78,8 @@ class LogManager {
   int64_t records_appended() const { return records_appended_; }
 
   /// Unflushed log bytes — the recovery model uses this as the redo backlog
-  /// on a crash.
-  int64_t pending_bytes() const;
+  /// on a crash. O(1): maintained as a running counter.
+  int64_t pending_bytes() const { return pending_bytes_; }
 
  private:
   sim::Process FlushLoop();
@@ -79,8 +90,13 @@ class LogManager {
   int64_t flushed_lsn_ = 0;
   int64_t records_appended_ = 0;
   int64_t flush_batches_ = 0;
+  int64_t pending_bytes_ = 0;
   bool flushing_ = false;
-  std::deque<LogRecord> pending_;  // records in (flushed_lsn_, next_lsn_)
+  // FIFO of records in (flushed_lsn_, next_lsn_): appends push_back, the
+  // flush loop ships from pending_head_; both reset (keeping capacity) when
+  // the buffer drains, so steady-state logging does not allocate.
+  std::vector<LogRecord> pending_;
+  size_t pending_head_ = 0;
   struct DurableWaiter {
     int64_t lsn;
     sim::Waiter* waiter;

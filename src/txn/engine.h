@@ -53,9 +53,12 @@ class Engine {
                                              bool for_write) = 0;
 
   /// Makes a committing transaction's records durable and ships them to
-  /// replicas. Only valid on the read-write node.
+  /// replicas. Only valid on the read-write node. The vector is borrowed
+  /// from the caller's pooled commit scratch (TxnBook::records) and must
+  /// stay alive until the returned task completes; the engine may read the
+  /// records but not resize the vector.
   virtual sim::Task<util::Status> CommitRecords(
-      std::vector<storage::LogRecord> records) = 0;
+      const std::vector<storage::LogRecord>* records) = 0;
 
   /// Trace-track context for the observability layer. The TxnManager sets
   /// the calling transaction's track synchronously before *every* engine

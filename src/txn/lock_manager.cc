@@ -1,117 +1,245 @@
 #include "txn/lock_manager.h"
 
-#include <algorithm>
+#include <bit>
 
 #include "util/logging.h"
 
 namespace cloudybench::txn {
 
+namespace {
+constexpr size_t kInitialIndexSize = 64;  // power of two, load kept <= 0.5
+}
+
 LockManager::LockManager(sim::Environment* env, sim::SimTime wait_timeout)
     : env_(env), wait_timeout_(wait_timeout) {
   CB_CHECK(env != nullptr);
   CB_CHECK_GT(wait_timeout.us, 0);
+  index_.assign(kInitialIndexSize, kNil);
+  index_mask_ = kInitialIndexSize - 1;
+  index_shift_ = 64 - std::countr_zero(kInitialIndexSize);
+}
+
+int32_t LockManager::FindEntry(TableKey key) const {
+  size_t slot = IndexHome(key);
+  while (index_[slot] != kNil) {
+    if (entries_[index_[slot]].key == key) return index_[slot];
+    slot = (slot + 1) & index_mask_;
+  }
+  return kNil;
+}
+
+void LockManager::IndexInsert(TableKey key, int32_t eid) {
+  size_t slot = IndexHome(key);
+  while (index_[slot] != kNil) slot = (slot + 1) & index_mask_;
+  index_[slot] = eid;
+}
+
+void LockManager::IndexErase(TableKey key) {
+  size_t slot = IndexHome(key);
+  while (index_[slot] != kNil && !(entries_[index_[slot]].key == key)) {
+    slot = (slot + 1) & index_mask_;
+  }
+  CB_CHECK(index_[slot] != kNil) << "erasing unindexed lock key";
+  // Backward-shift deletion (same as the buffer pool's page index): close
+  // the hole with any later probe-chain entry that would become unreachable.
+  size_t hole = slot;
+  size_t probe = (hole + 1) & index_mask_;
+  while (index_[probe] != kNil) {
+    size_t home = IndexHome(entries_[index_[probe]].key);
+    bool reachable =
+        ((probe - home) & index_mask_) >= ((probe - hole) & index_mask_);
+    if (reachable) {
+      index_[hole] = index_[probe];
+      hole = probe;
+    }
+    probe = (probe + 1) & index_mask_;
+  }
+  index_[hole] = kNil;
+}
+
+void LockManager::GrowIndexIfNeeded() {
+  if ((live_entries_ + 1) * 2 <= index_.size()) return;
+  size_t size = index_.size() * 2;
+  index_.assign(size, kNil);
+  index_mask_ = size - 1;
+  index_shift_ = 64 - std::countr_zero(size);
+  for (size_t eid = 0; eid < entries_.size(); ++eid) {
+    if (!entries_[eid].in_use) continue;
+    size_t slot = IndexHome(entries_[eid].key);
+    while (index_[slot] != kNil) slot = (slot + 1) & index_mask_;
+    index_[slot] = static_cast<int32_t>(eid);
+  }
+}
+
+int32_t LockManager::AllocEntry(TableKey key) {
+  GrowIndexIfNeeded();
+  int32_t eid;
+  if (!free_entries_.empty()) {
+    eid = free_entries_.back();
+    free_entries_.pop_back();
+  } else {
+    eid = static_cast<int32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  LockEntry& entry = entries_[eid];
+  entry.key = key;
+  entry.in_use = true;
+  IndexInsert(key, eid);
+  ++live_entries_;
+  return eid;
+}
+
+void LockManager::FreeEntry(int32_t eid) {
+  LockEntry& entry = entries_[eid];
+  IndexErase(entry.key);
+  entry.in_use = false;
+  entry.holders.clear();  // capacity retained for the next occupant
+  entry.queue.clear();
+  entry.queue_head = 0;
+  free_entries_.push_back(eid);
+  --live_entries_;
 }
 
 bool LockManager::GrantableNow(const LockEntry& entry, int64_t txn,
                                LockMode mode, bool upgrade) const {
   if (upgrade) {
     // S->X upgrade: grantable once the requester is the sole holder.
-    return entry.holders.size() == 1 && entry.holders.count(txn) == 1;
+    return entry.holders.size() == 1 && entry.holders[0].txn == txn;
   }
   if (entry.holders.empty()) return true;
   if (mode == LockMode::kExclusive) return false;
-  for (const auto& [holder, held_mode] : entry.holders) {
-    if (held_mode == LockMode::kExclusive) return false;
+  for (const HolderSlot& h : entry.holders) {
+    if (h.mode == LockMode::kExclusive) return false;
   }
   return true;
 }
 
 void LockManager::AddHolder(LockEntry& entry, int64_t txn, LockMode mode) {
-  auto it = entry.holders.find(txn);
-  if (it == entry.holders.end()) {
-    entry.holders.emplace(txn, mode);
-  } else if (mode == LockMode::kExclusive) {
-    it->second = LockMode::kExclusive;  // upgrade; never downgrade
+  for (HolderSlot& h : entry.holders) {
+    if (h.txn == txn) {
+      if (mode == LockMode::kExclusive) h.mode = LockMode::kExclusive;
+      ++grants_;  // upgrade; never downgrade
+      return;
+    }
   }
+  entry.holders.push_back(HolderSlot{txn, mode});
   ++grants_;
 }
 
 sim::Task<util::Status> LockManager::Lock(int64_t txn_id, TableKey key,
                                           LockMode mode) {
-  LockEntry& entry = locks_[key];
-  auto held = entry.holders.find(txn_id);
-  bool holds_any = held != entry.holders.end();
-  if (holds_any) {
-    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
-      co_return util::Status::OK();  // already sufficient
-    }
-  }
-  bool upgrade = holds_any && mode == LockMode::kExclusive;
-
-  // Fast path: immediate grant when compatible and not jumping a queue.
-  if ((upgrade || entry.queue.empty()) &&
-      GrantableNow(entry, txn_id, mode, upgrade)) {
-    AddHolder(entry, txn_id, mode);
+  int32_t eid = FindEntry(key);
+  if (eid == kNil) {
+    // Uncontended acquire: fresh (recycled) entry, immediate grant. This is
+    // the dominant path in every OLTP cell.
+    eid = AllocEntry(key);
+    AddHolder(entries_[eid], txn_id, mode);
     co_return util::Status::OK();
   }
 
-  // Queue and wait. Upgrades go to the front so the upgrader cannot be
-  // starved behind requests that are incompatible with its own S hold.
-  ++waits_;
-  sim::Waiter waiter(env_);
-  uint64_t node_id = next_node_id_++;
-  WaitNode node{node_id, txn_id, mode, upgrade, &waiter};
-  if (upgrade) {
-    entry.queue.push_front(node);
-  } else {
-    entry.queue.push_back(node);
-  }
-  env_->ScheduleCall(env_->Now() + wait_timeout_,
-                     [this, key, node_id] { CancelWait(key, node_id); });
+  {
+    LockEntry& entry = entries_[eid];
+    const HolderSlot* held = nullptr;
+    for (const HolderSlot& h : entry.holders) {
+      if (h.txn == txn_id) {
+        held = &h;
+        break;
+      }
+    }
+    if (held != nullptr &&
+        (held->mode == LockMode::kExclusive || mode == LockMode::kShared)) {
+      co_return util::Status::OK();  // already sufficient
+    }
+    bool upgrade = held != nullptr && mode == LockMode::kExclusive;
 
-  int outcome = co_await waiter;
-  if (outcome == kGranted) co_return util::Status::OK();
-  ++timeouts_;
-  co_return util::Status::Aborted("lock wait timeout");
+    // Fast path: immediate grant when compatible and not jumping a queue.
+    if ((upgrade || entry.queue_size() == 0) &&
+        GrantableNow(entry, txn_id, mode, upgrade)) {
+      AddHolder(entry, txn_id, mode);
+      co_return util::Status::OK();
+    }
+
+    // Queue and wait. Upgrades go to the front so the upgrader cannot be
+    // starved behind requests that are incompatible with its own S hold.
+    ++waits_;
+    uint64_t node_id = next_node_id_++;
+    sim::Waiter waiter(env_);
+    WaitNode node{node_id, txn_id, mode, upgrade, &waiter};
+    if (upgrade) {
+      if (entry.queue_head > 0) {
+        entry.queue[--entry.queue_head] = node;
+      } else {
+        entry.queue.insert(entry.queue.begin(), node);
+      }
+    } else {
+      entry.queue.push_back(node);
+    }
+    env_->ScheduleCall(env_->Now() + wait_timeout_,
+                       [this, key, node_id] { CancelWait(key, node_id); });
+
+    // `entry`/`eid` must not be used past this point: the slab may grow or
+    // recycle this slot while we are suspended.
+    int outcome = co_await waiter;
+    if (outcome == kGranted) co_return util::Status::OK();
+    ++timeouts_;
+    co_return util::Status::Aborted("lock wait timeout");
+  }
 }
 
-void LockManager::GrantFromQueue(const TableKey& key, LockEntry& entry) {
-  while (!entry.queue.empty()) {
-    WaitNode& front = entry.queue.front();
+void LockManager::GrantFromQueue(int32_t eid) {
+  LockEntry& entry = entries_[eid];
+  while (entry.queue_size() > 0) {
+    WaitNode& front = entry.queue[entry.queue_head];
     if (!GrantableNow(entry, front.txn, front.mode, front.upgrade)) break;
     WaitNode node = front;
-    entry.queue.pop_front();
+    if (++entry.queue_head == entry.queue.size()) {
+      entry.queue.clear();
+      entry.queue_head = 0;
+    }
     AddHolder(entry, node.txn, node.mode);
     node.waiter->Complete(kGranted);
     // Shared grants batch: the loop continues while compatible.
     if (node.mode == LockMode::kExclusive) break;
   }
-  if (entry.holders.empty() && entry.queue.empty()) {
-    locks_.erase(key);
+  if (entry.holders.empty() && entry.queue_size() == 0) {
+    FreeEntry(eid);
   }
 }
 
 void LockManager::CancelWait(TableKey key, uint64_t node_id) {
-  auto it = locks_.find(key);
-  if (it == locks_.end()) return;
-  auto& queue = it->second.queue;
-  for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
-    if (qit->id == node_id) {
-      sim::Waiter* waiter = qit->waiter;
-      queue.erase(qit);
+  int32_t eid = FindEntry(key);
+  if (eid == kNil) return;
+  LockEntry& entry = entries_[eid];
+  for (size_t i = entry.queue_head; i < entry.queue.size(); ++i) {
+    if (entry.queue[i].id == node_id) {
+      sim::Waiter* waiter = entry.queue[i].waiter;
+      entry.queue.erase(entry.queue.begin() + static_cast<ptrdiff_t>(i));
+      if (entry.queue_head == entry.queue.size()) {
+        entry.queue.clear();
+        entry.queue_head = 0;
+      }
       waiter->Complete(kTimedOut);
       // Removing a blocker at the head may unblock followers.
-      GrantFromQueue(key, it->second);
+      GrantFromQueue(eid);
       return;
     }
   }
 }
 
 void LockManager::Release(int64_t txn_id, TableKey key) {
-  auto it = locks_.find(key);
-  if (it == locks_.end()) return;
-  it->second.holders.erase(txn_id);
-  GrantFromQueue(key, it->second);
+  int32_t eid = FindEntry(key);
+  if (eid == kNil) return;
+  LockEntry& entry = entries_[eid];
+  for (size_t i = 0; i < entry.holders.size(); ++i) {
+    if (entry.holders[i].txn == txn_id) {
+      // Holder order is insignificant (compatibility checks are
+      // order-independent), so swap-remove.
+      entry.holders[i] = entry.holders.back();
+      entry.holders.pop_back();
+      break;
+    }
+  }
+  GrantFromQueue(eid);
 }
 
 void LockManager::ReleaseAll(int64_t txn_id,
@@ -120,11 +248,14 @@ void LockManager::ReleaseAll(int64_t txn_id,
 }
 
 bool LockManager::Holds(int64_t txn_id, TableKey key, LockMode mode) const {
-  auto it = locks_.find(key);
-  if (it == locks_.end()) return false;
-  auto held = it->second.holders.find(txn_id);
-  if (held == it->second.holders.end()) return false;
-  return mode == LockMode::kShared || held->second == LockMode::kExclusive;
+  int32_t eid = FindEntry(key);
+  if (eid == kNil) return false;
+  for (const HolderSlot& h : entries_[eid].holders) {
+    if (h.txn == txn_id) {
+      return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
 }
 
 }  // namespace cloudybench::txn

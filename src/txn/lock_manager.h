@@ -2,9 +2,7 @@
 #define CLOUDYBENCH_TXN_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/environment.h"
@@ -36,6 +34,16 @@ enum class LockMode { kShared, kExclusive };
 /// treatment). Waits carry a timeout that doubles as the deadlock breaker:
 /// CloudyBench's workload orders its locks (ORDERS before CUSTOMER in T2),
 /// so in practice timeouts fire only for genuine upgrade deadlocks.
+///
+/// Layout (DESIGN.md §4i): lock entries live in a recycling slab addressed
+/// by an open-addressing fibonacci-hashed index of entry ids — the same
+/// shape as the buffer pool's page index. Freed entries keep their holder
+/// and queue vector capacity, so the steady-state acquire/release cycle of
+/// an OLTP cell (entry alloc -> grant -> release -> entry free) touches no
+/// allocator at all. Holder order inside an entry is insignificant (all
+/// compatibility checks are order-independent scans), so holders use
+/// swap-remove; the wait queue is FIFO via a head cursor because wake
+/// order IS significant — it decides event sequence numbers downstream.
 class LockManager {
  public:
   LockManager(sim::Environment* env, sim::SimTime wait_timeout);
@@ -60,11 +68,17 @@ class LockManager {
   int64_t grants() const { return grants_; }
   int64_t waits() const { return waits_; }
   int64_t timeouts() const { return timeouts_; }
-  size_t locked_keys() const { return locks_.size(); }
+  size_t locked_keys() const { return live_entries_; }
 
  private:
   enum WaitOutcome { kGranted = 1, kTimedOut = 2 };
 
+  static constexpr int32_t kNil = -1;
+
+  struct HolderSlot {
+    int64_t txn = 0;
+    LockMode mode = LockMode::kShared;
+  };
   struct WaitNode {
     uint64_t id = 0;
     int64_t txn = 0;
@@ -73,14 +87,39 @@ class LockManager {
     sim::Waiter* waiter = nullptr;
   };
   struct LockEntry {
-    std::unordered_map<int64_t, LockMode> holders;
-    std::deque<WaitNode> queue;
+    TableKey key;
+    bool in_use = false;
+    std::vector<HolderSlot> holders;
+    // FIFO wait queue: pop advances queue_head, push appends; both vectors
+    // reset (keeping capacity) when the queue drains. Upgrade requests
+    // front-insert, which is rare and pays the memmove only under
+    // contention.
+    std::vector<WaitNode> queue;
+    size_t queue_head = 0;
+
+    size_t queue_size() const { return queue.size() - queue_head; }
   };
+
+  /// Fibonacci-hashed home slot in index_ for `key`.
+  size_t IndexHome(TableKey key) const {
+    uint64_t packed =
+        (static_cast<uint64_t>(static_cast<uint32_t>(key.table)) << 48) ^
+        static_cast<uint64_t>(key.key);
+    return static_cast<size_t>((packed * 0x9E3779B97F4A7C15ULL) >>
+                               index_shift_);
+  }
+
+  int32_t FindEntry(TableKey key) const;
+  int32_t AllocEntry(TableKey key);
+  void FreeEntry(int32_t eid);
+  void IndexInsert(TableKey key, int32_t eid);
+  void IndexErase(TableKey key);
+  void GrowIndexIfNeeded();
 
   bool GrantableNow(const LockEntry& entry, int64_t txn, LockMode mode,
                     bool upgrade) const;
   void AddHolder(LockEntry& entry, int64_t txn, LockMode mode);
-  void GrantFromQueue(const TableKey& key, LockEntry& entry);
+  void GrantFromQueue(int32_t eid);
   void CancelWait(TableKey key, uint64_t node_id);
 
   sim::Environment* env_;
@@ -89,7 +128,13 @@ class LockManager {
   int64_t grants_ = 0;
   int64_t waits_ = 0;
   int64_t timeouts_ = 0;
-  std::unordered_map<TableKey, LockEntry, TableKeyHash> locks_;
+
+  std::vector<LockEntry> entries_;    // slab; freed slots keep capacity
+  std::vector<int32_t> free_entries_; // recyclable slab slots
+  std::vector<int32_t> index_;        // open-addressing map key -> entry id
+  size_t index_mask_ = 0;
+  int index_shift_ = 64;
+  size_t live_entries_ = 0;
 };
 
 }  // namespace cloudybench::txn

@@ -23,6 +23,7 @@ Transaction TxnManager::Begin(int32_t trace_label) {
   Transaction txn;
   txn.id_ = next_txn_id_++;
   txn.active_ = true;
+  txn.book_ = TxnBookPool::Acquire();
   ++active_txns_;
   obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
   if (recorder.enabled()) {
@@ -44,7 +45,7 @@ void TxnManager::FinishTxnTrace(Transaction* txn, bool committed) {
 }
 
 util::Status TxnManager::AdmitFirstOp(Transaction* txn) {
-  if (!txn->held_locks_.empty() || !txn->writes_.empty()) {
+  if (!txn->book_->held_locks.empty() || !txn->book_->writes.empty()) {
     return Status::OK();
   }
   Status admitted = engine_->Admit();
@@ -52,10 +53,11 @@ util::Status TxnManager::AdmitFirstOp(Transaction* txn) {
   return admitted;
 }
 
-const Transaction::WriteOp* TxnManager::FindStaged(const Transaction& txn,
-                                                   storage::TableId table,
-                                                   int64_t key) const {
-  for (auto it = txn.writes_.rbegin(); it != txn.writes_.rend(); ++it) {
+const TxnBook::WriteOp* TxnManager::FindStaged(const Transaction& txn,
+                                               storage::TableId table,
+                                               int64_t key) const {
+  const std::vector<TxnBook::WriteOp>& writes = txn.book_->writes;
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
     if (it->table == table && it->key == key) return &*it;
   }
   return nullptr;
@@ -63,7 +65,7 @@ const Transaction::WriteOp* TxnManager::FindStaged(const Transaction& txn,
 
 bool TxnManager::VisiblyExists(const Transaction& txn, SyntheticTable* table,
                                int64_t key) const {
-  const Transaction::WriteOp* staged = FindStaged(txn, table->id(), key);
+  const TxnBook::WriteOp* staged = FindStaged(txn, table->id(), key);
   if (staged != nullptr) return staged->type != LogRecordType::kDelete;
   return table->Exists(key);
 }
@@ -75,13 +77,13 @@ sim::Task<util::Status> TxnManager::LockKey(Transaction* txn, TableKey key,
     // Track each key once; ReleaseAll is idempotent per key anyway but the
     // held list should stay small.
     bool known = false;
-    for (const TableKey& held : txn->held_locks_) {
+    for (const TableKey& held : txn->book_->held_locks) {
       if (held == key) {
         known = true;
         break;
       }
     }
-    if (!known) txn->held_locks_.push_back(key);
+    if (!known) txn->book_->held_locks.push_back(key);
   }
   co_return s;
 }
@@ -126,7 +128,7 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
     co_return page;
   }
   // Read-your-own-writes.
-  const Transaction::WriteOp* staged = FindStaged(*txn, table->id(), key);
+  const TxnBook::WriteOp* staged = FindStaged(*txn, table->id(), key);
   if (staged != nullptr) {
     if (staged->type == LogRecordType::kDelete) {
       co_return Status::NotFound("deleted in this transaction");
@@ -181,8 +183,8 @@ sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
     co_return Status::AlreadyExists(table->name() + " key " +
                                     std::to_string(row.key));
   }
-  txn->writes_.push_back(Transaction::WriteOp{LogRecordType::kInsert,
-                                              table->id(), row.key, row});
+  txn->book_->writes.push_back(
+      TxnBook::WriteOp{LogRecordType::kInsert, table->id(), row.key, row});
   co_return Status::OK();
 }
 
@@ -227,8 +229,8 @@ sim::Task<util::Status> TxnManager::Update(Transaction* txn,
     co_return Status::NotFound(table->name() + " key " +
                                std::to_string(row.key));
   }
-  txn->writes_.push_back(Transaction::WriteOp{LogRecordType::kUpdate,
-                                              table->id(), row.key, row});
+  txn->book_->writes.push_back(
+      TxnBook::WriteOp{LogRecordType::kUpdate, table->id(), row.key, row});
   co_return Status::OK();
 }
 
@@ -273,16 +275,17 @@ sim::Task<util::Status> TxnManager::Delete(Transaction* txn,
   if (!VisiblyExists(*txn, table, key)) {
     co_return Status::NotFound(table->name() + " key " + std::to_string(key));
   }
-  txn->writes_.push_back(
-      Transaction::WriteOp{LogRecordType::kDelete, table->id(), key, Row{}});
+  txn->book_->writes.push_back(
+      TxnBook::WriteOp{LogRecordType::kDelete, table->id(), key, Row{}});
   co_return Status::OK();
 }
 
 sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
   CB_CHECK(txn->active_);
-  if (txn->writes_.empty()) {
+  TxnBook* book = txn->book_;
+  if (book->writes.empty()) {
     // Read-only autocommit: no COMMIT statement crosses the wire.
-    engine_->lock_manager()->ReleaseAll(txn->id_, txn->held_locks_);
+    engine_->lock_manager()->ReleaseAll(txn->id_, book->held_locks);
     txn->active_ = false;
     --active_txns_;
     ++commits_;
@@ -304,9 +307,12 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
     co_return Status::Unavailable("node down at commit");
   }
 
-  std::vector<LogRecord> records;
-  records.reserve(txn->writes_.size() + 1);
-  for (const Transaction::WriteOp& op : txn->writes_) {
+  // Build the commit batch in the book's recycled scratch vector: after the
+  // first few transactions on a thread no commit allocates here.
+  std::vector<LogRecord>& records = book->records;
+  records.clear();
+  records.reserve(book->writes.size() + 1);
+  for (const TxnBook::WriteOp& op : book->writes) {
     LogRecord rec;
     rec.txn_id = txn->id_;
     rec.type = op.type;
@@ -321,7 +327,8 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
   records.push_back(commit_rec);
 
   engine_->set_trace_track(txn->trace_track_);
-  Status durable = co_await engine_->CommitRecords(std::move(records));
+  Status durable = co_await engine_->CommitRecords(&records);
+  records.clear();
   if (!durable.ok()) {
     Abort(txn);
     co_return durable;
@@ -329,7 +336,7 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
 
   // Apply the write set. Locks guarantee these succeed.
   storage::TableSet* tables = engine_->tables();
-  for (const Transaction::WriteOp& op : txn->writes_) {
+  for (const TxnBook::WriteOp& op : book->writes) {
     SyntheticTable* table = tables->FindById(op.table);
     CB_CHECK(table != nullptr);
     switch (op.type) {
@@ -347,7 +354,7 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
     }
   }
 
-  engine_->lock_manager()->ReleaseAll(txn->id_, txn->held_locks_);
+  engine_->lock_manager()->ReleaseAll(txn->id_, book->held_locks);
   txn->active_ = false;
   --active_txns_;
   ++commits_;
@@ -357,8 +364,8 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
 
 void TxnManager::Abort(Transaction* txn) {
   if (!txn->active_) return;
-  engine_->lock_manager()->ReleaseAll(txn->id_, txn->held_locks_);
-  txn->writes_.clear();
+  engine_->lock_manager()->ReleaseAll(txn->id_, txn->book_->held_locks);
+  txn->book_->writes.clear();
   txn->active_ = false;
   --active_txns_;
   ++aborts_;

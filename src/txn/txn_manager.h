@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.h"
@@ -32,20 +33,16 @@ struct CpuCosts {
   sim::SimTime client_rtt = sim::Micros(0);
 };
 
-/// An open transaction. Value-type handle created by TxnManager::Begin();
-/// write effects are staged in the write set and applied atomically at
-/// commit (so abort is cheap and no undo is needed at this layer — undo
-/// *timing* on crash is modelled by the recovery models in cb_cloud).
-class Transaction {
- public:
-  int64_t id() const { return id_; }
-  bool active() const { return active_; }
-  bool read_only() const { return writes_.empty(); }
-  size_t write_count() const { return writes_.size(); }
-
- private:
-  friend class TxnManager;
-
+/// The recyclable bookkeeping of one transaction: lock list, staged write
+/// set, and the commit-record scratch vector. Books live in a thread-local
+/// pool (DESIGN.md §4i) and keep their vector capacity across reuse, so a
+/// steady-state begin/commit cycle performs zero heap allocations.
+///
+/// The pool is thread-local rather than TxnManager-owned on purpose:
+/// Transaction handles live inside coroutine frames that the Environment
+/// destroys at teardown — *after* the TxnManager member is gone in the
+/// usual declaration order — so the book must outlive any manager.
+struct TxnBook {
   struct WriteOp {
     storage::LogRecordType type;
     storage::TableId table;
@@ -53,10 +50,111 @@ class Transaction {
     storage::Row row;  // after-image (unused for deletes)
   };
 
+  std::vector<TableKey> held_locks;
+  std::vector<WriteOp> writes;
+  std::vector<storage::LogRecord> records;  // commit-path scratch
+
+  void Reset() {
+    held_locks.clear();
+    writes.clear();
+    records.clear();
+  }
+};
+
+class TxnBookPool {
+ public:
+  struct Stats {
+    size_t fresh = 0;     // pool miss -> new TxnBook
+    size_t reused = 0;    // pool hit
+    size_t recycled = 0;  // books returned to the pool
+  };
+
+  static TxnBook* Acquire() {
+    FreeList& fl = List();
+    if (!fl.books.empty()) {
+      TxnBook* book = fl.books.back();
+      fl.books.pop_back();
+      ++fl.stats.reused;
+      return book;
+    }
+    ++fl.stats.fresh;
+    return new TxnBook();
+  }
+
+  static void Release(TxnBook* book) {
+    book->Reset();  // drop contents, keep vector capacity
+    FreeList& fl = List();
+    fl.books.push_back(book);
+    ++fl.stats.recycled;
+  }
+
+  /// This thread's counters; tests assert reuse-exactly-once with these.
+  static Stats ThreadStats() { return List().stats; }
+
+ private:
+  struct FreeList {
+    std::vector<TxnBook*> books;
+    Stats stats;
+    ~FreeList() {
+      for (TxnBook* book : books) delete book;
+    }
+  };
+
+  static FreeList& List() {
+    thread_local FreeList list;
+    return list;
+  }
+};
+
+/// An open transaction. Move-only handle created by TxnManager::Begin();
+/// write effects are staged in the write set and applied atomically at
+/// commit (so abort is cheap and no undo is needed at this layer — undo
+/// *timing* on crash is modelled by the recovery models in cb_cloud).
+/// The handle owns a pooled TxnBook and recycles it on destruction.
+class Transaction {
+ public:
+  Transaction() = default;
+  Transaction(Transaction&& o) noexcept
+      : id_(o.id_),
+        active_(std::exchange(o.active_, false)),
+        book_(std::exchange(o.book_, nullptr)),
+        trace_track_(o.trace_track_),
+        root_span_(o.root_span_) {}
+  Transaction& operator=(Transaction&& o) noexcept {
+    if (this != &o) {
+      ReleaseBook();
+      id_ = o.id_;
+      active_ = std::exchange(o.active_, false);
+      book_ = std::exchange(o.book_, nullptr);
+      trace_track_ = o.trace_track_;
+      root_span_ = o.root_span_;
+    }
+    return *this;
+  }
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  ~Transaction() { ReleaseBook(); }
+
+  int64_t id() const { return id_; }
+  bool active() const { return active_; }
+  bool read_only() const { return book_ == nullptr || book_->writes.empty(); }
+  size_t write_count() const {
+    return book_ == nullptr ? 0 : book_->writes.size();
+  }
+
+ private:
+  friend class TxnManager;
+
+  void ReleaseBook() {
+    if (book_ != nullptr) {
+      TxnBookPool::Release(book_);
+      book_ = nullptr;
+    }
+  }
+
   int64_t id_ = 0;
   bool active_ = false;
-  std::vector<TableKey> held_locks_;
-  std::vector<WriteOp> writes_;
+  TxnBook* book_ = nullptr;
   /// Observability: the recorder track all of this transaction's spans land
   /// on, and the open root (kTxn) span. Track 0 = tracing was off at Begin.
   uint64_t trace_track_ = 0;
@@ -113,9 +211,9 @@ class TxnManager {
   /// Aborts the transaction and returns the engine's status when refused.
   util::Status AdmitFirstOp(Transaction* txn);
   /// Finds the latest staged write for (table,key); nullptr if none.
-  const Transaction::WriteOp* FindStaged(const Transaction& txn,
-                                         storage::TableId table,
-                                         int64_t key) const;
+  const TxnBook::WriteOp* FindStaged(const Transaction& txn,
+                                     storage::TableId table,
+                                     int64_t key) const;
   /// True if the key exists from this txn's point of view.
   bool VisiblyExists(const Transaction& txn, storage::SyntheticTable* table,
                      int64_t key) const;

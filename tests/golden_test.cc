@@ -1,0 +1,81 @@
+// Golden regression for the deterministic output contract: the standard
+// OLTP cell, at a fixed small spec and seed, must produce byte-identical
+// artifact lines across refactors of the engine underneath it. The strings
+// below were captured from the tree at the time the txn/lock/WAL hot paths
+// were flattened (DESIGN.md §4i) and verified identical to the pre-change
+// implementation; any future diff here means a change altered the simulated
+// schedule, not just its speed. Update the strings only when a change is
+// *intended* to alter results (e.g. a new cost model) and say so in the
+// commit message.
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "runner/matrix.h"
+#include "runner/oltp_cell.h"
+#include "runner/runner.h"
+
+namespace cloudybench::runner {
+namespace {
+
+constexpr const char* kGoldenRw =
+    "{\"cell\":\"AWS RDS/sf1/RW/con8/seed7\",\"index\":0,\"ok\":true,"
+    "\"sim_seconds\":0.700,\"tps\":4138,\"p50_ms\":1.31,\"p99_ms\":7.70,"
+    "\"commits\":2915,\"aborts\":0,\"cost_per_min\":0.0277,"
+    "\"cost_cpu\":0.0123,\"cost_mem\":0.0025,\"cost_storage\":0.0000,"
+    "\"cost_iops\":0.0000,\"cost_net\":0.0128,\"p_score\":149368,"
+    "\"buffer_hit_pct\":83.6,\"vcores\":4,\"memory_gb\":16,"
+    "\"storage_gb\":0.4,\"iops\":1000,\"net_gbps\":10}";
+
+constexpr const char* kGoldenRo =
+    "{\"cell\":\"AWS RDS/sf1/RO/con8/seed7\",\"index\":0,\"ok\":true,"
+    "\"sim_seconds\":0.700,\"tps\":5756,\"p50_ms\":1.31,\"p99_ms\":1.68,"
+    "\"commits\":4069,\"aborts\":0,\"cost_per_min\":0.0277,"
+    "\"cost_cpu\":0.0123,\"cost_mem\":0.0025,\"cost_storage\":0.0000,"
+    "\"cost_iops\":0.0000,\"cost_net\":0.0128,\"p_score\":207772,"
+    "\"buffer_hit_pct\":85.3,\"vcores\":4,\"memory_gb\":16,"
+    "\"storage_gb\":0.4,\"iops\":1000,\"net_gbps\":10}";
+
+CellSpec SmallSpec(std::string pattern, uint64_t seed) {
+  CellSpec spec;
+  spec.sut = sut::SutKind::kAwsRds;
+  spec.scale_factor = 1;
+  spec.concurrency = 8;
+  spec.pattern = std::move(pattern);
+  spec.seed = seed;
+  spec.warmup = sim::Millis(200);
+  spec.measure = sim::Millis(500);
+  return spec;
+}
+
+std::string RunLine(const CellSpec& spec) {
+  CellContext ctx{spec, 0, "", "", "", ""};
+  CellResult result = RunOltpCell(ctx);
+  // The MatrixRunner wrapper normally stamps these; mirror it so the line
+  // matches what a sweep would write to its JSONL artifact.
+  result.ok = result.error.empty();
+  result.id = DefaultCellId(spec);
+  EXPECT_TRUE(result.ok) << result.error;
+  return ToJsonLine(result);
+}
+
+TEST(GoldenCellTest, RwCellArtifactLineIsStable) {
+  EXPECT_EQ(RunLine(SmallSpec("RW", 7)), kGoldenRw);
+}
+
+TEST(GoldenCellTest, RoCellArtifactLineIsStable) {
+  EXPECT_EQ(RunLine(SmallSpec("RO", 7)), kGoldenRo);
+}
+
+TEST(GoldenCellTest, SameSeedRerunIsByteIdentical) {
+  // Two back-to-back deployments in the same process (warm pools, warm
+  // frame arena) must not observe each other.
+  std::string first = RunLine(SmallSpec("RW", 11));
+  std::string second = RunLine(SmallSpec("RW", 11));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace cloudybench::runner
