@@ -13,6 +13,9 @@
 #include "core/evaluators.h"
 #include "core/sales_workload.h"
 #include "load/arrival.h"
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "runner/oltp_cell.h"
 #include "sim/environment.h"
 #include "storage/buffer_pool.h"
@@ -371,6 +374,54 @@ void BM_OltpCellEventsPerSecond(benchmark::State& state) {
   state.SetItemsProcessed(events);
 }
 BENCHMARK(BM_OltpCellEventsPerSecond)->Unit(benchmark::kMillisecond);
+
+void BM_ObsOverhead(benchmark::State& state) {
+  // Obs self-cost budget (DESIGN.md §4j): the cell from
+  // BM_OltpCellEventsPerSecond with the *always-on* observability armed —
+  // the metric registry, latency histograms, and the timeline journal with
+  // its 500 ms sampler — what every cell run under --timeline-*-template
+  // pays. Span tracing is deliberately NOT armed: it is per-cell opt-in
+  // (--trace-template / --profile-*-template), records every span of every
+  // transaction, and costs ~20% — a price the operator asks for explicitly
+  // when requesting trace/profile artifacts, not a tax on ordinary sweeps.
+  // The perf gate divides this number by BM_OltpCellEventsPerSecond *from
+  // the same run* (machine speed cancels) and fails when the ratio exceeds
+  // gate.obs_overhead_max_ratio.
+  util::SetLogLevel(util::LogLevel::kWarning);
+  obs::Timeline& timeline = obs::Timeline::Get();
+  int64_t events = 0;
+  for (auto _ : state) {
+    timeline.SetEnabled(true);
+    timeline.Clear();
+    obs::MetricRegistry::Get().Clear();
+    {
+      runner::CellSpec spec;
+      spec.sut = sut::SutKind::kCdb4;
+      spec.scale_factor = 1;
+      spec.n_ro = 1;
+      spec.concurrency = 16;
+      spec.pattern = "RW";
+      spec.seed = 42;
+      spec.warmup = sim::Millis(200);
+      spec.measure = sim::Seconds(1);
+      SalesTransactionSet txns(runner::SalesConfigFor(spec));
+      runner::CellDeployment rig(spec, txns.Schemas());
+      rig.sampler.Start();
+      OltpEvaluator::Options options;
+      options.concurrency = spec.concurrency;
+      options.warmup = spec.warmup;
+      options.measure = spec.measure;
+      benchmark::DoNotOptimize(
+          OltpEvaluator::Run(&rig.env, rig.cluster.get(), &txns, options));
+      events += static_cast<int64_t>(rig.env.dispatched_events());
+    }
+    timeline.SetEnabled(false);
+    timeline.Clear();
+    obs::MetricRegistry::Get().Clear();
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_ObsOverhead)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace cloudybench

@@ -7,7 +7,8 @@
 // (--jsonl= row dump, --trace-template= per-cell Chrome traces,
 // --metrics-template= per-cell metric snapshots,
 // --timeline-csv-template= / --timeline-jsonl-template= per-cell
-// timeline artifacts).
+// timeline artifacts, --profile-collapsed-template= /
+// --profile-chrome-template= per-cell merged-stack profiles).
 
 #include <cstdio>
 
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
   cloudybench::util::SetLogLevel(cloudybench::util::LogLevel::kWarning);
   std::string jsonl_path, trace_template, metrics_template;
   std::string timeline_csv_template, timeline_jsonl_template;
+  std::string profile_collapsed_template, profile_chrome_template;
   cloudybench::bench::BenchArgs args = cloudybench::bench::BenchArgs::Parse(
       argc, argv,
       {{"--jsonl=", &jsonl_path, "write per-cell result rows (JSONL)"},
@@ -80,7 +82,11 @@ int main(int argc, char** argv) {
        {"--timeline-csv-template=", &timeline_csv_template,
         "per-cell timeline CSV path (same placeholders)"},
        {"--timeline-jsonl-template=", &timeline_jsonl_template,
-        "per-cell timeline JSONL path (same placeholders)"}});
+        "per-cell timeline JSONL path (same placeholders)"},
+       {"--profile-collapsed-template=", &profile_collapsed_template,
+        "per-cell collapsed-stack profile path (same placeholders)"},
+       {"--profile-chrome-template=", &profile_chrome_template,
+        "per-cell merged-tree Chrome trace path (same placeholders)"}});
   cloudybench::runner::RunnerOptions options;
   options.jobs = args.jobs;
   options.jsonl_path = jsonl_path;
@@ -88,6 +94,8 @@ int main(int argc, char** argv) {
   options.metrics_template = metrics_template;
   options.timeline_csv_template = timeline_csv_template;
   options.timeline_jsonl_template = timeline_jsonl_template;
+  options.profile_collapsed_template = profile_collapsed_template;
+  options.profile_chrome_template = profile_chrome_template;
   cloudybench::bench::Run(args, options);
   return 0;
 }

@@ -28,12 +28,14 @@ void Run(const BenchArgs& args) {
               3, slot.ToSeconds());
   util::TablePrinter table({"System", "Model", "TPS(a)", "TPS(b)", "TPS(c)",
                             "TPS(d)", "Resources", "$/min", "T(a)", "T(b)",
-                            "T(c)", "T(d)", "T(AVG)"});
+                            "T(c)", "T(d)", "T(AVG)", "$/kTxn"});
   for (sut::SutKind kind : sut::AllSuts()) {
     std::vector<double> tps_by_pattern;
     std::vector<double> tscore_by_pattern;
     std::string resources;
     double cost = 0;
+    double dollars_all_patterns = 0;
+    double ktxn_all_patterns = 0;
     for (TenancyPattern pattern : AllTenancyPatterns()) {
       bool high = pattern == TenancyPattern::kHighContention ||
                   pattern == TenancyPattern::kStaggeredHigh;
@@ -52,17 +54,29 @@ void Run(const BenchArgs& args) {
                   F0(r.storage_gb) + "GBsto " + F0(r.iops) + "iops " +
                   F0(r.tcp_gbps + r.rdma_gbps) + "Gbps";
       cost = result.cost_per_minute.total();
+      // Cost-efficiency per unit of work: dollars the deployment bills over
+      // the measured window, per thousand committed transactions, pooled
+      // across the four patterns so one number summarizes the row.
+      dollars_all_patterns +=
+          result.cost_per_minute.total() * result.window_s / 60.0;
+      ktxn_all_patterns += static_cast<double>(result.total_commits) / 1000.0;
     }
     double t_avg = (tscore_by_pattern[0] + tscore_by_pattern[1] +
                     tscore_by_pattern[2] + tscore_by_pattern[3]) /
                    4.0;
+    double dollars_per_ktxn =
+        ktxn_all_patterns > 0 ? dollars_all_patterns / ktxn_all_patterns : 0;
     table.AddRow({sut::SutName(kind),
                   TenancyModelName(TenancyModelFor(kind)),
                   F0(tps_by_pattern[0]), F0(tps_by_pattern[1]),
                   F0(tps_by_pattern[2]), F0(tps_by_pattern[3]), resources,
                   Dollars(cost), F0(tscore_by_pattern[0]),
                   F0(tscore_by_pattern[1]), F0(tscore_by_pattern[2]),
-                  F0(tscore_by_pattern[3]), F0(t_avg)});
+                  F0(tscore_by_pattern[3]), F0(t_avg),
+                  // 6 decimals: a kTxn costs fractions of a tenth of a cent
+                  // here, so the shared Dollars() 4-decimal format would
+                  // print $0.0000 for every efficient deployment.
+                  "$" + util::FormatDouble(dollars_per_ktxn, 6)});
   }
   table.Print();
   (void)args;

@@ -3,7 +3,7 @@
 # AddressSanitizer and ThreadSanitizer (-DCLOUDYBENCH_SANITIZE=...), plus a
 # matrix-runner determinism smokes: bench_runner_demo, the fault matrix
 # and the open-loop saturation bench must produce byte-identical stdout
-# (and JSONL / timeline CSV artifacts) at --jobs=1 and --jobs=2.
+# (and JSONL / timeline CSV / profile artifacts) at --jobs=1 and --jobs=2.
 # Build trees live under build-check/ so the developer's main build/ is
 # left alone. The sanitizer suites run every test, including the timeline
 # suite, under ASan/TSan via ctest. The perf gate (also available alone as
@@ -95,6 +95,24 @@ load_smoke() {
   echo "=== [load] output + artifacts byte-identical across job counts ==="
 }
 
+# Same contract for the per-cell profiler artifacts (DESIGN.md §4j): the
+# collapsed-stack and Chrome-trace profiles are pure functions of the
+# cell's deterministic span trace, so every byte must match between
+# --jobs=1 and --jobs=2 regardless of which worker thread ran the cell.
+profile_smoke() {
+  local dir="build-check/release"
+  echo "=== [profile] determinism smoke (--jobs=1 vs --jobs=2) ==="
+  rm -rf "${dir}/prof_j1" "${dir}/prof_j2"
+  "${dir}/bench/bench_runner_demo" --jobs=1 \
+    --profile-collapsed-template="${dir}/prof_j1/{id}.collapsed.txt" \
+    --profile-chrome-template="${dir}/prof_j1/{id}.trace.json" > /dev/null
+  "${dir}/bench/bench_runner_demo" --jobs=2 \
+    --profile-collapsed-template="${dir}/prof_j2/{id}.collapsed.txt" \
+    --profile-chrome-template="${dir}/prof_j2/{id}.trace.json" > /dev/null
+  diff -r "${dir}/prof_j1" "${dir}/prof_j2"
+  echo "=== [profile] artifacts byte-identical across job counts ==="
+}
+
 # GATING perf check: runs the DES/storage micro benches against the
 # committed baseline (BENCH_core.json) and FAILS when any benchmark
 # exceeds its tolerance band. Bands come from the baseline's "gate"
@@ -103,6 +121,10 @@ load_smoke() {
 # quantization dominates; the macro cell bench gets a tighter one because
 # it aggregates noise away). docs/PERF.md documents the policy, including
 # when a legitimate baseline refresh is the right fix.
+#
+# The gate also enforces the obs self-cost budget: BM_ObsOverhead (the
+# obs-armed OLTP cell) must stay within gate.obs_overhead_max_ratio of
+# BM_OltpCellEventsPerSecond measured in the same run.
 #
 # Provenance guard: the check refuses to compare across build types — a
 # Release run against a debug baseline (or vice versa) would always pass
@@ -194,6 +216,27 @@ for name in sorted(set(ns_per_op) - set(baseline)):
     print(f"NOTE: [perf] {name} has no baseline entry yet "
           "(add it with scripts/perf_baseline.sh)")
 
+# Obs self-cost budget (DESIGN.md §4j): the obs-armed OLTP cell may not
+# exceed the obs-off cell by more than gate.obs_overhead_max_ratio. Both
+# numbers come from *this run*, so machine speed cancels and the check
+# stays meaningful on hardware unlike the baseline's.
+obs_ratio_max = gate.get("obs_overhead_max_ratio")
+if obs_ratio_max:
+    on = ns_per_op.get("BM_ObsOverhead")
+    off = ns_per_op.get("BM_OltpCellEventsPerSecond")
+    if on is None or off is None or off <= 0:
+        failures += 1
+        print("ERROR: [perf] obs-overhead budget needs both BM_ObsOverhead "
+              "and BM_OltpCellEventsPerSecond in this run")
+    elif on > obs_ratio_max * off:
+        failures += 1
+        print(f"FAIL: [perf] obs overhead: BM_ObsOverhead {on:.0f} ns/op is "
+              f"{on / off:.3f}x the obs-off cell ({off:.0f} ns/op), over "
+              f"the {obs_ratio_max:.2f}x budget")
+    else:
+        print(f"[perf] obs overhead {on / off:.3f}x obs-off, within the "
+              f"{obs_ratio_max:.2f}x budget")
+
 if failures:
     print(f"[perf] GATE FAILED: {failures} benchmark(s) out of band. "
           "If the regression is intentional, refresh BENCH_core.json via "
@@ -212,6 +255,7 @@ case "${MODE}" in
     run_suite release
     runner_smoke
     timeline_smoke
+    profile_smoke
     fault_smoke
     load_smoke
     perf_gate
@@ -222,6 +266,7 @@ case "${MODE}" in
     run_suite release
     runner_smoke
     timeline_smoke
+    profile_smoke
     fault_smoke
     load_smoke
     perf_gate

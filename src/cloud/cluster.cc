@@ -141,13 +141,15 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
   meter_ = std::make_unique<ResourceMeter>(env_, cfg_.price_book,
                                            cfg_.meter_interval);
   if (cfg_.meter_compute) {
-    meter_->AddSource([this] {
-      ResourceVector total;
-      for (const auto& node : nodes_) total += node->AllocatedResources();
-      return total;
-    });
+    meter_->AddSource(
+        [this] {
+          ResourceVector total;
+          for (const auto& node : nodes_) total += node->AllocatedResources();
+          return total;
+        },
+        cfg_.tenant_id);
   }
-  meter_->AddSource([this] { return ServiceResources(); });
+  meter_->AddSource([this] { return ServiceResources(); }, cfg_.tenant_id);
   meter_->Start();
 
   if (cfg_.node.write_back) {
@@ -196,6 +198,18 @@ void Cluster::RegisterMetrics() {
     }
     return static_cast<double>(applied);
   });
+  if (cfg_.tenant_id >= 0) {
+    // Attributed RUC dollars accumulated since deployment. Integer sample
+    // times and a fixed step integral keep this reproducible, and living
+    // under the prefix means ~Cluster's UnregisterPrefix tears it down.
+    registry.RegisterGauge(
+        metric_prefix_ + "cost.tenant." + std::to_string(cfg_.tenant_id) +
+            ".ruc_dollars",
+        [this] {
+          return meter_->TenantRucDollars(cfg_.tenant_id, 0.0,
+                                          env_->Now().ToSeconds());
+        });
+  }
   registry.RegisterSeries(metric_prefix_ + "meter.vcores",
                           &meter_->vcores_series());
   registry.RegisterSeries(metric_prefix_ + "meter.memory_gb",

@@ -105,6 +105,11 @@ struct ClusterConfig {
   /// When sharing pool resources, per-cluster metering of vCores would
   /// double-count; the pool owner meters instead.
   bool meter_compute = true;
+  /// Tenant identity for multi-tenant deployments. When >= 0 the cluster
+  /// tags its meter sources with this id and publishes a
+  /// "cost.tenant.<id>.ruc_dollars" gauge (attributed RUC dollars since
+  /// deployment) under its metric prefix. -1 = single-tenant, no tagging.
+  int tenant_id = -1;
 };
 
 /// One deployed database: RW node, RO replicas, storage/log tiers,

@@ -8,8 +8,9 @@ ResourceMeter::ResourceMeter(sim::Environment* env, PriceBook prices,
   CB_CHECK_GT(sample_interval.us, 0);
 }
 
-void ResourceMeter::AddSource(std::function<ResourceVector()> source) {
-  sources_.push_back(std::move(source));
+void ResourceMeter::AddSource(std::function<ResourceVector()> source,
+                              int tenant_id) {
+  sources_.push_back(Source{std::move(source), tenant_id});
 }
 
 void ResourceMeter::Start() {
@@ -20,7 +21,12 @@ void ResourceMeter::Start() {
 
 void ResourceMeter::SampleOnce() {
   ResourceVector total;
-  for (const auto& source : sources_) total += source();
+  std::map<int, ResourceVector> by_tenant;
+  for (const auto& source : sources_) {
+    ResourceVector r = source.fn();
+    total += r;
+    if (source.tenant_id >= 0) by_tenant[source.tenant_id] += r;
+  }
   double t = env_->Now().ToSeconds();
   vcores_.Add(t, total.vcores);
   memory_.Add(t, total.memory_gb);
@@ -28,6 +34,11 @@ void ResourceMeter::SampleOnce() {
   iops_.Add(t, total.iops);
   tcp_gbps_.Add(t, total.tcp_gbps);
   rdma_gbps_.Add(t, total.rdma_gbps);
+  // Cost attribution is linear in the allocation, so sampling each tenant's
+  // dollar *rate* makes the per-tenant window cost a plain step integral.
+  for (const auto& [tenant_id, r] : by_tenant) {
+    tenant_cost_rate_[tenant_id].Add(t, prices_.CostFor(r, 1.0).total());
+  }
 }
 
 sim::Process ResourceMeter::SampleLoop() {
@@ -57,6 +68,23 @@ CostBreakdown ResourceMeter::RucCost(double t0, double t1) const {
 CostBreakdown ResourceMeter::ActualCost(const ActualPricing& pricing,
                                         double t0, double t1) const {
   return pricing.CostFor(MeanAllocated(t0, t1), t1 - t0);
+}
+
+double ResourceMeter::TenantRucDollars(int tenant_id, double t0,
+                                       double t1) const {
+  if (t1 <= t0) return 0.0;
+  auto it = tenant_cost_rate_.find(tenant_id);
+  if (it == tenant_cost_rate_.end()) return 0.0;
+  return it->second.IntegrateStep(t0, t1);
+}
+
+std::vector<int> ResourceMeter::TenantIds() const {
+  std::vector<int> ids;
+  ids.reserve(tenant_cost_rate_.size());
+  for (const auto& [tenant_id, series] : tenant_cost_rate_) {
+    ids.push_back(tenant_id);
+  }
+  return ids;
 }
 
 }  // namespace cloudybench::cloud

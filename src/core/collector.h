@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"
 #include "obs/metric_registry.h"
 #include "sim/environment.h"
 #include "sim/task.h"
@@ -50,9 +51,7 @@ class PerformanceCollector {
   /// ScheduleCalls and read the in-window p99 afterwards (availability
   /// matrix). Toggling only redirects bookkeeping — no sim-time effect.
   void SetWindowCapture(bool on) { window_capture_ = on; }
-  const util::LatencyHistogram& window_latency() const {
-    return window_latency_;
-  }
+  const obs::Histogram& window_latency() const { return window_latency_; }
 
   int64_t commits() const { return total_commits_; }
   int64_t aborts() const { return total_aborts_; }
@@ -65,11 +64,11 @@ class PerformanceCollector {
   const util::TimeSeries& tps_series() const { return tps_; }
   double MeanTps(double t0, double t1) const { return tps_.MeanInWindow(t0, t1); }
 
-  const util::LatencyHistogram& latency(TxnType type) const {
+  const obs::Histogram& latency(TxnType type) const {
     return latency_[static_cast<size_t>(type)];
   }
   /// All-types latency distribution.
-  const util::LatencyHistogram& latency_all() const { return latency_all_; }
+  const obs::Histogram& latency_all() const { return latency_all_; }
 
   double window_seconds() const { return window_.ToSeconds(); }
 
@@ -92,10 +91,10 @@ class PerformanceCollector {
   int64_t total_unavailable_ = 0;
   int64_t last_sampled_commits_ = 0;
   std::array<int64_t, kTxnTypes> commits_{};
-  std::array<util::LatencyHistogram, kTxnTypes> latency_{};
-  util::LatencyHistogram latency_all_;
+  std::array<obs::Histogram, kTxnTypes> latency_{};
+  obs::Histogram latency_all_;
   bool window_capture_ = false;
-  util::LatencyHistogram window_latency_;
+  obs::Histogram window_latency_;
   util::TimeSeries tps_;
 };
 

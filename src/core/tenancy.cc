@@ -64,6 +64,7 @@ MultiTenantDeployment::MultiTenantDeployment(sim::Environment* env,
   for (int i = 0; i < tenants; ++i) {
     cloud::ClusterConfig cfg = base;
     cfg.name = base.name + "-tenant" + std::to_string(i);
+    cfg.tenant_id = i;  // tags meter sources; exports the per-tenant gauge
     if (model_ == TenancyModel::kElasticPool) {
       cfg.shared_pool_cpu = pool_cpu_.get();
       cfg.shared_log_device = pool_log_.get();
@@ -153,6 +154,11 @@ TenancyResult MultiTenancyEvaluator::Run(sim::Environment* env,
         collectors.back().get(), 50 + static_cast<uint64_t>(i) * 97));
   }
 
+  std::vector<int64_t> commits_before;
+  for (int i = 0; i < n; ++i) {
+    commits_before.push_back(deployment->tenant(i)->TotalCommits());
+  }
+
   double start_s = env->Now().ToSeconds();
   for (int slot = 0; slot < options.slots; ++slot) {
     for (int i = 0; i < n; ++i) {
@@ -165,10 +171,17 @@ TenancyResult MultiTenancyEvaluator::Run(sim::Environment* env,
   double end_s = env->Now().ToSeconds();
 
   TenancyResult result;
+  result.window_s = end_s - start_s;
   for (int i = 0; i < n; ++i) {
     result.tenant_tps.push_back(
         collectors[static_cast<size_t>(i)]->MeanTps(start_s, end_s));
     result.total_tps += result.tenant_tps.back();
+    cloud::Cluster* tenant = deployment->tenant(i);
+    result.tenant_commits.push_back(tenant->TotalCommits() -
+                                    commits_before[static_cast<size_t>(i)]);
+    result.total_commits += result.tenant_commits.back();
+    result.tenant_ruc_dollars.push_back(tenant->meter().TenantRucDollars(
+        tenant->config().tenant_id, start_s, end_s));
   }
   result.cost_per_minute = deployment->CostPerMinute();
   result.t_score =

@@ -71,6 +71,15 @@ struct TenancyResult {
   double total_tps = 0;            // sum of tenant means
   cloud::CostBreakdown cost_per_minute;
   double t_score = 0;  // Eq. (7)
+  // ---- cost attribution (obs v2) ----
+  std::vector<int64_t> tenant_commits;  // commits per tenant over the window
+  int64_t total_commits = 0;
+  /// Metered RUC dollars attributed to each tenant over the window, from
+  /// the tenant-tagged ResourceMeter sources. Shared infrastructure (the
+  /// elastic pool's compute, say) is deliberately absent: this is the
+  /// attributable slice, not a re-derivation of cost_per_minute.
+  std::vector<double> tenant_ruc_dollars;
+  double window_s = 0;  // measured-window length in simulated seconds
 };
 
 class MultiTenancyEvaluator {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cloud/cluster.h"
 #include "core/sales_workload.h"
@@ -85,6 +86,18 @@ struct OpenLoopResult {
   int64_t schedule_window_hwm = 0;
 
   double horizon_seconds = 0.0;
+
+  /// Per-arrival-stream quantiles, one entry per plan stream, read off the
+  /// per-stream obs::Histogram pair (O(buckets) memory each; also exported
+  /// as load.stream<k>.latency / .lag registry histograms).
+  struct StreamStats {
+    int64_t commits = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double lag_p99_ms = 0.0;
+    double lag_max_ms = 0.0;
+  };
+  std::vector<StreamStats> streams;
 };
 
 /// Drives a TransactionSet open-loop: every scheduled arrival is admitted

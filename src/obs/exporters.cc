@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 
 namespace cloudybench::obs {
 
@@ -43,7 +44,10 @@ void AppendInt(std::string* out, int64_t v) {
   *out += buf;
 }
 
-util::Status WriteFile(const std::string& path, const std::string& content) {
+}  // namespace
+
+util::Status WriteStringFile(const std::string& path,
+                             const std::string& content) {
   // Templated per-cell artifact paths routinely point into directories that
   // do not exist yet ("timelines/{sut}/..."); create them.
   std::filesystem::path parent = std::filesystem::path(path).parent_path();
@@ -60,8 +64,6 @@ util::Status WriteFile(const std::string& path, const std::string& content) {
   if (!out) return util::Status::Internal("short write: " + path);
   return util::Status::OK();
 }
-
-}  // namespace
 
 namespace {
 
@@ -136,7 +138,7 @@ std::string ChromeTraceJson(const TraceRecorder& recorder,
 
 util::Status WriteChromeTraceFile(const TraceRecorder& recorder,
                                   const std::string& path) {
-  return WriteFile(path, ChromeTraceJson(recorder));
+  return WriteStringFile(path, ChromeTraceJson(recorder));
 }
 
 std::string MetricsJsonl(const MetricRegistry& registry) {
@@ -193,7 +195,7 @@ std::string MetricsJsonl(const MetricRegistry& registry) {
 
 util::Status WriteMetricsJsonlFile(const MetricRegistry& registry,
                                    const std::string& path) {
-  return WriteFile(path, MetricsJsonl(registry));
+  return WriteStringFile(path, MetricsJsonl(registry));
 }
 
 namespace {
@@ -284,9 +286,26 @@ std::string TimelineCsv(const Timeline& timeline) {
 std::string TimelineJsonl(const Timeline& timeline) {
   std::string out;
   out.reserve((timeline.sample_count() + timeline.event_count()) * 64);
+  // Delta encoding for samples: a metric's row is emitted only when its
+  // value differs from the last row emitted for that metric (the first
+  // sample always lands). Cumulative counters and converged gauges sampled
+  // every 500ms sim-time are mostly flat, so this shrinks the JSONL without
+  // losing information — a reader reconstructs the dense series by holding
+  // each metric's last value. The CSV stays dense (plotting tools want
+  // aligned rows), and since sample order and values are deterministic, the
+  // delta-encoded bytes stay --jobs-independent too.
+  std::map<std::string, double, std::less<>> last_emitted;
   ForEachTimelineRow(
       timeline,
-      [&out](const std::string& name, const Timeline::SamplePoint& point) {
+      [&out, &last_emitted](const std::string& name,
+                            const Timeline::SamplePoint& point) {
+        auto it = last_emitted.find(name);
+        if (it != last_emitted.end() && it->second == point.value) return;
+        if (it == last_emitted.end()) {
+          last_emitted.emplace(name, point.value);
+        } else {
+          it->second = point.value;
+        }
         out += "{\"t_us\":";
         AppendInt(&out, point.t_us);
         out += ",\"record\":\"sample\",\"name\":\"";
@@ -313,12 +332,12 @@ std::string TimelineJsonl(const Timeline& timeline) {
 
 util::Status WriteTimelineCsvFile(const Timeline& timeline,
                                   const std::string& path) {
-  return WriteFile(path, TimelineCsv(timeline));
+  return WriteStringFile(path, TimelineCsv(timeline));
 }
 
 util::Status WriteTimelineJsonlFile(const Timeline& timeline,
                                     const std::string& path) {
-  return WriteFile(path, TimelineJsonl(timeline));
+  return WriteStringFile(path, TimelineJsonl(timeline));
 }
 
 }  // namespace cloudybench::obs

@@ -48,6 +48,10 @@ std::string TimelineCsv(const Timeline& timeline);
 /// The same merged stream as JSON Lines, one object per row:
 ///   {"t_us":..,"record":"sample","name":..,"value":..}
 ///   {"t_us":..,"record":"event","scope":..,"kind":..,"detail":..,"value":..}
+/// Sample rows are delta-encoded: a metric reappears only when its value
+/// changed since its previous row (first sample always present; events are
+/// never elided). Hold each metric's last value to reconstruct the dense
+/// series the CSV carries. Still byte-identical at any --jobs.
 std::string TimelineJsonl(const Timeline& timeline);
 
 /// File writers; parent directories are created as needed (templated
@@ -56,6 +60,12 @@ util::Status WriteTimelineCsvFile(const Timeline& timeline,
                                   const std::string& path);
 util::Status WriteTimelineJsonlFile(const Timeline& timeline,
                                     const std::string& path);
+
+/// Shared artifact writer: creates parent directories, then writes
+/// `content` verbatim. Every exporter above (and the profiler's) funnels
+/// through this.
+util::Status WriteStringFile(const std::string& path,
+                             const std::string& content);
 
 }  // namespace cloudybench::obs
 

@@ -1,0 +1,95 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cloudybench::obs {
+
+Histogram::Histogram() : counts_(kBucketCount, 0) {}
+
+int Histogram::BucketIndex(int64_t micros) {
+  CB_CHECK_GE(micros, 0);
+  if (micros < kSubBuckets) return static_cast<int>(micros);
+  // Highest set bit gives the octave; the 6 bits below it pick the linear
+  // sub-bucket. Pure integer arithmetic: identical on every platform.
+  int order = 63 - std::countl_zero(static_cast<uint64_t>(micros));
+  int shift = order - 6;  // order >= 6 here, so shift >= 0
+  int64_t sub = (micros >> shift) - kSubBuckets;  // in [0, 63]
+  return (shift + 1) * kSubBuckets + static_cast<int>(sub);
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  CB_CHECK(index >= 0 && index < kBucketCount);
+  if (index < kSubBuckets) return index;
+  int shift = index / kSubBuckets - 1;
+  int64_t sub = index % kSubBuckets;
+  return (static_cast<int64_t>(kSubBuckets) + sub) << shift;
+}
+
+int64_t Histogram::BucketWidth(int index) {
+  CB_CHECK(index >= 0 && index < kBucketCount);
+  if (index < kSubBuckets) return 1;
+  return int64_t{1} << (index / kSubBuckets - 1);
+}
+
+void Histogram::Add(double micros) {
+  // Durations are nonnegative by construction, but a computed lag can land
+  // at -0.0 or a sub-microsecond negative through float subtraction; clamp
+  // rather than crash a whole run over a representational wobble.
+  if (!(micros >= 0.0)) micros = 0.0;
+  int64_t v = std::llround(micros);
+  ++counts_[static_cast<size_t>(BucketIndex(v))];
+  if (count_ == 0) {
+    min_ = micros;
+  } else {
+    min_ = std::min(min_, micros);
+  }
+  ++count_;
+  sum_ += micros;
+  max_ = std::max(max_, micros);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts_[static_cast<size_t>(i)] += other.counts_[static_cast<size_t>(i)];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  CB_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  int64_t target = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::max<int64_t>(target, 1);
+  int64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += counts_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      // Midpoint of the integer values the bucket can hold
+      // [low, low + width - 1], clamped to the recorded extremes so p=0
+      // answers min and p=100 answers max exactly.
+      double rep = static_cast<double>(BucketLowerBound(i)) +
+                   static_cast<double>(BucketWidth(i) - 1) / 2.0;
+      return std::clamp(rep, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace cloudybench::obs

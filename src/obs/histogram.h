@@ -1,0 +1,77 @@
+#ifndef CLOUDYBENCH_OBS_HISTOGRAM_H_
+#define CLOUDYBENCH_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cloudybench::obs {
+
+/// Fixed-memory log-bucketed latency histogram (microsecond domain), the
+/// HdrHistogram layout: values below 64 get one bucket per integer
+/// microsecond; above that, each power-of-two octave is split into 64
+/// linear sub-buckets. A bucket at value v is therefore never wider than
+/// v/64, so any percentile answered from a bucket midpoint is within
+/// 1/128 (~0.78%) of the true recorded value — comfortably inside the 2%
+/// budget the property test enforces, and a ~3x tighter bound than the
+/// geometric 512-bucket histogram this replaces (~2.1% midpoint error).
+///
+/// Design properties the observability layer depends on:
+///  - O(buckets) memory (3712 counters, ~29 KiB) regardless of sample
+///    count — per-stream latency recording at million-session scale stays
+///    bounded.
+///  - Deterministic bucket boundaries: the index is pure integer
+///    arithmetic (countl_zero + shifts), no libm on the hot path and no
+///    platform-dependent rounding, so merged/exported quantiles are
+///    byte-stable across runs and `--jobs` counts.
+///  - Exact mergeability: Merge() adds bucket counts, so
+///    merge(a, merge(b, c)) == merge(merge(a, b), c) exactly, and a merged
+///    histogram answers the same quantiles as one that saw every sample.
+class Histogram {
+ public:
+  /// 64 linear sub-buckets per octave: 6 bits of mantissa kept exactly.
+  static constexpr int kSubBuckets = 64;
+  /// Buckets 0..63 cover values 0..63 exactly; 57 further octaves cover
+  /// the rest of the non-negative int64 range.
+  static constexpr int kBucketCount = 58 * kSubBuckets;
+
+  Histogram();
+
+  /// Records one latency in microseconds (values are rounded to integer
+  /// microseconds for bucketing; mean/min/max keep full precision).
+  void Add(double micros);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return max_; }
+
+  /// Nearest-rank percentile, p in [0, 100]. Answers the recorded min/max
+  /// exactly at the extremes and a bucket midpoint (error <= 1/128)
+  /// elsewhere.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50); }
+  double p95() const { return Percentile(95); }
+  double p99() const { return Percentile(99); }
+
+  /// Deterministic bucket mapping, exposed for the property tests.
+  static int BucketIndex(int64_t micros);
+  /// Inclusive lower edge of bucket `index` (integer microseconds).
+  static int64_t BucketLowerBound(int index);
+  /// Bucket width in integer microseconds (1 for the sub-64 buckets).
+  static int64_t BucketWidth(int index);
+
+ private:
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cloudybench::obs
+
+#endif  // CLOUDYBENCH_OBS_HISTOGRAM_H_

@@ -36,8 +36,8 @@ void MetricRegistry::SetGauge(std::string_view name, double value) {
   RegisterGauge(name, [value] { return value; });
 }
 
-void MetricRegistry::RegisterHistogram(
-    std::string_view name, const util::LatencyHistogram* histogram) {
+void MetricRegistry::RegisterHistogram(std::string_view name,
+                                       const Histogram* histogram) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     histograms_.emplace(std::string(name), histogram);

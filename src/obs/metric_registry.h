@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 
 namespace cloudybench::obs {
@@ -67,8 +68,7 @@ class MetricRegistry {
   /// Convenience: a gauge pinned to a constant value.
   void SetGauge(std::string_view name, double value);
 
-  void RegisterHistogram(std::string_view name,
-                         const util::LatencyHistogram* histogram);
+  void RegisterHistogram(std::string_view name, const Histogram* histogram);
   void RegisterSeries(std::string_view name, const util::TimeSeries* series);
 
   /// Removes every entry whose name starts with `prefix`.
@@ -86,8 +86,7 @@ class MetricRegistry {
   /// artifact) is unchanged — still lexicographic by name.
   using CounterMap = std::map<std::string, Counter, std::less<>>;
   using GaugeMap = std::map<std::string, std::function<double()>, std::less<>>;
-  using HistogramMap =
-      std::map<std::string, const util::LatencyHistogram*, std::less<>>;
+  using HistogramMap = std::map<std::string, const Histogram*, std::less<>>;
   using SeriesMap = std::map<std::string, const util::TimeSeries*, std::less<>>;
 
   const CounterMap& counters() const { return counters_; }

@@ -1,0 +1,83 @@
+#ifndef CLOUDYBENCH_OBS_PROFILER_H_
+#define CLOUDYBENCH_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace cloudybench::obs {
+
+struct ProfileOptions {
+  /// Restrict to tracks whose first span is a committed, labelled kTxn root
+  /// — exactly the population LatencyBreakdown aggregates, so the two can
+  /// be cross-checked (the profiler test does). Default: every track,
+  /// committed or not, which is what a whole-cell profile wants.
+  bool only_committed_txn_tracks = false;
+};
+
+/// Deterministic hierarchical profiler over a recorded trace.
+///
+/// Folds every track's spans into one merged call tree keyed by span-name
+/// path (the breakdown's stack-recovery pass, generalized from per-layer
+/// totals to a full tree): each node carries call count, inclusive and
+/// *exclusive* simulated time, and — when the recorder captured wall
+/// stamps — inclusive/exclusive host wall time. Because span order and
+/// sim timestamps are deterministic, the sim-time side of the profile
+/// (and both artifact exports) is byte-identical for a given cell at any
+/// `--jobs` count; wall time is reported separately and never lands in
+/// the byte-stable artifacts.
+///
+/// Exports:
+///  - CollapsedStack(): "a;b;c <exclusive_sim_us>" lines (flamegraph.pl /
+///    speedscope collapsed format), children sorted by name.
+///  - ChromeTraceJson(): the aggregated tree as a synthetic icicle (one
+///    "X" event per node, children packed left-to-right inside their
+///    parent), loadable in Perfetto.
+///  - WallReport(): human-readable table including wall time; only built
+///    when wall capture was on, and intentionally not byte-stable.
+class Profiler {
+ public:
+  struct Node {
+    const char* name = "";
+    Layer layer = Layer::kTxn;
+    int parent = -1;
+    int64_t count = 0;
+    int64_t inclusive_us = 0;
+    int64_t exclusive_us = 0;
+    int64_t wall_inclusive_ns = 0;
+    int64_t wall_exclusive_ns = 0;
+    std::vector<int> children;  // sorted by (name, layer)
+  };
+
+  static Profiler FromTrace(const TraceRecorder& recorder,
+                            const ProfileOptions& options = {});
+
+  /// nodes()[0] is the synthetic root (name ""); real stacks hang off it.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool has_wall_time() const { return has_wall_; }
+
+  int64_t total_exclusive_us() const;
+  /// Sum of exclusive sim-time over nodes of one layer (the profiler's
+  /// answer to a LatencyBreakdown column).
+  int64_t ExclusiveUsByLayer(Layer layer) const;
+
+  std::string CollapsedStack() const;
+  std::string ChromeTraceJson() const;
+  std::string WallReport() const;
+
+ private:
+  std::vector<Node> nodes_;
+  bool has_wall_ = false;
+};
+
+util::Status WriteProfileCollapsedFile(const Profiler& profile,
+                                       const std::string& path);
+util::Status WriteProfileChromeTraceFile(const Profiler& profile,
+                                         const std::string& path);
+
+}  // namespace cloudybench::obs
+
+#endif  // CLOUDYBENCH_OBS_PROFILER_H_

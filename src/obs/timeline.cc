@@ -74,6 +74,20 @@ void TimelineSampler::SampleOnce() {
       timeline.AddSample(name, now_us, series->points().back().value);
     }
   }
+  // Latency histograms become running-quantile series: p50/p99 of
+  // everything recorded so far (cumulative, like the histogram itself).
+  // Integer bucket math keeps these exactly reproducible, so they are safe
+  // in the byte-stable artifacts.
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (histogram->count() == 0) continue;
+    sample_name_.assign(name);
+    size_t base = sample_name_.size();
+    sample_name_ += ".p50";
+    timeline.AddSample(sample_name_, now_us, histogram->p50());
+    sample_name_.resize(base);
+    sample_name_ += ".p99";
+    timeline.AddSample(sample_name_, now_us, histogram->p99());
+  }
 }
 
 sim::Process TimelineSampler::Loop() {

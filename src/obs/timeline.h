@@ -103,7 +103,8 @@ inline void EmitEvent(sim::Environment* env, std::string scope,
 }
 
 /// Periodic metric snapshotter: a sim process on a fixed cadence (default
-/// 500 ms simulated) that copies every counter, gauge and series tail
+/// 500 ms simulated) that copies every counter, gauge, series tail and
+/// latency-histogram quantile (running p50/p99, as "<name>.p50"/"<name>.p99")
 /// registered in the thread-local MetricRegistry into the Timeline's
 /// per-metric sample series. Construct one per deployed cell (it needs the
 /// cell's environment) and Start() it; the loop runs until the environment
@@ -132,6 +133,10 @@ class TimelineSampler {
   sim::Environment* env_;
   sim::SimTime interval_;
   bool started_ = false;
+  /// Scratch key for derived histogram-quantile sample names
+  /// ("<histogram>.p50"); reused across ticks so steady-state sampling of
+  /// known metrics allocates nothing.
+  std::string sample_name_;
 };
 
 }  // namespace cloudybench::obs

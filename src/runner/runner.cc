@@ -11,6 +11,7 @@
 
 #include "obs/exporters.h"
 #include "obs/metric_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -30,9 +31,17 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 /// function with exception isolation, and exports the trace.
 CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
                        const RunnerOptions& options) {
-  CellContext ctx{spec, index, "", "", "", ""};
+  CellContext ctx{spec, index, "", "", "", "", "", ""};
   if (!options.trace_template.empty()) {
     ctx.trace_path = ExpandCellTemplate(options.trace_template, spec, index);
+  }
+  if (!options.profile_collapsed_template.empty()) {
+    ctx.profile_collapsed_path =
+        ExpandCellTemplate(options.profile_collapsed_template, spec, index);
+  }
+  if (!options.profile_chrome_template.empty()) {
+    ctx.profile_chrome_path =
+        ExpandCellTemplate(options.profile_chrome_template, spec, index);
   }
   if (!options.metrics_template.empty()) {
     ctx.metrics_path =
@@ -53,7 +62,9 @@ CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
   obs::MetricRegistry::Get().Clear();
   obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
   recorder.Clear();
-  recorder.SetEnabled(!ctx.trace_path.empty());
+  recorder.SetEnabled(!ctx.trace_path.empty() ||
+                      !ctx.profile_collapsed_path.empty() ||
+                      !ctx.profile_chrome_path.empty());
   obs::Timeline& timeline = obs::Timeline::Get();
   timeline.Clear();
   timeline.SetEnabled(!ctx.timeline_csv_path.empty() ||
@@ -81,6 +92,25 @@ CellResult ExecuteCell(const CellSpec& spec, size_t index, const CellFn& fn,
     if (!written.ok()) {
       CB_LOG(kError) << "cell '" << result.id
                      << "': trace export failed: " << written;
+    }
+  }
+  if (!ctx.profile_collapsed_path.empty() || !ctx.profile_chrome_path.empty()) {
+    obs::Profiler profile = obs::Profiler::FromTrace(recorder);
+    if (!ctx.profile_collapsed_path.empty()) {
+      util::Status written =
+          obs::WriteProfileCollapsedFile(profile, ctx.profile_collapsed_path);
+      if (!written.ok()) {
+        CB_LOG(kError) << "cell '" << result.id
+                       << "': profile export failed: " << written;
+      }
+    }
+    if (!ctx.profile_chrome_path.empty()) {
+      util::Status written =
+          obs::WriteProfileChromeTraceFile(profile, ctx.profile_chrome_path);
+      if (!written.ok()) {
+        CB_LOG(kError) << "cell '" << result.id
+                       << "': profile export failed: " << written;
+      }
     }
   }
   if (!ctx.timeline_csv_path.empty()) {

@@ -30,6 +30,13 @@ struct CellContext {
   std::string metrics_path;
   std::string timeline_csv_path;
   std::string timeline_jsonl_path;
+  /// Per-cell profile artifacts (collapsed-stack / Chrome-trace icicle of
+  /// the merged span tree). Handled by the runner like the trace: either
+  /// being non-empty arms the recorder, and the profile is computed and
+  /// written after the cell returns. Sim-time only, so both files are
+  /// byte-identical at any --jobs.
+  std::string profile_collapsed_path;
+  std::string profile_chrome_path;
 };
 
 using CellFn = std::function<CellResult(const CellContext&)>;
@@ -52,6 +59,13 @@ struct RunnerOptions {
   /// writes the artifacts after the cell returns.
   std::string timeline_csv_template;
   std::string timeline_jsonl_template;
+  /// Per-cell profiler artifact templates: collapsed stacks ("a;b;c us"
+  /// lines, flamegraph.pl / speedscope input) and the merged-tree Chrome
+  /// trace. Either being non-empty arms the thread-local TraceRecorder for
+  /// the cell (same as trace_template) and writes the profile after it
+  /// returns.
+  std::string profile_collapsed_template;
+  std::string profile_chrome_template;
   /// Wall/sim-time accounting line after the sweep. Goes to stderr so that
   /// stdout (tables, JSONL) stays byte-identical across thread counts.
   bool print_summary = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cloudybench::storage {
@@ -58,6 +59,17 @@ sim::Task<void> LogManager::WaitDurable(int64_t lsn) {
   co_await waiter;
 }
 
+uint64_t LogManager::TraceTrack() {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (!recorder.enabled()) return 0;
+  if (trace_track_ == 0 || trace_epoch_ != recorder.epoch()) {
+    trace_track_ = recorder.NewTrack();
+    trace_epoch_ = recorder.epoch();
+    recorder.SetTrackName(trace_track_, "wal");
+  }
+  return trace_track_;
+}
+
 sim::Process LogManager::FlushLoop() {
   while (flushed_lsn_ < next_lsn_ - 1) {
     // Everything appended so far joins this batch (group commit): the batch
@@ -66,7 +78,11 @@ sim::Process LogManager::FlushLoop() {
     // `target` and join the next iteration's batch.
     int64_t target = next_lsn_ - 1;
     int64_t batch_bytes = pending_bytes_;
-    co_await device_->Write(batch_bytes);
+    {
+      obs::SpanScope flush(env_, TraceTrack(), obs::Layer::kLog,
+                           "log.flush_batch");
+      co_await device_->Write(batch_bytes);
+    }
     ++flush_batches_;
     flushed_lsn_ = target;
 

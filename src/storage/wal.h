@@ -83,9 +83,14 @@ class LogManager {
 
  private:
   sim::Process FlushLoop();
+  /// Lazily allocated trace track ("wal") for flush-batch spans; re-made
+  /// when the recorder epoch changes (Clear() between cells).
+  uint64_t TraceTrack();
 
   sim::Environment* env_;
   DiskDevice* device_;
+  uint64_t trace_track_ = 0;
+  uint64_t trace_epoch_ = 0;
   int64_t next_lsn_ = 1;
   int64_t flushed_lsn_ = 0;
   int64_t records_appended_ = 0;

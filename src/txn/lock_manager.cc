@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cloudybench::txn {
@@ -127,7 +128,8 @@ void LockManager::AddHolder(LockEntry& entry, int64_t txn, LockMode mode) {
 }
 
 sim::Task<util::Status> LockManager::Lock(int64_t txn_id, TableKey key,
-                                          LockMode mode) {
+                                          LockMode mode,
+                                          uint64_t trace_track) {
   int32_t eid = FindEntry(key);
   if (eid == kNil) {
     // Uncontended acquire: fresh (recycled) entry, immediate grant. This is
@@ -179,7 +181,14 @@ sim::Task<util::Status> LockManager::Lock(int64_t txn_id, TableKey key,
 
     // `entry`/`eid` must not be used past this point: the slab may grow or
     // recycle this slot while we are suspended.
-    int outcome = co_await waiter;
+    int outcome;
+    {
+      // Distinguishes genuinely queued time from the enclosing "lock.wait"
+      // span (which also covers fast-path grants) in profiles.
+      obs::SpanScope queued(env_, trace_track, obs::Layer::kLock,
+                            "lock.queue_wait");
+      outcome = co_await waiter;
+    }
     if (outcome == kGranted) co_return util::Status::OK();
     ++timeouts_;
     co_return util::Status::Aborted("lock wait timeout");

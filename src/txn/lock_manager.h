@@ -53,8 +53,12 @@ class LockManager {
 
   /// Acquires (or upgrades to) `mode` on `key` for `txn_id`. Returns OK when
   /// granted, kAborted when the wait timed out. Re-requesting an
-  /// already-held sufficient lock is a cheap no-op.
-  sim::Task<util::Status> Lock(int64_t txn_id, TableKey key, LockMode mode);
+  /// already-held sufficient lock is a cheap no-op. `trace_track` (a
+  /// TraceRecorder track, 0 = untracked) attributes the queued wait, if one
+  /// happens, to the requesting transaction's trace lane as a
+  /// "lock.queue_wait" span; fast-path grants record nothing.
+  sim::Task<util::Status> Lock(int64_t txn_id, TableKey key, LockMode mode,
+                               uint64_t trace_track = 0);
 
   /// Releases one lock (the caller tracks what it holds).
   void Release(int64_t txn_id, TableKey key);

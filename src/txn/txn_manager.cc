@@ -72,7 +72,8 @@ bool TxnManager::VisiblyExists(const Transaction& txn, SyntheticTable* table,
 
 sim::Task<util::Status> TxnManager::LockKey(Transaction* txn, TableKey key,
                                             LockMode mode) {
-  Status s = co_await engine_->lock_manager()->Lock(txn->id_, key, mode);
+  Status s = co_await engine_->lock_manager()->Lock(txn->id_, key, mode,
+                                                    txn->trace_track_);
   if (s.ok()) {
     // Track each key once; ReleaseAll is idempotent per key anyway but the
     // held list should stay small.

@@ -45,65 +45,6 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
-LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
-
-int LatencyHistogram::BucketFor(double micros) const {
-  if (micros < 1.0) return 0;
-  // Geometric buckets from 1us covering ~9 decades in kBuckets steps.
-  constexpr double kGrowth = 1.042;  // 512 buckets * log(1.042) ~ 9.1 decades
-  int b = static_cast<int>(std::log(micros) / std::log(kGrowth)) + 1;
-  return std::min(b, kBuckets - 1);
-}
-
-double LatencyHistogram::BucketLow(int b) const {
-  if (b <= 0) return 0.0;
-  constexpr double kGrowth = 1.042;
-  return std::pow(kGrowth, b - 1);
-}
-
-void LatencyHistogram::Add(double micros) {
-  CB_CHECK_GE(micros, 0.0);
-  ++buckets_[static_cast<size_t>(BucketFor(micros))];
-  ++count_;
-  sum_ += micros;
-  max_ = std::max(max_, micros);
-}
-
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
-  count_ += other.count_;
-  sum_ += other.sum_;
-  max_ = std::max(max_, other.max_);
-}
-
-void LatencyHistogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_ = 0.0;
-  max_ = 0.0;
-}
-
-double LatencyHistogram::mean() const {
-  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-}
-
-double LatencyHistogram::Percentile(double p) const {
-  CB_CHECK(p >= 0.0 && p <= 100.0);
-  if (count_ == 0) return 0.0;
-  int64_t target = static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
-  target = std::max<int64_t>(target, 1);
-  int64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[static_cast<size_t>(i)];
-    if (seen >= target) {
-      // Midpoint of the bucket; the last bucket reports the recorded max.
-      if (i == kBuckets - 1) return max_;
-      return (BucketLow(i) + BucketLow(i + 1)) / 2.0;
-    }
-  }
-  return max_;
-}
-
 void TimeSeries::Add(double time_s, double value) {
   if (!points_.empty()) {
     CB_CHECK_GE(time_s, points_.back().time_s) << "TimeSeries must be appended in time order";

@@ -31,37 +31,6 @@ class RunningStat {
   double max_ = 0.0;
 };
 
-/// Log-bucketed latency histogram (microsecond domain) with percentile
-/// queries. Bucket width grows ~4.6%/bucket, giving <5% percentile error
-/// over nine decades — the same tradeoff HdrHistogram-style recorders make.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void Add(double micros);
-  void Merge(const LatencyHistogram& other);
-  void Reset();
-
-  int64_t count() const { return count_; }
-  double mean() const;
-  /// p in [0, 100].
-  double Percentile(double p) const;
-  double p50() const { return Percentile(50); }
-  double p95() const { return Percentile(95); }
-  double p99() const { return Percentile(99); }
-  double max() const { return max_; }
-
- private:
-  static constexpr int kBuckets = 512;
-  int BucketFor(double micros) const;
-  double BucketLow(int b) const;
-
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double max_ = 0.0;
-};
-
 /// A (time, value) series sampled in simulated seconds. Backbone of the
 /// PerformanceCollector: TPS curves, allocated-vCore curves, cost curves.
 class TimeSeries {

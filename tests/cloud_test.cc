@@ -115,6 +115,36 @@ TEST(ResourceMeterTest, MultipleSourcesSum) {
   EXPECT_NEAR(meter.MeanAllocated(0, 5).vcores, 3.0, 1e-9);
 }
 
+TEST(ResourceMeterTest, TenantTaggedSourcesAttributeCost) {
+  sim::Environment env;
+  ResourceMeter meter(&env, PriceBook{}, sim::Seconds(1));
+  // Tenant 0 holds twice tenant 1's vCores; a third, untagged source is
+  // shared infrastructure and must not be attributed to anyone.
+  meter.AddSource([] { return ResourceVector{4, 0, 0, 0, 0, 0}; },
+                  /*tenant_id=*/0);
+  meter.AddSource([] { return ResourceVector{2, 0, 0, 0, 0, 0}; },
+                  /*tenant_id=*/1);
+  meter.AddSource([] { return ResourceVector{0, 0, 100, 0, 0, 0}; });
+  meter.Start();
+  env.RunUntil(sim::Seconds(60));
+  double t1 = env.Now().ToSeconds();
+
+  double d0 = meter.TenantRucDollars(0, 0, t1);
+  double d1 = meter.TenantRucDollars(1, 0, t1);
+  EXPECT_GT(d1, 0);
+  EXPECT_NEAR(d0, 2 * d1, 1e-9);
+  // Exact attribution: tenant 0 held 4 vCores for the whole window.
+  PriceBook book;
+  EXPECT_NEAR(d0, 4 * book.cpu_vcore_hour * t1 / 3600.0, 1e-9);
+  // Deployment total covers tagged + untagged; the untagged storage makes
+  // it strictly larger than the attributed sum.
+  EXPECT_GT(meter.RucCost(0, t1).total(), d0 + d1);
+  // Ids never reported (including -1) attribute nothing.
+  EXPECT_EQ(meter.TenantRucDollars(7, 0, t1), 0.0);
+  EXPECT_EQ(meter.TenantRucDollars(-1, 0, t1), 0.0);
+  EXPECT_EQ(meter.TenantIds(), (std::vector<int>{0, 1}));
+}
+
 // ------------------------------------------------------------- Autoscaler
 
 /// Scriptable target: the test dials the demand signals directly.

@@ -2,7 +2,9 @@
 // end-to-end against every SUT profile and must produce the paper's
 // qualitative behaviours (not just finish).
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,7 @@
 #include "core/sales_workload.h"
 #include "core/tenancy.h"
 #include "core/testbed.h"
+#include "obs/metric_registry.h"
 #include "sim/environment.h"
 #include "sut/profiles.h"
 
@@ -255,6 +258,41 @@ TEST_P(PerSutTest, TenancyEvaluatorRunsAllPatterns) {
     EXPECT_GT(r.total_tps, 0) << TenancyPatternName(pattern);
     EXPECT_GT(r.t_score, 0) << TenancyPatternName(pattern);
     EXPECT_GT(r.cost_per_minute.total(), 0);
+    // Cost attribution (obs v2): per-tenant commits and metered RUC
+    // dollars land alongside the TPS vector.
+    ASSERT_EQ(r.tenant_commits.size(), 3u) << TenancyPatternName(pattern);
+    ASSERT_EQ(r.tenant_ruc_dollars.size(), 3u) << TenancyPatternName(pattern);
+    EXPECT_GT(r.total_commits, 0) << TenancyPatternName(pattern);
+    EXPECT_GE(r.window_s, 9.0 - 1e-9);  // 3 slots x 3 s
+    for (int i = 0; i < 3; ++i) {
+      // Every tenant bills at least its storage footprint, even under the
+      // elastic pool where compute is metered by the (unattributed) pool.
+      EXPECT_GT(r.tenant_ruc_dollars[static_cast<size_t>(i)], 0)
+          << TenancyPatternName(pattern) << " tenant " << i;
+    }
+  }
+}
+
+TEST_P(PerSutTest, TenantClustersExportCostGauges) {
+  sim::Environment env;
+  MultiTenantDeployment deployment(&env, GetParam(), 2, 1, 0.1);
+  env.RunFor(sim::Seconds(5));
+  // Each tenant cluster publishes its attributed-RUC gauge under its own
+  // metric prefix; ids are the deployment's tenant indices.
+  std::map<std::string, double> gauges =
+      obs::MetricRegistry::Get().GaugeValues();
+  for (int i = 0; i < 2; ++i) {
+    std::string suffix = "cost.tenant." + std::to_string(i) + ".ruc_dollars";
+    bool found = false;
+    for (const auto& [name, value] : gauges) {
+      if (name.size() >= suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        found = true;
+        EXPECT_GT(value, 0) << name;
+      }
+    }
+    EXPECT_TRUE(found) << "missing gauge ending in " << suffix;
   }
 }
 

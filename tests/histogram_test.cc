@@ -1,0 +1,215 @@
+// Property tests for obs::Histogram, the bounded-memory HDR-style latency
+// histogram every latency hot path records into. The contract under test:
+//  - quantile estimates stay within the 2% relative-error budget against
+//    exact order statistics, across distributions that exercise both the
+//    exact (<64us) and log-bucketed ranges;
+//  - Merge is exact and associative: merging shards in any grouping yields
+//    the same buckets, and quantiles of the merged histogram equal those of
+//    one histogram fed the union of samples;
+//  - bucket boundaries are a pure function of the value (deterministic,
+//    platform-independent integer math), pinned here against hand-computed
+//    edges so a future change to the bucketing cannot slip in silently.
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cloudybench::obs {
+namespace {
+
+double ExactPercentile(std::vector<double>& samples, double p) {
+  // Nearest-rank on the sorted sample set — the definition the histogram
+  // approximates.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  auto nth = samples.begin() + static_cast<ptrdiff_t>(rank - 1);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+void ExpectWithinBudget(double estimate, double exact, double rel_budget) {
+  // Absolute slack of 1us covers the integer rounding of tiny values where
+  // relative error is ill-conditioned (exact 3us vs bucket value 3us ± 0.5).
+  double tolerance = std::max(1.0, std::abs(exact) * rel_budget);
+  EXPECT_NEAR(estimate, exact, tolerance)
+      << "exact=" << exact << " estimate=" << estimate;
+}
+
+TEST(HistogramTest, BucketEdgesAreDeterministic) {
+  // Values below 64 get exact unit buckets.
+  for (int64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+    EXPECT_EQ(Histogram::BucketWidth(static_cast<int>(v)), 1);
+  }
+  // Tier 1 spans [64,128) with 64 sub-buckets of width 1.
+  EXPECT_EQ(Histogram::BucketIndex(64), 64);
+  EXPECT_EQ(Histogram::BucketIndex(127), 127);
+  EXPECT_EQ(Histogram::BucketWidth(64), 1);
+  // Tier 2: [128,256), width 2.
+  EXPECT_EQ(Histogram::BucketIndex(128), 128);
+  EXPECT_EQ(Histogram::BucketIndex(129), 128);
+  EXPECT_EQ(Histogram::BucketIndex(130), 129);
+  EXPECT_EQ(Histogram::BucketLowerBound(128), 128);
+  EXPECT_EQ(Histogram::BucketWidth(128), 2);
+  // A value deep in the range: 1'000'000us (1s). order=19, shift=13,
+  // sub = (1000000 >> 13) - 64 = 122 - 64 = 58, index = 14*64 + 58 = 954.
+  EXPECT_EQ(Histogram::BucketIndex(1'000'000), 954);
+  EXPECT_EQ(Histogram::BucketLowerBound(954), (64 + 58) << 13);
+  EXPECT_EQ(Histogram::BucketWidth(954), int64_t{1} << 13);
+  // Every bucket's lower bound maps back to its own index, and the value
+  // just below it maps to the previous bucket (edges are half-open).
+  for (int i = 1; i < Histogram::kBucketCount; ++i) {
+    int64_t low = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(low), i) << "low=" << low;
+    EXPECT_EQ(Histogram::BucketIndex(low - 1), i - 1) << "low=" << low;
+  }
+}
+
+TEST(HistogramTest, RelativeErrorBoundHolds) {
+  // The bucket representative (midpoint) is at most width/2 away from any
+  // sample in the bucket, and width/low <= 1/64, so the worst relative
+  // error is 1/128 < 2%. Check it per-bucket across the whole range.
+  for (int i = 64; i < Histogram::kBucketCount; ++i) {
+    int64_t low = Histogram::BucketLowerBound(i);
+    int64_t width = Histogram::BucketWidth(i);
+    double rep = static_cast<double>(low) + (static_cast<double>(width) - 1) / 2.0;
+    double worst = std::max(rep - static_cast<double>(low),
+                            static_cast<double>(low + width - 1) - rep);
+    EXPECT_LE(worst / static_cast<double>(low), 1.0 / 128.0 + 1e-12)
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, QuantilesWithinTwoPercentUniform) {
+  util::Pcg32 rng(42);
+  Histogram histogram;
+  std::vector<double> samples;
+  samples.reserve(1'000'000);
+  for (int i = 0; i < 1'000'000; ++i) {
+    double v = rng.NextDouble() * 5'000'000.0;  // 0..5s in us
+    samples.push_back(std::round(v));
+    histogram.Add(v);
+  }
+  EXPECT_EQ(histogram.count(), 1'000'000);
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    ExpectWithinBudget(histogram.Percentile(p), ExactPercentile(samples, p),
+                       0.02);
+  }
+}
+
+TEST(HistogramTest, QuantilesWithinTwoPercentLogNormalish) {
+  // Latency-shaped distribution: heavy right tail via exp of a sum of
+  // uniforms (Irwin-Hall approximates a normal; exp of it, a lognormal).
+  util::Pcg32 rng(7);
+  Histogram histogram;
+  std::vector<double> samples;
+  samples.reserve(1'000'000);
+  for (int i = 0; i < 1'000'000; ++i) {
+    double z = 0;
+    for (int k = 0; k < 6; ++k) z += rng.NextDouble();
+    z = (z - 3.0) * 1.2;                    // approx N(0, 1.2^2)
+    double v = 1500.0 * std::exp(z);        // median ~1.5ms
+    samples.push_back(std::round(v));
+    histogram.Add(v);
+  }
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    ExpectWithinBudget(histogram.Percentile(p), ExactPercentile(samples, p),
+                       0.02);
+  }
+}
+
+TEST(HistogramTest, SmallValueQuantilesAreExact) {
+  // Everything below 64us lands in exact unit buckets: quantiles of small
+  // integer samples must be exact, not approximate.
+  Histogram histogram;
+  for (int v = 1; v <= 50; ++v) histogram.Add(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 25.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 50.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 25.5);
+}
+
+TEST(HistogramTest, MergeMatchesUnionAndIsAssociative) {
+  util::Pcg32 rng(123);
+  std::vector<double> samples;
+  Histogram shards[4];
+  Histogram all;
+  for (int i = 0; i < 400'000; ++i) {
+    double v = rng.NextDouble() * 2'000'000.0;
+    samples.push_back(v);
+    shards[i % 4].Add(v);
+    all.Add(v);
+  }
+  // ((0+1)+2)+3 vs (0+(1+(2+3))) — bucket-exact either way.
+  Histogram left;
+  left.Merge(shards[0]);
+  left.Merge(shards[1]);
+  left.Merge(shards[2]);
+  left.Merge(shards[3]);
+  Histogram inner23;
+  inner23.Merge(shards[2]);
+  inner23.Merge(shards[3]);
+  Histogram inner123;
+  inner123.Merge(shards[1]);
+  inner123.Merge(inner23);
+  Histogram right;
+  right.Merge(shards[0]);
+  right.Merge(inner123);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(right.count(), all.count());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 99.99}) {
+    EXPECT_DOUBLE_EQ(left.Percentile(p), all.Percentile(p)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(right.Percentile(p), all.Percentile(p)) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  // Bucket counts are integer-exact under merge; the running sums behind
+  // mean() accumulate in different orders, so allow float reassociation.
+  EXPECT_NEAR(left.mean(), all.mean(), std::abs(all.mean()) * 1e-12);
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  Histogram a;
+  a.Add(100.0);
+  a.Add(200.0);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.min(), a.min());
+  EXPECT_DOUBLE_EQ(b.max(), a.max());
+  EXPECT_DOUBLE_EQ(b.Percentile(50.0), a.Percentile(50.0));
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram histogram;
+  histogram.Add(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, NegativeAndZeroClampToZeroBucket) {
+  Histogram histogram;
+  histogram.Add(-3.0);
+  histogram.Add(0.0);
+  EXPECT_EQ(histogram.count(), 2);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(99.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudybench::obs

@@ -257,7 +257,7 @@ TEST(MetricsJsonlTest, GoldenCounterAndGauge) {
 
 TEST(MetricsJsonlTest, HistogramAndSeriesEntries) {
   MetricRegistry registry;
-  util::LatencyHistogram histogram;
+  Histogram histogram;
   histogram.Add(100);
   histogram.Add(200);
   histogram.Add(300);

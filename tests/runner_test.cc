@@ -193,6 +193,47 @@ TEST(MatrixRunnerTest, TraceTemplateWritesPerCellChromeTrace) {
   std::remove(expected.c_str());
 }
 
+TEST(MatrixRunnerTest, ProfileArtifactsAreByteIdenticalAcrossJobCounts) {
+  if (!obs::kCompiled) GTEST_SKIP() << "observability compiled out";
+  std::vector<CellSpec> cells = SmallOltpMatrix(/*seed=*/42);
+
+  // Two sweeps of the same matrix, one worker vs eight: every per-cell
+  // profile artifact (collapsed stacks and merged-tree Chrome trace) must
+  // come out byte-for-byte identical — the profiler reads only sim-time
+  // spans, never anything host-dependent.
+  auto sweep = [&cells](int jobs, const std::string& tag) {
+    RunnerOptions options;
+    options.jobs = jobs;
+    options.print_summary = false;
+    options.profile_collapsed_template =
+        testing::TempDir() + "/prof_" + tag + "_{index}.collapsed";
+    options.profile_chrome_template =
+        testing::TempDir() + "/prof_" + tag + "_{index}.json";
+    std::vector<CellResult> results =
+        MatrixRunner(options).Run(cells, RunOltpCell);
+    std::vector<std::string> artifacts;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      for (const std::string& tmpl : {options.profile_collapsed_template,
+                                      options.profile_chrome_template}) {
+        std::string path = ExpandCellTemplate(tmpl, cells[i], i);
+        artifacts.push_back(ReadFile(path));
+        std::remove(path.c_str());
+      }
+    }
+    return artifacts;
+  };
+
+  std::vector<std::string> serial = sweep(1, "j1");
+  std::vector<std::string> wide = sweep(8, "j8");
+  ASSERT_EQ(serial.size(), wide.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].size(), 0u) << "artifact " << i << " is empty";
+    EXPECT_EQ(serial[i], wide[i]) << "artifact " << i << " differs";
+  }
+  // The collapsed output contains real span paths from the txn layer down.
+  EXPECT_NE(serial[0].find("txn;"), std::string::npos);
+}
+
 TEST(CellSpecTest, DefaultCellIdNamesTheCoordinates) {
   CellSpec spec;
   spec.sut = sut::SutKind::kCdb3;

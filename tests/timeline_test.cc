@@ -114,6 +114,65 @@ TEST_F(TimelineTest, JournalKeepsEmissionOrderAndCsvMergesDeterministically) {
             "1000,event,b,second.kind,0,\n");
 }
 
+TEST_F(TimelineTest, SamplerRecordsHistogramQuantileSeries) {
+  if (!kCompiled) GTEST_SKIP() << "observability compiled out";
+  sim::Environment env;
+  Timeline::Get().SetEnabled(true);
+  MetricRegistry& registry = MetricRegistry::Get();
+  Histogram latency;
+  registry.RegisterHistogram("test.latency", &latency);
+
+  TimelineSampler sampler(&env, sim::Millis(100));
+  sampler.Start();
+  // First tick: empty histogram -> no quantile samples at all.
+  env.RunFor(sim::Millis(150));
+  EXPECT_EQ(Timeline::Get().samples().count("test.latency.p50"), 0u);
+  for (int i = 1; i <= 100; ++i) latency.Add(static_cast<double>(i) * 10.0);
+  env.RunFor(sim::Millis(100));
+
+  const auto& samples = Timeline::Get().samples();
+  ASSERT_EQ(samples.count("test.latency.p50"), 1u);
+  ASSERT_EQ(samples.count("test.latency.p99"), 1u);
+  EXPECT_DOUBLE_EQ(samples.at("test.latency.p50").back().value,
+                   latency.p50());
+  EXPECT_DOUBLE_EQ(samples.at("test.latency.p99").back().value,
+                   latency.p99());
+  registry.UnregisterPrefix("test.");
+}
+
+TEST_F(TimelineTest, JsonlDeltaEncodesSamplesCsvStaysDense) {
+  if (!kCompiled) GTEST_SKIP() << "observability compiled out";
+  Timeline& timeline = Timeline::Get();
+  timeline.SetEnabled(true);
+  // metric.x: 1, 1, 2, 2, 1 -> JSONL keeps rows at t=100/300/500.
+  timeline.AddSample("metric.x", 100, 1.0);
+  timeline.AddSample("metric.x", 200, 1.0);
+  timeline.AddSample("metric.x", 300, 2.0);
+  timeline.AddSample("metric.x", 400, 2.0);
+  timeline.AddSample("metric.x", 500, 1.0);
+  // Events interleaved with a repeated sample value are never elided.
+  timeline.Event(250, "scope", "kind.a", "", 0.0);
+
+  EXPECT_EQ(TimelineJsonl(timeline),
+            "{\"t_us\":100,\"record\":\"sample\",\"name\":\"metric.x\","
+            "\"value\":1}\n"
+            "{\"t_us\":250,\"record\":\"event\",\"scope\":\"scope\","
+            "\"kind\":\"kind.a\",\"detail\":\"\",\"value\":0}\n"
+            "{\"t_us\":300,\"record\":\"sample\",\"name\":\"metric.x\","
+            "\"value\":2}\n"
+            "{\"t_us\":500,\"record\":\"sample\",\"name\":\"metric.x\","
+            "\"value\":1}\n");
+  // The CSV keeps all five rows.
+  EXPECT_EQ(TimelineCsv(timeline),
+            "t_us,record,name,kind,value,detail\n"
+            "100,sample,metric.x,,1,\n"
+            "200,sample,metric.x,,1,\n"
+            "250,event,scope,kind.a,0,\n"
+            "300,sample,metric.x,,2,\n"
+            "400,sample,metric.x,,2,\n"
+            "500,sample,metric.x,,1,\n");
+}
+
 TEST_F(TimelineTest, ArtifactsByteIdenticalAcrossJobCounts) {
   if (!kCompiled) GTEST_SKIP() << "observability compiled out";
   std::vector<runner::CellSpec> cells;

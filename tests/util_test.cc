@@ -366,25 +366,6 @@ TEST(RunningStatTest, EmptyIsZero) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
-TEST(LatencyHistogramTest, PercentilesApproximate) {
-  LatencyHistogram h;
-  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));  // 1..10000 us
-  EXPECT_EQ(h.count(), 10000);
-  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
-  EXPECT_NEAR(h.p50(), 5000, 5000 * 0.06);
-  EXPECT_NEAR(h.p99(), 9900, 9900 * 0.06);
-  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
-}
-
-TEST(LatencyHistogramTest, MergeAddsCounts) {
-  LatencyHistogram a, b;
-  a.Add(10);
-  b.Add(1000);
-  a.Merge(b);
-  EXPECT_EQ(a.count(), 2);
-  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
-}
-
 TEST(TimeSeriesTest, WindowQueries) {
   TimeSeries ts;
   ts.Add(0.0, 10);
