@@ -113,6 +113,29 @@ profile_smoke() {
   echo "=== [profile] artifacts byte-identical across job counts ==="
 }
 
+# Same contract for the tenant-sharded cell runner (DESIGN.md §4k): the
+# --smoke ladder must produce byte-identical stdout and JSONL whatever the
+# shard count (tenant partitions own disjoint RNG streams and merge in
+# tenant order) and whatever the matrix worker count. --cell-shards is an
+# execution knob only; a single divergent byte means shard state leaked
+# into results.
+cell_scaling_smoke() {
+  local dir="build-check/release"
+  echo "=== [cell-scaling] determinism smoke (--cell-shards=1 vs 2, --jobs=1 vs 2) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_cell_scaling
+  "${dir}/bench/bench_cell_scaling" --smoke --cell-shards=1 --jobs=1 \
+    --jsonl="${dir}/cells_s1.jsonl" > "${dir}/cells_s1.txt" 2> /dev/null
+  "${dir}/bench/bench_cell_scaling" --smoke --cell-shards=2 --jobs=1 \
+    --jsonl="${dir}/cells_s2.jsonl" > "${dir}/cells_s2.txt" 2> /dev/null
+  "${dir}/bench/bench_cell_scaling" --smoke --cell-shards=2 --jobs=2 \
+    --jsonl="${dir}/cells_s2j2.jsonl" > "${dir}/cells_s2j2.txt" 2> /dev/null
+  diff "${dir}/cells_s1.txt" "${dir}/cells_s2.txt"
+  diff "${dir}/cells_s1.jsonl" "${dir}/cells_s2.jsonl"
+  diff "${dir}/cells_s1.txt" "${dir}/cells_s2j2.txt"
+  diff "${dir}/cells_s1.jsonl" "${dir}/cells_s2j2.jsonl"
+  echo "=== [cell-scaling] output + artifacts byte-identical across shard and job counts ==="
+}
+
 # GATING perf check: runs the DES/storage micro benches against the
 # committed baseline (BENCH_core.json) and FAILS when any benchmark
 # exceeds its tolerance band. Bands come from the baseline's "gate"
@@ -237,6 +260,29 @@ if obs_ratio_max:
         print(f"[perf] obs overhead {on / off:.3f}x obs-off, within the "
               f"{obs_ratio_max:.2f}x budget")
 
+# Replication batching win (DESIGN.md §4k): the batched ship->replay
+# pipeline must stay at least gate.repl_batching_min_speedup times faster
+# than the pre-change per-record pipeline, both measured in this run on
+# the same rig — machine speed cancels, so the structural win itself is
+# what is gated, not an absolute number.
+repl_min_speedup = gate.get("repl_batching_min_speedup")
+if repl_min_speedup:
+    batched = ns_per_op.get("BM_ReplShipReplay")
+    per_record = ns_per_op.get("BM_ReplShipReplayPerRecord")
+    if batched is None or per_record is None or batched <= 0:
+        failures += 1
+        print("ERROR: [perf] repl batching gate needs both BM_ReplShipReplay "
+              "and BM_ReplShipReplayPerRecord in this run")
+    elif per_record < repl_min_speedup * batched:
+        failures += 1
+        print(f"FAIL: [perf] repl batching: batched ship->replay "
+              f"{batched:.0f} ns/op is only {per_record / batched:.2f}x "
+              f"faster than the per-record path ({per_record:.0f} ns/op), "
+              f"below the {repl_min_speedup:.1f}x floor")
+    else:
+        print(f"[perf] repl batching {per_record / batched:.2f}x faster "
+              f"than per-record, above the {repl_min_speedup:.1f}x floor")
+
 if failures:
     print(f"[perf] GATE FAILED: {failures} benchmark(s) out of band. "
           "If the regression is intentional, refresh BENCH_core.json via "
@@ -258,6 +304,7 @@ case "${MODE}" in
     profile_smoke
     fault_smoke
     load_smoke
+    cell_scaling_smoke
     perf_gate
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
@@ -269,6 +316,7 @@ case "${MODE}" in
     profile_smoke
     fault_smoke
     load_smoke
+    cell_scaling_smoke
     perf_gate
     ;;
   --perf-only)

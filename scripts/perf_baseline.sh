@@ -114,7 +114,7 @@ else:
     if "native_reference" in prev:
         out["native_reference"] = prev["native_reference"]
 
-for key in ("round1_reference", "seed_reference"):
+for key in ("round1_reference", "round2_reference", "seed_reference"):
     if key in prev:
         out[key] = prev[key]
 

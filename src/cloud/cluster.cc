@@ -120,9 +120,11 @@ void Cluster::Load(const std::vector<storage::TableSchema>& schemas,
   }
 
   // ---- ship listener: replicas + remote-buffer coherence ----
-  log_mgr_->AddShipListener([this](const LogRecord& rec) {
-    for (auto& replayer : replayers_) replayer->Ship(rec);
-    if (remote_buffer_ != nullptr && rec.type != LogRecordType::kCommit) {
+  log_mgr_->AddShipListener([this](std::span<const LogRecord> records) {
+    for (auto& replayer : replayers_) replayer->Ship(records);
+    if (remote_buffer_ == nullptr) return;
+    for (const LogRecord& rec : records) {
+      if (rec.type == LogRecordType::kCommit) continue;
       storage::SyntheticTable* table = canonical_tables_.FindById(rec.table);
       if (table != nullptr) {
         remote_buffer_->Admit(storage::PageId{

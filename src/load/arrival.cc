@@ -15,8 +15,6 @@ namespace {
 using util::Result;
 using util::Status;
 
-constexpr double kPi = 3.14159265358979323846;
-
 struct ProcessEntry {
   ArrivalProcess process;
   const char* name;
@@ -126,29 +124,6 @@ const char* ArrivalProcessName(ArrivalProcess process) {
   return "unknown";
 }
 
-double ArrivalSpec::ShapeFactor(sim::SimTime t, sim::SimTime window_end) const {
-  double factor = 1.0;
-  double local_us = static_cast<double>((t - start).us);
-  if (diurnal) {
-    factor *= 1.0 + amplitude * std::sin(2.0 * kPi * local_us /
-                                         static_cast<double>(period.us));
-  }
-  if (ramp) {
-    double span_us = static_cast<double>((window_end - start).us);
-    if (span_us > 0.0) {
-      double frac = std::clamp(local_us / span_us, 0.0, 1.0);
-      factor *= 1.0 + (ramp_to / rate - 1.0) * frac;
-    }
-  }
-  if (spike) {
-    int64_t lo = spike_at.us;
-    int64_t hi = spike_at.us + spike_duration.us;
-    int64_t at = (t - start).us;
-    if (at >= lo && at < hi) factor *= spike_magnitude;
-  }
-  return std::max(factor, 0.0);
-}
-
 double ArrivalSpec::MaxShapeFactor() const {
   double factor = 1.0;
   if (diurnal) factor *= 1.0 + amplitude;
@@ -250,9 +225,11 @@ ArrivalGenerator::ArrivalGenerator(const ArrivalPlan& plan, uint64_t seed,
     s.envelope = spec.PeakRate();
     s.mmpp_state = 0;
     if (spec.process == ArrivalProcess::kMmpp) {
-      s.switch_us =
-          spec.start.us +
-          static_cast<int64_t>(ExpGapUs(s.mod_rng, 1e6 / spec.dwell.us));
+      // Hoisted out of the state-flip loop: same expression, computed once,
+      // so the cached value is bit-identical to the inline one.
+      s.mod_rate = 1e6 / spec.dwell.us;
+      s.switch_us = spec.start.us +
+                    static_cast<int64_t>(ExpGapUs(s.mod_rng, s.mod_rate));
     }
     if (spec.start.us >= s.end_us) {
       s.next_us = -1;  // window closed before it opened
@@ -287,11 +264,22 @@ void ArrivalGenerator::Advance(StreamState* s) {
     s->next_us = next < s->end_us ? next : -1;
     return;
   }
-  // Lewis–Shedler thinning against the stream's peak-rate envelope.
+  // Lewis–Shedler thinning against the stream's hoisted peak-rate
+  // envelope. Each candidate's two uniforms (gap + acceptance) are drawn
+  // back to back, so the acceptance draw does not serialize behind the
+  // rate evaluation. Per-RNG draw order is unchanged — MMPP flips come
+  // from the independent mod substream — so schedules stay byte-identical;
+  // the only delta is one acceptance draw consumed by the terminal
+  // over-the-horizon candidate, and an exhausted stream's RNG is never
+  // read again.
   double t = static_cast<double>(s->next_us);
+  const double envelope = s->envelope;
+  const double end = static_cast<double>(s->end_us);
   while (true) {
-    t += ExpGapUs(s->rng, s->envelope);
-    if (t >= static_cast<double>(s->end_us)) {
+    double u_gap = s->rng.NextDouble();
+    double u_accept = s->rng.NextDouble();
+    t += -std::log1p(-u_gap) / envelope * 1e6;
+    if (t >= end) {
       s->next_us = -1;
       return;
     }
@@ -299,11 +287,10 @@ void ArrivalGenerator::Advance(StreamState* s) {
     if (spec.process == ArrivalProcess::kMmpp) {
       while (s->switch_us <= t_us) {
         s->mmpp_state ^= 1;
-        s->switch_us +=
-            static_cast<int64_t>(ExpGapUs(s->mod_rng, 1e6 / spec.dwell.us));
+        s->switch_us += static_cast<int64_t>(ExpGapUs(s->mod_rng, s->mod_rate));
       }
     }
-    if (s->rng.NextDouble() * s->envelope < RateAt(*s, t_us)) {
+    if (u_accept * envelope < RateAt(*s, t_us)) {
       s->next_us = t_us;
       return;
     }

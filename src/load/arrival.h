@@ -1,6 +1,8 @@
 #ifndef CLOUDYBENCH_LOAD_ARRIVAL_H_
 #define CLOUDYBENCH_LOAD_ARRIVAL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -77,6 +79,9 @@ struct ArrivalSpec {
 
   /// Multiplicative shape factor at offset `t` from the run base, given the
   /// stream's effective window end (ramp needs it). 1.0 outside shapes.
+  /// Inline on purpose: the thinning loop evaluates it per candidate (tens
+  /// of millions of calls per schedule) and the unshaped fast path is three
+  /// bool tests.
   double ShapeFactor(sim::SimTime t, sim::SimTime window_end) const;
   /// Upper bound of ShapeFactor over the window — the thinning envelope.
   double MaxShapeFactor() const;
@@ -86,6 +91,31 @@ struct ArrivalSpec {
   /// "poisson rate=800 shape=diurnal period=20s amplitude=0.5".
   std::string ToString() const;
 };
+
+inline double ArrivalSpec::ShapeFactor(sim::SimTime t,
+                                       sim::SimTime window_end) const {
+  constexpr double kPi = 3.14159265358979323846;
+  double factor = 1.0;
+  double local_us = static_cast<double>((t - start).us);
+  if (diurnal) {
+    factor *= 1.0 + amplitude * std::sin(2.0 * kPi * local_us /
+                                         static_cast<double>(period.us));
+  }
+  if (ramp) {
+    double span_us = static_cast<double>((window_end - start).us);
+    if (span_us > 0.0) {
+      double frac = std::clamp(local_us / span_us, 0.0, 1.0);
+      factor *= 1.0 + (ramp_to / rate - 1.0) * frac;
+    }
+  }
+  if (spike) {
+    int64_t lo = spike_at.us;
+    int64_t hi = spike_at.us + spike_duration.us;
+    int64_t at = (t - start).us;
+    if (at >= lo && at < hi) factor *= spike_magnitude;
+  }
+  return std::max(factor, 0.0);
+}
 
 /// A deterministic mix of arrival streams — the unit bench_saturation and
 /// the open-loop driver consume. Stream order is the textual order of the
@@ -145,6 +175,7 @@ class ArrivalGenerator {
     int64_t end_us = 0;    ///< effective window end
     int64_t next_us = -1;  ///< next pending arrival; -1 = exhausted
     double envelope = 0.0; ///< thinning bound (arrivals/second)
+    double mod_rate = 0.0; ///< MMPP flip rate (1e6 / dwell µs), hoisted
     int mmpp_state = 0;
     int64_t switch_us = 0; ///< next MMPP state flip
   };

@@ -65,6 +65,42 @@ sim::Task<void> Link::Transfer(int64_t bytes) {
   co_await env_->Delay(config_.latency * latency_mult_);
 }
 
+sim::Task<sim::SimTime> Link::ReserveTransfer(int64_t bytes) {
+  CB_CHECK_GE(bytes, 0);
+  bytes_transferred_ += bytes;
+  ++messages_;
+  while (blackhole_) {
+    sim::Waiter gate(env_);
+    blackholed_waiters_.push_back(&gate);
+    co_await gate;
+  }
+  sim::SimTime arrive = bandwidth_.Reserve(static_cast<double>(bytes)) +
+                        config_.latency * latency_mult_;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (recorder.enabled()) {
+    obs::SpanHandle span = recorder.Begin(TraceTrack(), obs::Layer::kNet,
+                                          "link.transfer", env_->Now());
+    recorder.End(span, arrive);
+  }
+  co_return arrive;
+}
+
+bool Link::TryReserveTransfer(int64_t bytes, sim::SimTime* arrive) {
+  CB_CHECK_GE(bytes, 0);
+  if (blackhole_) return false;
+  bytes_transferred_ += bytes;
+  ++messages_;
+  *arrive = bandwidth_.Reserve(static_cast<double>(bytes)) +
+            config_.latency * latency_mult_;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+  if (recorder.enabled()) {
+    obs::SpanHandle span = recorder.Begin(TraceTrack(), obs::Layer::kNet,
+                                          "link.transfer", env_->Now());
+    recorder.End(span, *arrive);
+  }
+  return true;
+}
+
 void Link::SetDegraded(double latency_mult, double bandwidth_div) {
   CB_CHECK_GE(latency_mult, 1.0);
   CB_CHECK_GE(bandwidth_div, 1.0);

@@ -182,6 +182,33 @@ class SpanScope {
   SpanHandle handle_;
 };
 
+/// SpanScope variant for hot paths that resolved the thread's recorder once
+/// at a coarser boundary (e.g. per transaction at Begin) and pass the cached
+/// pointer down: skips the thread-local lookup and the enabled test per
+/// scope. `recorder` must be nullptr when tracing was off at cache time —
+/// that nullptr is the entire disabled-path cost.
+class CachedSpanScope {
+ public:
+  CachedSpanScope(TraceRecorder* recorder, sim::Environment* env,
+                  uint64_t track, Layer layer, const char* name)
+      : env_(env), recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      handle_ = recorder_->Begin(track, layer, name, env->Now());
+    }
+  }
+  ~CachedSpanScope() {
+    if (recorder_ != nullptr) recorder_->End(handle_, env_->Now());
+  }
+
+  CachedSpanScope(const CachedSpanScope&) = delete;
+  CachedSpanScope& operator=(const CachedSpanScope&) = delete;
+
+ private:
+  sim::Environment* env_;
+  TraceRecorder* recorder_ = nullptr;
+  SpanHandle handle_;
+};
+
 }  // namespace cloudybench::obs
 
 #endif  // CLOUDYBENCH_OBS_TRACE_H_

@@ -56,13 +56,13 @@ Replayer::Replayer(sim::Environment* env, storage::TableSet* replica_tables,
   for (int i = 0; i < lanes_; ++i) {
     env_->Spawn(LaneLoop(i));
   }
+  env_->Spawn(ShipLoop());
+  env_->Spawn(DeliverLoop());
 }
 
 Replayer::~Replayer() = default;
 
-uint64_t Replayer::LaneTrack(int lane) {
-  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
-  if (!recorder.enabled()) return 0;
+uint64_t Replayer::LaneTrack(obs::TraceRecorder& recorder, int lane) {
   if (trace_epoch_ != recorder.epoch()) {
     lane_tracks_.assign(lane_tracks_.size(), 0);
     trace_epoch_ = recorder.epoch();
@@ -82,41 +82,100 @@ int Replayer::LaneFor(const LogRecord& record) const {
   return static_cast<int>(h % static_cast<uint64_t>(lanes_));
 }
 
-void Replayer::Ship(const LogRecord& record) {
-  last_shipped_lsn_ = record.lsn;
-  if (record.type == LogRecordType::kCommit) {
-    // Commit records carry no data; they are considered applied once every
-    // preceding record is (the watermark handles that automatically).
-    return;
+void Replayer::Ship(std::span<const LogRecord> records) {
+  // All records of one Ship() call share a staging instant, so their
+  // shipping-batch boundary is computed once.
+  int64_t depart = env_->Now().us;
+  if (config_.ship_interval.us > 0) {
+    int64_t interval = config_.ship_interval.us;
+    depart = (depart / interval + 1) * interval;
   }
-  pending_lsns_.insert(record.lsn);
-  if (backlog() >= backlog_hwm_next_) {
-    // Journal each doubling of the backlog high-water mark: an
-    // O(log n)-event trail of replication falling behind.
-    obs::EmitEvent(env_, scope_, "replay.backlog_hwm", "",
-                   static_cast<double>(backlog()));
-    while (backlog_hwm_next_ <= backlog()) backlog_hwm_next_ *= 2;
+  for (const LogRecord& record : records) {
+    last_shipped_lsn_ = record.lsn;
+    if (record.type == LogRecordType::kCommit) {
+      // Commit records carry no data; they are considered applied once every
+      // preceding record is (the watermark handles that automatically).
+      continue;
+    }
+    pending_.push_back(PendingEntry{record.lsn, false});
+    ++backlog_;
+    if (backlog_ >= backlog_hwm_next_) {
+      // Journal each doubling of the backlog high-water mark: an
+      // O(log n)-event trail of replication falling behind.
+      obs::EmitEvent(env_, scope_, "replay.backlog_hwm", "",
+                     static_cast<double>(backlog_));
+      while (backlog_hwm_next_ <= backlog_) backlog_hwm_next_ *= 2;
+    }
+    staged_.push_back(ShipEntry{record, depart, next_ticket_++});
   }
-  env_->Spawn(ShipOne(record));
+  // One wake per Ship() call: Ship is synchronous, so the ship loop cannot
+  // run between the pushes above — waking per record would be idempotent
+  // noise.
+  if (ship_waiter_ != nullptr && !staged_.empty()) ship_waiter_->Complete(0);
 }
 
-sim::Process Replayer::ShipOne(LogRecord record) {
-  if (config_.ship_interval.us > 0) {
-    // Hold the record until the next shipping batch boundary.
-    int64_t interval = config_.ship_interval.us;
+sim::Process Replayer::ShipLoop() {
+  for (;;) {
+    if (staged_.empty()) {
+      sim::Waiter waiter(env_);
+      ship_waiter_ = &waiter;
+      co_await waiter;
+      ship_waiter_ = nullptr;
+      continue;
+    }
+    int64_t depart = staged_.front().depart_us;
     int64_t now = env_->Now().us;
-    int64_t next_boundary = (now / interval + 1) * interval;
-    co_await env_->Delay(sim::SimTime{next_boundary - now});
+    if (now < depart) {
+      co_await env_->Delay(sim::SimTime{depart - now});
+      continue;
+    }
+    // A wave: every staged record that is due reserves link bandwidth FIFO
+    // at this instant — the same serialization the per-record coroutines
+    // used to get from the link's virtual queue, minus the coroutines.
+    while (!staged_.empty() && staged_.front().depart_us <= env_->Now().us) {
+      int64_t bytes = staged_.front().rec.size_bytes();
+      sim::SimTime arrive;
+      if (!ship_link_->TryReserveTransfer(bytes, &arrive)) {
+        // Blackholed link: take the awaitable form, which parks until the
+        // fault clears and then reserves. No reference into the ship ring
+        // is held across the suspension (Ship() may grow it meanwhile).
+        arrive = co_await ship_link_->ReserveTransfer(bytes);
+      }
+      if (config_.extra_hop_latency.us > 0) {
+        // Separate log-service -> page-service tier (CDB2's long path).
+        arrive = arrive + config_.extra_hop_latency;
+      }
+      inflight_.push_back(InflightEntry{staged_.front().rec, arrive.us,
+                                        staged_.front().ticket});
+      staged_.pop_front();
+      if (deliver_waiter_ != nullptr) deliver_waiter_->Complete(0);
+    }
   }
-  co_await ship_link_->Transfer(record.size_bytes());
-  if (config_.extra_hop_latency.us > 0) {
-    // Separate log-service -> page-service tier (CDB2's long path).
-    co_await env_->Delay(config_.extra_hop_latency);
-  }
-  int lane = LaneFor(record);
-  lane_queues_[static_cast<size_t>(lane)].push_back(std::move(record));
-  if (lane_waiters_[static_cast<size_t>(lane)] != nullptr) {
-    lane_waiters_[static_cast<size_t>(lane)]->Complete(0);
+}
+
+sim::Process Replayer::DeliverLoop() {
+  for (;;) {
+    if (inflight_.empty()) {
+      sim::Waiter waiter(env_);
+      deliver_waiter_ = &waiter;
+      co_await waiter;
+      deliver_waiter_ = nullptr;
+      continue;
+    }
+    int64_t arrive = inflight_.front().arrive_us;
+    int64_t now = env_->Now().us;
+    if (now < arrive) {
+      co_await env_->Delay(sim::SimTime{arrive - now});
+      continue;
+    }
+    const InflightEntry& head = inflight_.front();
+    int lane = LaneFor(head.rec);
+    lane_queues_[static_cast<size_t>(lane)].push_back(
+        LaneEntry{head.rec, head.ticket});
+    inflight_.pop_front();
+    if (lane_waiters_[static_cast<size_t>(lane)] != nullptr) {
+      lane_waiters_[static_cast<size_t>(lane)]->Complete(0);
+    }
   }
 }
 
@@ -124,7 +183,7 @@ void Replayer::SetStalled(bool stalled) {
   if (stalled == stalled_) return;
   stalled_ = stalled;
   obs::EmitEvent(env_, scope_, stalled ? "replay.stall" : "replay.resume", "",
-                 static_cast<double>(backlog()));
+                 static_cast<double>(backlog_));
   if (!stalled_) {
     // Wake every parked lane; swap first — a resumed lane re-parks on a
     // fresh waiter if another stall window opens at the same instant.
@@ -149,18 +208,45 @@ sim::Process Replayer::LaneLoop(int lane) {
       lane_waiters_[static_cast<size_t>(lane)] = nullptr;
       continue;
     }
-    LogRecord record = std::move(queue.front());
+    LaneEntry entry = queue.front();
     queue.pop_front();
     {
-      obs::SpanScope apply_span(env_, LaneTrack(lane), obs::Layer::kReplay,
-                                "replay.apply");
-      co_await replay_cpu_->Consume(config_.apply_cost);
-      ApplyToTables(record);
+      // One thread-local recorder lookup per record; the track is resolved
+      // only when tracing is live.
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+      obs::TraceRecorder* live = recorder.enabled() ? &recorder : nullptr;
+      obs::CachedSpanScope apply_span(
+          live, env_, live != nullptr ? LaneTrack(recorder, lane) : 0,
+          obs::Layer::kReplay, "replay.apply");
+      if (replay_cpu_->CanConsumeNow()) {
+        co_await replay_cpu_->ConsumeFast(config_.apply_cost);
+      } else {
+        co_await replay_cpu_->Consume(config_.apply_cost);
+      }
+      ApplyToTables(entry.rec);
     }
-    RecordLag(record);
-    pending_lsns_.erase(record.lsn);
+    RecordLag(entry.rec);
+    MarkApplied(entry.ticket);
     ++records_applied_;
   }
+}
+
+void Replayer::MarkApplied(uint64_t ticket) {
+  PendingEntry& slot =
+      pending_[static_cast<size_t>(ticket - pending_head_ticket_)];
+  slot.applied = true;
+  --backlog_;
+  // Advance the watermark past every contiguously applied head entry.
+  while (!pending_.empty() && pending_.front().applied) {
+    pending_.pop_front();
+    ++pending_head_ticket_;
+  }
+}
+
+int64_t Replayer::arena_grows() const {
+  int64_t total = staged_.grows() + inflight_.grows() + pending_.grows();
+  for (const auto& lane : lane_queues_) total += lane.grows();
+  return total;
 }
 
 void Replayer::ApplyToTables(const LogRecord& record) {
@@ -205,8 +291,10 @@ void Replayer::RecordLag(const LogRecord& record) {
 }
 
 int64_t Replayer::applied_lsn() const {
-  if (pending_lsns_.empty()) return last_shipped_lsn_;
-  return *pending_lsns_.begin() - 1;
+  // Applied head entries are popped eagerly, so the front of the pending
+  // window is always the oldest *unapplied* record.
+  if (pending_.empty()) return last_shipped_lsn_;
+  return pending_.front().lsn - 1;
 }
 
 }  // namespace cloudybench::repl

@@ -2,8 +2,7 @@
 #define CLOUDYBENCH_REPL_REPLAYER_H_
 
 #include <cstdint>
-#include <deque>
-#include <set>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "sim/task.h"
 #include "storage/synthetic_table.h"
 #include "storage/wal.h"
+#include "util/flat_ring.h"
 #include "util/stats.h"
 
 namespace cloudybench::repl {
@@ -54,11 +54,21 @@ struct ReplayConfig {
 
 /// One replica's replay pipeline.
 ///
-/// The primary's LogManager ship-listener calls Ship() for each durable
-/// record; the record crosses `ship_link`, queues for the replayer's CPU,
-/// and is applied to the replica's own TableSet. Visibility is tracked as a
-/// continuous LSN watermark, and per-DML lag statistics (apply time minus
-/// commit time) feed the paper's C-Score.
+/// The primary's LogManager ship-listener calls Ship() with each durable
+/// flush batch; the records cross `ship_link`, queue for the replayer's
+/// CPU, and are applied to the replica's own TableSet. Visibility is
+/// tracked as a continuous LSN watermark, and per-DML lag statistics (apply
+/// time minus commit time) feed the paper's C-Score.
+///
+/// Hot-path layout (DESIGN.md §4k): shipping is batched. Ship() stages a
+/// whole flush batch synchronously into a flat ring; one persistent ship
+/// loop reserves link bandwidth for every due record at its batch boundary
+/// (Link::ReserveTransfer — same FIFO virtual queue the old per-record
+/// coroutines serialized on, so timing is identical) and one persistent
+/// delivery loop hands each record to its replay lane at its arrival
+/// instant. Every queue in the pipeline — staged, in-flight, per-lane,
+/// pending-LSN window — is a FlatRing of POD entries, so the steady state
+/// performs zero heap allocations (asserted by a test via `arena_grows()`).
 class Replayer {
  public:
   /// `replica_tables` is the replica's private copy (loaded identically to
@@ -72,9 +82,15 @@ class Replayer {
   Replayer(const Replayer&) = delete;
   Replayer& operator=(const Replayer&) = delete;
 
-  /// Ship-listener entry point (synchronous enqueue; the transfer and apply
-  /// happen asynchronously in simulated time).
-  void Ship(const storage::LogRecord& record);
+  /// Ship-listener entry point (synchronous enqueue of a whole durable
+  /// batch; the transfer and apply happen asynchronously in simulated
+  /// time). Records must arrive in LSN order.
+  void Ship(std::span<const storage::LogRecord> records);
+
+  /// Single-record convenience (equivalent to a span of one).
+  void Ship(const storage::LogRecord& record) {
+    Ship(std::span<const storage::LogRecord>(&record, 1));
+  }
 
   /// Event-journal identity ("cluster.CDB2#0.repl0"); set by the owning
   /// cluster. Backlog high-water marks are journaled under it.
@@ -94,7 +110,12 @@ class Replayer {
   int64_t records_applied() const { return records_applied_; }
   /// Records shipped but not yet applied — the replay backlog gauge the
   /// metric registry exports.
-  int64_t backlog() const { return static_cast<int64_t>(pending_lsns_.size()); }
+  int64_t backlog() const { return backlog_; }
+
+  /// Total ring growth events across the pipeline's queues — its only
+  /// steady-state allocation source. A stable count over a measurement
+  /// window is the zero-allocation proof the perf tests assert.
+  int64_t arena_grows() const;
 
   /// Lag statistics in simulated milliseconds, by DML type.
   const util::RunningStat& InsertLag() const { return insert_lag_; }
@@ -104,12 +125,39 @@ class Replayer {
   storage::TableSet* replica_tables() const { return tables_; }
 
  private:
+  /// A staged record waiting for its shipping-batch boundary.
+  struct ShipEntry {
+    storage::LogRecord rec;
+    int64_t depart_us = 0;
+    uint64_t ticket = 0;
+  };
+  /// A record whose link bandwidth is reserved; delivered at `arrive_us`.
+  struct InflightEntry {
+    storage::LogRecord rec;
+    int64_t arrive_us = 0;
+    uint64_t ticket = 0;
+  };
+  /// A record queued on its replay lane.
+  struct LaneEntry {
+    storage::LogRecord rec;
+    uint64_t ticket = 0;
+  };
+  /// Pending-LSN window slot: tickets index this ring directly, so marking
+  /// a record applied is O(1) even when lanes finish out of order.
+  struct PendingEntry {
+    int64_t lsn = 0;
+    bool applied = false;
+  };
+
   int LaneFor(const storage::LogRecord& record) const;
   /// Lazily allocates lane `lane`'s trace track ("replay/lane<i>");
   /// epoch-guarded because the Replayer outlives TraceRecorder::Clear().
-  uint64_t LaneTrack(int lane);
-  sim::Process ShipOne(storage::LogRecord record);
+  /// `recorder` is the caller's already-resolved (and enabled) recorder.
+  uint64_t LaneTrack(obs::TraceRecorder& recorder, int lane);
+  sim::Process ShipLoop();
+  sim::Process DeliverLoop();
   sim::Process LaneLoop(int lane);
+  void MarkApplied(uint64_t ticket);
   void ApplyToTables(const storage::LogRecord& record);
   void RecordLag(const storage::LogRecord& record);
 
@@ -120,11 +168,22 @@ class Replayer {
   ReplayConfig config_;
   int lanes_;
 
-  std::vector<std::deque<storage::LogRecord>> lane_queues_;
+  util::FlatRing<ShipEntry> staged_;
+  sim::Waiter* ship_waiter_ = nullptr;
+  util::FlatRing<InflightEntry> inflight_;
+  sim::Waiter* deliver_waiter_ = nullptr;
+  std::vector<util::FlatRing<LaneEntry>> lane_queues_;
   std::vector<sim::Waiter*> lane_waiters_;
   bool stalled_ = false;
   std::vector<sim::Waiter*> stall_waiters_;
-  std::set<int64_t> pending_lsns_;  // shipped, not yet applied
+
+  /// Shipped-but-unapplied window. Entries stay until the head is applied;
+  /// `backlog_` counts the live (unapplied) ones, matching the old
+  /// std::set<int64_t> gauge exactly.
+  util::FlatRing<PendingEntry> pending_;
+  uint64_t pending_head_ticket_ = 0;
+  uint64_t next_ticket_ = 0;
+  int64_t backlog_ = 0;
   int64_t last_shipped_lsn_ = 0;
   int64_t records_applied_ = 0;
 

@@ -1,6 +1,7 @@
 #include "runner/oltp_cell.h"
 
 #include "core/evaluators.h"
+#include "runner/sharded_cell.h"
 #include "util/logging.h"
 
 namespace cloudybench::runner {
@@ -51,6 +52,11 @@ SalesWorkloadConfig SalesConfigFor(const CellSpec& spec) {
 
 CellResult RunOltpCell(const CellContext& ctx) {
   const CellSpec& spec = ctx.spec;
+  // Multi-tenant specs route through the tenant-sharded cell, which calls
+  // back here once per tenant with `tenants` folded to 1 — every existing
+  // MatrixRunner sweep gains --cell-shards support without touching its
+  // call sites.
+  if (spec.tenants > 1) return RunTenantShardedCell(ctx);
   SalesTransactionSet txns(SalesConfigFor(spec));
   CellDeployment rig(spec, txns.Schemas());
 

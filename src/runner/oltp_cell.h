@@ -44,7 +44,8 @@ SalesWorkloadConfig SalesConfigFor(const CellSpec& spec);
 ///   mean allocated vcores / memory_gb / storage_gb / iops / net_gbps.
 ///
 /// Honors ctx.metrics_path (per-cell metrics snapshot while the cluster's
-/// gauges are still registered).
+/// gauges are still registered). Specs with tenants > 1 dispatch to
+/// RunTenantShardedCell (runner/sharded_cell.h) and return its merged row.
 CellResult RunOltpCell(const CellContext& ctx);
 
 }  // namespace cloudybench::runner

@@ -1,0 +1,255 @@
+#include "runner/sharded_cell.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "runner/oltp_cell.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace cloudybench::runner {
+
+namespace {
+
+/// Everything one tenant's run leaves behind for the tenant-order merge:
+/// its result row plus copies of the shard thread's timeline state (the
+/// thread-local Timeline is cleared before the next tenant reuses it).
+struct TenantCapture {
+  CellResult result;
+  std::string error;  ///< non-empty when the tenant threw
+  std::vector<obs::TimelineEvent> events;
+  obs::Timeline::SampleMap samples;
+};
+
+/// Merge rule for one merged column. Additive quantities (throughput,
+/// counts, cost, allocated resources) sum across tenants; intensive ones
+/// (latency quantiles, scores, hit rates) take the commit-weighted mean.
+struct MergeKey {
+  const char* name;
+  int precision;  ///< must match RunOltpCell's AddMetric precision
+  bool weighted;
+};
+
+constexpr MergeKey kMergeKeys[] = {
+    {"tps", 0, false},          {"p50_ms", 2, true},
+    {"p99_ms", 2, true},        {"commits", 0, false},
+    {"aborts", 0, false},       {"cost_per_min", 4, false},
+    {"cost_cpu", 4, false},     {"cost_mem", 4, false},
+    {"cost_storage", 4, false}, {"cost_iops", 4, false},
+    {"cost_net", 4, false},     {"p_score", 0, true},
+    {"buffer_hit_pct", 1, true}, {"vcores", 0, false},
+    {"memory_gb", 0, false},    {"storage_gb", 1, false},
+    {"iops", 0, false},         {"net_gbps", 0, false},
+};
+
+}  // namespace
+
+CellSpec TenantSpec(const CellSpec& cell, int tenant) {
+  CellSpec t = cell;
+  t.tenants = 1;
+  t.cell_shards = 1;
+  t.id = (cell.id.empty() ? DefaultCellId(cell) : cell.id) + "/tenant" +
+         std::to_string(tenant);
+  // Seed splits on the tenant *index*, never the shard count or thread, so
+  // every tenant's simulation is a pure function of (cell seed, index).
+  t.seed = util::SplitSeed(cell.seed, util::kTenantStream,
+                           static_cast<uint64_t>(tenant));
+  return t;
+}
+
+std::string TenantArtifactPath(const std::string& base, int tenant) {
+  return base + ".t" + std::to_string(tenant);
+}
+
+int ResolveCellShards(const CellSpec& spec) {
+  int tenants = std::max(1, spec.tenants);
+  int shards = spec.cell_shards;
+  if (shards <= 0) {
+    shards = static_cast<int>(std::thread::hardware_concurrency());
+    if (shards <= 0) shards = 1;
+  }
+  return std::clamp(shards, 1, tenants);
+}
+
+CellResult RunTenantShardedCell(const CellContext& ctx) {
+  const CellSpec& spec = ctx.spec;
+  if (spec.tenants <= 1) return RunOltpCell(ctx);
+  const int tenants = spec.tenants;
+  const int shards = ResolveCellShards(spec);
+
+  // The runner armed this worker's thread-local observability from the
+  // artifact paths; snapshot the toggles before the shard threads (which
+  // have their own, untouched thread-locals) re-create that arming per
+  // tenant.
+  const bool want_trace = obs::TraceRecorder::Get().enabled();
+  const bool want_timeline = obs::Timeline::Get().enabled();
+
+  std::vector<TenantCapture> captures(static_cast<size_t>(tenants));
+  auto run_tenants = [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      TenantCapture& cap = captures[static_cast<size_t>(i)];
+      // Per-tenant observability isolation, mirroring the runner's
+      // ExecuteCell: fresh metric names, trace bytes and timeline rows no
+      // matter which shard thread — or how many — ran the tenant.
+      obs::MetricRegistry::Get().Clear();
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+      recorder.Clear();
+      recorder.SetEnabled(want_trace);
+      obs::Timeline& timeline = obs::Timeline::Get();
+      timeline.Clear();
+      timeline.SetEnabled(want_timeline);
+
+      CellSpec tspec = TenantSpec(spec, i);
+      CellContext tctx{tspec, static_cast<size_t>(i), "", "", "", "", "", ""};
+      if (!ctx.metrics_path.empty()) {
+        tctx.metrics_path = TenantArtifactPath(ctx.metrics_path, i);
+      }
+      try {
+        cap.result = RunOltpCell(tctx);
+      } catch (const std::exception& e) {
+        cap.error = e.what();
+      } catch (...) {
+        cap.error = "unknown exception";
+      }
+
+      // Per-tenant trace/profile artifacts, written here while the shard
+      // thread's recorder still holds the tenant's spans. Each tenant is
+      // its own deployment, so per-tenant files are the honest shape.
+      if (!ctx.trace_path.empty()) {
+        util::Status written = obs::WriteChromeTraceFile(
+            recorder, TenantArtifactPath(ctx.trace_path, i));
+        if (!written.ok()) {
+          CB_LOG(kError) << "tenant " << i
+                         << ": trace export failed: " << written;
+        }
+      }
+      if (!ctx.profile_collapsed_path.empty() ||
+          !ctx.profile_chrome_path.empty()) {
+        obs::Profiler profile = obs::Profiler::FromTrace(recorder);
+        if (!ctx.profile_collapsed_path.empty()) {
+          util::Status written = obs::WriteProfileCollapsedFile(
+              profile, TenantArtifactPath(ctx.profile_collapsed_path, i));
+          if (!written.ok()) {
+            CB_LOG(kError) << "tenant " << i
+                           << ": profile export failed: " << written;
+          }
+        }
+        if (!ctx.profile_chrome_path.empty()) {
+          util::Status written = obs::WriteProfileChromeTraceFile(
+              profile, TenantArtifactPath(ctx.profile_chrome_path, i));
+          if (!written.ok()) {
+            CB_LOG(kError) << "tenant " << i
+                           << ": profile export failed: " << written;
+          }
+        }
+      }
+      if (want_timeline) {
+        cap.events = timeline.events();
+        cap.samples = timeline.samples();
+      }
+      timeline.SetEnabled(false);
+      timeline.Clear();
+      recorder.SetEnabled(false);
+      recorder.Clear();
+      obs::MetricRegistry::Get().Clear();
+    }
+  };
+
+  // Contiguous tenant partitions on dedicated threads. Always spawned —
+  // even at one shard — so a tenant can never clobber the matrix worker's
+  // armed thread-local recorder/timeline (the same rule MatrixRunner
+  // applies to cells at --jobs=1).
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    int lo = static_cast<int>(static_cast<int64_t>(tenants) * s / shards);
+    int hi =
+        static_cast<int>(static_cast<int64_t>(tenants) * (s + 1) / shards);
+    pool.emplace_back(run_tenants, lo, hi);
+  }
+  for (std::thread& t : pool) t.join();
+
+  // ---- Deterministic merge, tenant-index order ---------------------------
+  CellResult merged;
+  std::string error;
+  int ok_tenants = 0;
+  double weight_total = 0;
+  for (int i = 0; i < tenants; ++i) {
+    const TenantCapture& cap = captures[static_cast<size_t>(i)];
+    if (!cap.error.empty()) {
+      if (error.empty()) {
+        error = util::StringPrintf("tenant %d: %s", i, cap.error.c_str());
+      }
+      continue;
+    }
+    ++ok_tenants;
+    weight_total += cap.result.Number("commits");
+  }
+  for (const MergeKey& key : kMergeKeys) {
+    double acc = 0;
+    for (int i = 0; i < tenants; ++i) {
+      const TenantCapture& cap = captures[static_cast<size_t>(i)];
+      if (!cap.error.empty()) continue;
+      double v = cap.result.Number(key.name);
+      if (!key.weighted) {
+        acc += v;
+        continue;
+      }
+      // Commit-weighted mean; plain mean when nothing committed anywhere
+      // so a zero-commit cell still reports finite latencies.
+      double w = weight_total > 0
+                     ? cap.result.Number("commits") / weight_total
+                     : 1.0 / static_cast<double>(std::max(ok_tenants, 1));
+      acc += v * w;
+    }
+    merged.AddMetric(key.name, acc, key.precision);
+  }
+  // Per-tenant throughput columns (the multi-tenancy tables' idiom). A
+  // failed tenant reports 0 so the column set never depends on the failure
+  // shape, let alone the shard count.
+  double sim_seconds = 0;
+  for (int i = 0; i < tenants; ++i) {
+    const TenantCapture& cap = captures[static_cast<size_t>(i)];
+    bool ok = cap.error.empty();
+    merged.AddMetric(util::StringPrintf("t%d_tps", i),
+                     ok ? cap.result.Number("tps") : 0.0, 0);
+    if (ok) sim_seconds += cap.result.sim_seconds;
+  }
+  merged.sim_seconds = sim_seconds;
+  merged.error = std::move(error);
+
+  // Replay every tenant's timeline into the matrix worker's thread-local
+  // Timeline, in tenant order under a "t<i>." scope prefix: the runner's
+  // standard post-cell export then writes one merged artifact whose bytes
+  // cannot depend on shard placement.
+  if (want_timeline) {
+    obs::Timeline& worker_timeline = obs::Timeline::Get();
+    for (int i = 0; i < tenants; ++i) {
+      const TenantCapture& cap = captures[static_cast<size_t>(i)];
+      std::string prefix = "t" + std::to_string(i) + ".";
+      for (const obs::TimelineEvent& e : cap.events) {
+        worker_timeline.Event(e.t_us, prefix + e.scope, e.kind, e.detail,
+                              e.value);
+      }
+      for (const auto& [metric, points] : cap.samples) {
+        std::string name = prefix + metric;
+        for (const obs::Timeline::SamplePoint& p : points) {
+          worker_timeline.AddSample(name, p.t_us, p.value);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace cloudybench::runner

@@ -1,0 +1,67 @@
+#ifndef CLOUDYBENCH_RUNNER_SHARDED_CELL_H_
+#define CLOUDYBENCH_RUNNER_SHARDED_CELL_H_
+
+#include <string>
+
+#include "runner/runner.h"
+
+namespace cloudybench::runner {
+
+/// Multi-core tenant-sharded cells (DESIGN.md §4k).
+///
+/// One *large* cell hosting `spec.tenants` independent tenants is split
+/// along the tenant boundary: each tenant is an isolated single-tenant
+/// deployment of the spec's SUT (own sim::Environment, own cluster, own
+/// stream-split seed), and `spec.cell_shards` worker threads each own a
+/// contiguous tenant partition [s*T/S, (s+1)*T/S). Tenants never share
+/// mutable state — the DES stays single-threaded *per tenant* — so the
+/// parallelism is embarrassing and the merge is a pure fold.
+///
+/// Determinism contract (the whole point): the merged CellResult, the
+/// merged timeline, and every per-tenant artifact are byte-identical at any
+/// --cell-shards value, because
+///  * tenant seeds derive from (cell seed, kTenantStream, tenant index) —
+///    never from the shard count or thread placement,
+///  * each tenant runs against fresh thread-local observability state on
+///    its shard thread, exactly as MatrixRunner isolates cells on workers,
+///  * results/timelines merge in tenant-index order on the calling thread.
+/// The shard count is pure execution policy and appears nowhere in the
+/// output.
+
+/// The derived spec tenant `tenant` of `cell` runs with: same coordinates,
+/// tenants/cell_shards folded back to 1, id suffixed "/tenant<i>", and the
+/// seed split via SplitSeed(cell.seed, util::kTenantStream, tenant).
+/// Exposed for the byte-equality tests.
+CellSpec TenantSpec(const CellSpec& cell, int tenant);
+
+/// Suffixes a per-tenant artifact path: ("m.jsonl", 3) -> "m.jsonl.t3".
+std::string TenantArtifactPath(const std::string& base, int tenant);
+
+/// The shard count a spec resolves to: cell_shards, <= 0 meaning
+/// std::thread::hardware_concurrency(), clamped to [1, tenants].
+int ResolveCellShards(const CellSpec& spec);
+
+/// Runs the tenant-sharded OLTP cell described by ctx.spec and returns the
+/// deterministic merged result:
+///
+///   tps/commits/aborts/cost_*/vcores/memory_gb/storage_gb/iops/net_gbps
+///   summed across tenants; p50_ms/p99_ms/p_score/buffer_hit_pct
+///   commit-weighted means; one "t<i>_tps" column per tenant;
+///   sim_seconds = sum of per-tenant simulated clocks.
+///
+/// Artifacts: ctx.metrics_path / trace_path / profile_* get a ".t<i>"
+/// suffix per tenant (each tenant is its own deployment, so per-tenant
+/// files are the honest shape); the worker's thread-local Timeline receives
+/// every tenant's events and samples replayed in tenant order under a
+/// "t<i>." scope prefix, so the runner's standard timeline export writes
+/// one merged artifact.
+///
+/// With spec.tenants <= 1 this is exactly RunOltpCell (same bytes, no
+/// tenant columns). A tenant that throws poisons only its own columns: the
+/// merge still runs and the result carries "tenant <i>: <what>" as the
+/// error, preserving MatrixRunner's failure-isolation contract.
+CellResult RunTenantShardedCell(const CellContext& ctx);
+
+}  // namespace cloudybench::runner
+
+#endif  // CLOUDYBENCH_RUNNER_SHARDED_CELL_H_

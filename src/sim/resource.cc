@@ -68,13 +68,8 @@ void RateResource::SetRate(double rate_per_second) {
 }
 
 Task<void> RateResource::Acquire(double units) {
-  CB_CHECK_GE(units, 0.0);
   SimTime now = env_->Now();
-  SimTime start = std::max(now, next_free_);
-  SimTime busy = Seconds(units / rate_);
-  next_free_ = start + busy;
-  consumed_ += units;
-  SimTime done = next_free_;
+  SimTime done = Reserve(units);
   if (done > now) {
     co_await env_->Delay(done - now);
   }

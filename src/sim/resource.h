@@ -43,6 +43,42 @@ class SlotResource {
   /// suspended for queueing time + demand/speed.
   Task<void> Consume(SimTime demand);
 
+  /// True when a Consume() issued now would be granted at the current
+  /// instant (free slot, empty FIFO) — the precondition for ConsumeFast().
+  bool CanConsumeNow() const { return waiting_.empty() && active_ < slots_; }
+
+  /// Frameless fast path for the uncontended case: performs exactly what
+  /// Consume(demand) does when CanConsumeNow() — grant at the current
+  /// instant, one delay event at now + demand/speed, busy accounting and
+  /// release on resume — without materializing a Task frame. The event it
+  /// inserts is the same event, at the same point of the same dispatch
+  /// step, so the simulation is bit-identical either way (the replication
+  /// lane loop leans on this; tests/repl_lockstep_test.cc holds it to the
+  /// pre-§4k oracle). Callers MUST check CanConsumeNow() first and fall
+  /// back to Consume() when it is false.
+  auto ConsumeFast(SimTime demand) {
+    struct Awaiter {
+      SlotResource* r;
+      SimTime demand;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++r->active_;
+        // Same grant-time speed capture as Consume().
+        double sp = r->speed();
+        auto scaled =
+            SimTime{static_cast<int64_t>(static_cast<double>(demand.us) / sp)};
+        r->env_->ScheduleHandle(r->env_->Now() + scaled, h);
+      }
+      void await_resume() const {
+        r->busy_core_seconds_ += demand.ToSeconds();
+        r->Release();
+      }
+    };
+    CB_CHECK_GE(demand.us, 0);
+    CB_CHECK(CanConsumeNow());
+    return Awaiter{this, demand};
+  }
+
   /// Low-level slot protocol for callers that interleave other awaits while
   /// holding a slot. Pair every granted Acquire() with exactly one Release().
   auto Acquire() {
@@ -100,6 +136,20 @@ class RateResource {
 
   /// Reserves `units` of throughput and suspends until they are granted.
   Task<void> Acquire(double units);
+
+  /// Synchronous FIFO reservation: advances the virtual queue exactly as
+  /// Acquire() would and returns the grant instant without suspending the
+  /// caller. This is the batched-sender path (replication shipping): one
+  /// coroutine can reserve a whole wave of messages at the current instant
+  /// and later deliver each at its own grant time, with timing identical to
+  /// one coroutine per message.
+  SimTime Reserve(double units) {
+    CB_CHECK_GE(units, 0.0);
+    SimTime start = next_free_ > env_->Now() ? next_free_ : env_->Now();
+    next_free_ = start + Seconds(units / rate_);
+    consumed_ += units;
+    return next_free_;
+  }
 
   /// Total units consumed (for metering, e.g. used IOPS).
   double consumed() const { return consumed_; }

@@ -27,24 +27,30 @@ LogManager::LogManager(sim::Environment* env, DiskDevice* device)
   CB_CHECK(device != nullptr);
 }
 
-int64_t LogManager::Append(const LogRecord& record) {
-  pending_.push_back(record);
-  LogRecord& rec = pending_.back();
-  rec.lsn = next_lsn_++;
-  ++records_appended_;
-  pending_bytes_ += rec.size_bytes();
-  return rec.lsn;
+void LogManager::PushTailChunk() {
+  if (!free_chunks_.empty()) {
+    chunks_.push_back(std::move(free_chunks_.back()));
+    free_chunks_.pop_back();
+  } else {
+    chunks_.push_back(std::make_unique<LogRecord[]>(kChunkRecords));
+    ++chunk_allocs_;
+  }
+  tail_off_ = 0;
 }
 
 int64_t LogManager::AppendBatch(const std::vector<LogRecord>& records) {
   if (records.empty()) return 0;
-  size_t base = pending_.size();
-  pending_.insert(pending_.end(), records.begin(), records.end());
-  for (size_t i = base; i < pending_.size(); ++i) {
-    pending_[i].lsn = next_lsn_++;
-    pending_bytes_ += pending_[i].size_bytes();
+  for (const LogRecord& record : records) {
+    if (tail_off_ == kChunkRecords) [[unlikely]] {
+      PushTailChunk();
+    }
+    LogRecord& rec = chunks_.back()[tail_off_++];
+    rec = record;
+    rec.lsn = next_lsn_++;
+    pending_bytes_ += rec.size_bytes();
   }
   records_appended_ += static_cast<int64_t>(records.size());
+  pending_count_ += static_cast<int64_t>(records.size());
   return next_lsn_ - 1;
 }
 
@@ -73,9 +79,9 @@ uint64_t LogManager::TraceTrack() {
 sim::Process LogManager::FlushLoop() {
   while (flushed_lsn_ < next_lsn_ - 1) {
     // Everything appended so far joins this batch (group commit): the batch
-    // is all of pending_, so its size is exactly the running byte counter.
-    // Records appended while the device write is in flight have LSNs past
-    // `target` and join the next iteration's batch.
+    // is the whole pending buffer, so its size is exactly the running byte
+    // counter. Records appended while the device write is in flight have
+    // LSNs past `target` and join the next iteration's batch.
     int64_t target = next_lsn_ - 1;
     int64_t batch_bytes = pending_bytes_;
     {
@@ -86,17 +92,35 @@ sim::Process LogManager::FlushLoop() {
     ++flush_batches_;
     flushed_lsn_ = target;
 
-    // Ship durable records in LSN order, stamping the commit instant.
-    while (pending_head_ < pending_.size() &&
-           pending_[pending_head_].lsn <= target) {
-      LogRecord& rec = pending_[pending_head_++];
-      pending_bytes_ -= rec.size_bytes();
-      rec.commit_time = env_->Now();
-      for (const auto& listener : ship_listeners_) listener(rec);
+    // Ship durable records in LSN order, stamping the commit instant. Each
+    // contiguous chunk segment goes to the listeners as one span (a flush
+    // batch is usually a single call) — replication streams stage the whole
+    // batch without a std::function invocation per record.
+    while (pending_count_ > 0 && chunks_.front()[head_off_].lsn <= target) {
+      LogRecord* chunk = chunks_.front().get();
+      size_t end = chunks_.size() == 1 ? tail_off_ : kChunkRecords;
+      size_t cut = head_off_;
+      while (cut < end && chunk[cut].lsn <= target) {
+        chunk[cut].commit_time = env_->Now();
+        pending_bytes_ -= chunk[cut].size_bytes();
+        ++cut;
+      }
+      std::span<const LogRecord> segment(chunk + head_off_, cut - head_off_);
+      pending_count_ -= static_cast<int64_t>(segment.size());
+      head_off_ = cut;
+      for (const auto& listener : ship_listeners_) listener(segment);
+      if (head_off_ == kChunkRecords) {
+        // Head chunk fully drained: recycle it and continue into the next.
+        free_chunks_.push_back(std::move(chunks_.front()));
+        chunks_.erase(chunks_.begin());
+        head_off_ = 0;
+      }
     }
-    if (pending_head_ == pending_.size()) {
-      pending_.clear();  // capacity retained for the next batch
-      pending_head_ = 0;
+    if (pending_count_ == 0) {
+      // Fully drained: rewind the (single or absent) chunk so the buffer's
+      // capacity is recycled and chunk turnover stays a cold branch.
+      head_off_ = 0;
+      tail_off_ = chunks_.empty() ? kChunkRecords : 0;
     }
 
     // Wake committers whose records are durable. Stable in-order
@@ -117,7 +141,7 @@ sim::Process LogManager::FlushLoop() {
 }
 
 void LogManager::AddShipListener(
-    std::function<void(const LogRecord&)> listener) {
+    std::function<void(std::span<const LogRecord>)> listener) {
   ship_listeners_.push_back(std::move(listener));
 }
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/environment.h"
@@ -39,12 +41,16 @@ struct LogRecord {
 /// Append() buffers records and assigns LSNs; WaitDurable(lsn) forces the
 /// log. Concurrent committers at the same instant share one device write
 /// (group commit), which is what lets commit throughput exceed the log
-/// device's IOPS. Once records are durable they are handed, in LSN order,
-/// to every ship listener (the replication streams).
+/// device's IOPS. Once records are durable they are handed, in LSN order
+/// and as contiguous spans, to every ship listener (the replication
+/// streams).
 ///
-/// Hot-path layout (DESIGN.md §4i): the pending buffer is a FIFO over a
-/// flat vector (head cursor, capacity recycled once drained), unflushed
-/// bytes are a running counter instead of an O(pending) walk, and a whole
+/// Hot-path layout (DESIGN.md §4i/§4k): the pending buffer is a FIFO over
+/// fixed-size record chunks. Appends write straight into the tail chunk, so
+/// a growing backlog never mass-copies earlier records (the flat-vector
+/// layout's doubling reallocs were the BM_WalAppend 50→115 ns regression);
+/// drained chunks are recycled through a free list, so steady-state logging
+/// does not allocate. Unflushed bytes are a running counter, and a whole
 /// commit batch appends in one call. Durable waiters are compacted
 /// *stably*: their wake order assigns event sequence numbers, so it is part
 /// of the deterministic schedule and must stay FIFO.
@@ -58,7 +64,20 @@ class LogManager {
   LogManager& operator=(const LogManager&) = delete;
 
   /// Buffers a copy of the record, assigns and returns its LSN.
-  int64_t Append(const LogRecord& record);
+  int64_t Append(const LogRecord& record) {
+    // Fast path: room in the tail chunk (the overwhelmingly common case);
+    // everything else — chunk turnover, free-list recycling — is cold.
+    if (tail_off_ == kChunkRecords) [[unlikely]] {
+      PushTailChunk();
+    }
+    LogRecord& rec = chunks_.back()[tail_off_++];
+    rec = record;
+    rec.lsn = next_lsn_++;
+    ++records_appended_;
+    ++pending_count_;
+    pending_bytes_ += rec.size_bytes();
+    return rec.lsn;
+  }
 
   /// Appends a whole commit batch; returns the last LSN (0 if empty).
   /// Equivalent to calling Append() per record, minus the per-call
@@ -68,8 +87,12 @@ class LogManager {
   /// Resumes once every record with LSN <= `lsn` is durable.
   sim::Task<void> WaitDurable(int64_t lsn);
 
-  /// Records shipped to replicas after they become durable.
-  void AddShipListener(std::function<void(const LogRecord&)> listener);
+  /// Durable records are handed to listeners in LSN order as contiguous
+  /// spans (one span per pending-buffer chunk segment, so a flush batch is
+  /// usually a single call). Listeners must not append to this log from
+  /// inside the callback. Spans are only valid for the duration of the
+  /// call.
+  void AddShipListener(std::function<void(std::span<const LogRecord>)> listener);
 
   int64_t next_lsn() const { return next_lsn_; }
   int64_t appended_lsn() const { return next_lsn_ - 1; }
@@ -81,7 +104,18 @@ class LogManager {
   /// on a crash. O(1): maintained as a running counter.
   int64_t pending_bytes() const { return pending_bytes_; }
 
+  /// Chunk allocations that could not be served from the free list — the
+  /// pending buffer's only allocation source (zero in steady state once the
+  /// backlog high-water mark is reached).
+  int64_t chunk_allocs() const { return chunk_allocs_; }
+
  private:
+  /// Pending-buffer chunk size, in records. 4096 × ~100 B keeps a chunk
+  /// well under typical L2 while making chunk turnover (the only non-inline
+  /// branch on the append path) a once-per-4096 event.
+  static constexpr size_t kChunkRecords = 4096;
+
+  void PushTailChunk();
   sim::Process FlushLoop();
   /// Lazily allocated trace track ("wal") for flush-batch spans; re-made
   /// when the recorder epoch changes (Clear() between cells).
@@ -96,18 +130,23 @@ class LogManager {
   int64_t records_appended_ = 0;
   int64_t flush_batches_ = 0;
   int64_t pending_bytes_ = 0;
+  int64_t pending_count_ = 0;
+  int64_t chunk_allocs_ = 0;
   bool flushing_ = false;
-  // FIFO of records in (flushed_lsn_, next_lsn_): appends push_back, the
-  // flush loop ships from pending_head_; both reset (keeping capacity) when
-  // the buffer drains, so steady-state logging does not allocate.
-  std::vector<LogRecord> pending_;
-  size_t pending_head_ = 0;
+  // FIFO of records in (flushed_lsn_, next_lsn_) as a chunk list: appends
+  // fill chunks_.back() at tail_off_, the flush loop drains chunks_.front()
+  // from head_off_. Fully drained chunks go to the free list; a fully
+  // drained buffer resets to one chunk with zeroed offsets.
+  std::vector<std::unique_ptr<LogRecord[]>> chunks_;
+  std::vector<std::unique_ptr<LogRecord[]>> free_chunks_;
+  size_t head_off_ = 0;
+  size_t tail_off_ = kChunkRecords;  // forces the first chunk's allocation
   struct DurableWaiter {
     int64_t lsn;
     sim::Waiter* waiter;
   };
   std::vector<DurableWaiter> waiters_;
-  std::vector<std::function<void(const LogRecord&)>> ship_listeners_;
+  std::vector<std::function<void(std::span<const LogRecord>)>> ship_listeners_;
 };
 
 }  // namespace cloudybench::storage

@@ -23,12 +23,17 @@ Transaction TxnManager::Begin(int32_t trace_label) {
   Transaction txn;
   txn.id_ = next_txn_id_++;
   txn.active_ = true;
+  // The pool's Release() already reset the book, so Begin takes it as-is:
+  // the begin path performs no clears of its own.
   txn.book_ = TxnBookPool::Acquire();
   ++active_txns_;
   obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
   if (recorder.enabled()) {
-    // One track per transaction: its spans nest properly on the track, and
-    // the breakdown analyzer can treat each track as one flame graph.
+    // Resolve the obs scope once per transaction: ops and commit reuse the
+    // cached recorder pointer instead of re-fetching the thread-local. One
+    // track per transaction: its spans nest properly on the track, and the
+    // breakdown analyzer can treat each track as one flame graph.
+    txn.recorder_ = &recorder;
     txn.trace_track_ = recorder.NewTrack();
     txn.root_span_ = recorder.Begin(txn.trace_track_, obs::Layer::kTxn, "txn",
                                     engine_->env()->Now(), trace_label);
@@ -37,10 +42,10 @@ Transaction TxnManager::Begin(int32_t trace_label) {
 }
 
 void TxnManager::FinishTxnTrace(Transaction* txn, bool committed) {
-  if constexpr (!obs::kCompiled) return;
-  obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
-  if (committed) recorder.MarkCommitted(txn->root_span_);
-  recorder.End(txn->root_span_, engine_->env()->Now());
+  obs::TraceRecorder* recorder = txn->recorder_;
+  if (recorder == nullptr) return;
+  if (committed) recorder->MarkCommitted(txn->root_span_);
+  recorder->End(txn->root_span_, engine_->env()->Now());
   txn->root_span_ = obs::SpanHandle{};
 }
 
@@ -93,11 +98,12 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
                                         SyntheticTable* table, int64_t key,
                                         Row* out, bool for_update) {
   CB_CHECK(txn->active_);
-  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
-                         "op.get");
+  obs::CachedSpanScope op_span(txn->recorder_, engine_->env(),
+                               txn->trace_track_, obs::Layer::kOp, "op.get");
   if (costs_.client_rtt.us > 0) {
-    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
-                            obs::Layer::kNet, "net.client_rtt");
+    obs::CachedSpanScope rtt_span(txn->recorder_, engine_->env(),
+                                  txn->trace_track_, obs::Layer::kNet,
+                                  "net.client_rtt");
     co_await engine_->env()->Delay(costs_.client_rtt);
   }
   if (!engine_->available()) {
@@ -111,8 +117,9 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
   co_await engine_->ChargeCpu(costs_.read);
   Status locked;
   {
-    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
-                             obs::Layer::kLock, "lock.wait");
+    obs::CachedSpanScope lock_span(txn->recorder_, engine_->env(),
+                                   txn->trace_track_, obs::Layer::kLock,
+                                   "lock.wait");
     locked = co_await LockKey(
         txn, TableKey{table->id(), key},
         for_update ? LockMode::kExclusive : LockMode::kShared);
@@ -146,11 +153,13 @@ sim::Task<util::Status> TxnManager::Get(Transaction* txn,
 sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
                                            SyntheticTable* table, Row row) {
   CB_CHECK(txn->active_);
-  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
-                         "op.insert");
+  obs::CachedSpanScope op_span(txn->recorder_, engine_->env(),
+                               txn->trace_track_, obs::Layer::kOp,
+                               "op.insert");
   if (costs_.client_rtt.us > 0) {
-    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
-                            obs::Layer::kNet, "net.client_rtt");
+    obs::CachedSpanScope rtt_span(txn->recorder_, engine_->env(),
+                                  txn->trace_track_, obs::Layer::kNet,
+                                  "net.client_rtt");
     co_await engine_->env()->Delay(costs_.client_rtt);
   }
   if (!engine_->available()) {
@@ -164,8 +173,9 @@ sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
   co_await engine_->ChargeCpu(costs_.write);
   Status locked;
   {
-    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
-                             obs::Layer::kLock, "lock.wait");
+    obs::CachedSpanScope lock_span(txn->recorder_, engine_->env(),
+                                   txn->trace_track_, obs::Layer::kLock,
+                                   "lock.wait");
     locked = co_await LockKey(txn, TableKey{table->id(), row.key},
                               LockMode::kExclusive);
   }
@@ -192,11 +202,13 @@ sim::Task<util::Status> TxnManager::Insert(Transaction* txn,
 sim::Task<util::Status> TxnManager::Update(Transaction* txn,
                                            SyntheticTable* table, Row row) {
   CB_CHECK(txn->active_);
-  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
-                         "op.update");
+  obs::CachedSpanScope op_span(txn->recorder_, engine_->env(),
+                               txn->trace_track_, obs::Layer::kOp,
+                               "op.update");
   if (costs_.client_rtt.us > 0) {
-    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
-                            obs::Layer::kNet, "net.client_rtt");
+    obs::CachedSpanScope rtt_span(txn->recorder_, engine_->env(),
+                                  txn->trace_track_, obs::Layer::kNet,
+                                  "net.client_rtt");
     co_await engine_->env()->Delay(costs_.client_rtt);
   }
   if (!engine_->available()) {
@@ -210,8 +222,9 @@ sim::Task<util::Status> TxnManager::Update(Transaction* txn,
   co_await engine_->ChargeCpu(costs_.write);
   Status locked;
   {
-    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
-                             obs::Layer::kLock, "lock.wait");
+    obs::CachedSpanScope lock_span(txn->recorder_, engine_->env(),
+                                   txn->trace_track_, obs::Layer::kLock,
+                                   "lock.wait");
     locked = co_await LockKey(txn, TableKey{table->id(), row.key},
                               LockMode::kExclusive);
   }
@@ -239,11 +252,13 @@ sim::Task<util::Status> TxnManager::Delete(Transaction* txn,
                                            SyntheticTable* table,
                                            int64_t key) {
   CB_CHECK(txn->active_);
-  obs::SpanScope op_span(engine_->env(), txn->trace_track_, obs::Layer::kOp,
-                         "op.delete");
+  obs::CachedSpanScope op_span(txn->recorder_, engine_->env(),
+                               txn->trace_track_, obs::Layer::kOp,
+                               "op.delete");
   if (costs_.client_rtt.us > 0) {
-    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
-                            obs::Layer::kNet, "net.client_rtt");
+    obs::CachedSpanScope rtt_span(txn->recorder_, engine_->env(),
+                                  txn->trace_track_, obs::Layer::kNet,
+                                  "net.client_rtt");
     co_await engine_->env()->Delay(costs_.client_rtt);
   }
   if (!engine_->available()) {
@@ -257,8 +272,9 @@ sim::Task<util::Status> TxnManager::Delete(Transaction* txn,
   co_await engine_->ChargeCpu(costs_.write);
   Status locked;
   {
-    obs::SpanScope lock_span(engine_->env(), txn->trace_track_,
-                             obs::Layer::kLock, "lock.wait");
+    obs::CachedSpanScope lock_span(txn->recorder_, engine_->env(),
+                                   txn->trace_track_, obs::Layer::kLock,
+                                   "lock.wait");
     locked = co_await LockKey(txn, TableKey{table->id(), key},
                               LockMode::kExclusive);
   }
@@ -294,11 +310,13 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
     co_return Status::OK();
   }
 
-  obs::SpanScope commit_span(engine_->env(), txn->trace_track_,
-                             obs::Layer::kCommit, "txn.commit");
+  obs::CachedSpanScope commit_span(txn->recorder_, engine_->env(),
+                                   txn->trace_track_, obs::Layer::kCommit,
+                                   "txn.commit");
   if (costs_.client_rtt.us > 0) {
-    obs::SpanScope rtt_span(engine_->env(), txn->trace_track_,
-                            obs::Layer::kNet, "net.client_rtt");
+    obs::CachedSpanScope rtt_span(txn->recorder_, engine_->env(),
+                                  txn->trace_track_, obs::Layer::kNet,
+                                  "net.client_rtt");
     co_await engine_->env()->Delay(costs_.client_rtt);
   }
   engine_->set_trace_track(txn->trace_track_);
@@ -309,9 +327,10 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
   }
 
   // Build the commit batch in the book's recycled scratch vector: after the
-  // first few transactions on a thread no commit allocates here.
+  // first few transactions on a thread no commit allocates here. The vector
+  // is empty on entry — TxnBookPool::Release is the single reset point, so
+  // neither Begin nor Commit pays a redundant clear.
   std::vector<LogRecord>& records = book->records;
-  records.clear();
   records.reserve(book->writes.size() + 1);
   for (const TxnBook::WriteOp& op : book->writes) {
     LogRecord rec;
@@ -329,7 +348,6 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
 
   engine_->set_trace_track(txn->trace_track_);
   Status durable = co_await engine_->CommitRecords(&records);
-  records.clear();
   if (!durable.ok()) {
     Abort(txn);
     co_return durable;

@@ -118,6 +118,7 @@ class Transaction {
       : id_(o.id_),
         active_(std::exchange(o.active_, false)),
         book_(std::exchange(o.book_, nullptr)),
+        recorder_(o.recorder_),
         trace_track_(o.trace_track_),
         root_span_(o.root_span_) {}
   Transaction& operator=(Transaction&& o) noexcept {
@@ -126,6 +127,7 @@ class Transaction {
       id_ = o.id_;
       active_ = std::exchange(o.active_, false);
       book_ = std::exchange(o.book_, nullptr);
+      recorder_ = o.recorder_;
       trace_track_ = o.trace_track_;
       root_span_ = o.root_span_;
     }
@@ -155,8 +157,11 @@ class Transaction {
   int64_t id_ = 0;
   bool active_ = false;
   TxnBook* book_ = nullptr;
-  /// Observability: the recorder track all of this transaction's spans land
-  /// on, and the open root (kTxn) span. Track 0 = tracing was off at Begin.
+  /// Observability scope, resolved once at Begin: the thread's recorder
+  /// (nullptr = tracing was off — every per-op span then costs one null
+  /// test instead of a thread-local lookup), the track all of this
+  /// transaction's spans land on, and the open root (kTxn) span.
+  obs::TraceRecorder* recorder_ = nullptr;
   uint64_t trace_track_ = 0;
   obs::SpanHandle root_span_;
 };

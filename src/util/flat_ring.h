@@ -1,0 +1,90 @@
+#ifndef CLOUDYBENCH_UTIL_FLAT_RING_H_
+#define CLOUDYBENCH_UTIL_FLAT_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cloudybench::util {
+
+/// Flat FIFO ring buffer over a power-of-two slot array.
+///
+/// The replication pipeline's queues (staged records, in-flight transfers,
+/// replay lanes, pending-LSN window) are all strict FIFOs with one producer
+/// and one consumer on the same simulation thread. A deque allocates a node
+/// block every few hundred entries forever; this ring only allocates while
+/// it is still discovering its high-water mark — after warmup every
+/// push/pop is a mask-and-index into memory it already owns. `grows()`
+/// exposes the allocation count so tests can assert the steady state stays
+/// allocation-free (DESIGN.md §4k).
+template <typename T>
+class FlatRing {
+ public:
+  explicit FlatRing(size_t initial_capacity = 16) {
+    size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+  /// Times the slot array had to grow (the ring's only allocation source).
+  int64_t grows() const { return grows_; }
+
+  T& front() {
+    CB_CHECK_GT(count_, size_t{0});
+    return slots_[head_];
+  }
+  const T& front() const {
+    CB_CHECK_GT(count_, size_t{0});
+    return slots_[head_];
+  }
+
+  /// i-th element from the head (0 == front()).
+  T& operator[](size_t i) {
+    CB_CHECK_LT(i, count_);
+    return slots_[(head_ + i) & (slots_.size() - 1)];
+  }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) Grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    CB_CHECK_GT(count_, size_t{0});
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+  /// Drops every element; capacity (and the grow count) is retained.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void Grow() {
+    std::vector<T> bigger(slots_.size() * 2);
+    for (size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_.swap(bigger);
+    head_ = 0;
+    ++grows_;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  int64_t grows_ = 0;
+};
+
+}  // namespace cloudybench::util
+
+#endif  // CLOUDYBENCH_UTIL_FLAT_RING_H_

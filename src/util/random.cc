@@ -12,14 +12,6 @@ Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1) | 1
   Next();
 }
 
-uint32_t Pcg32::Next() {
-  uint64_t old = state_;
-  state_ = old * 6364136223846793005ULL + inc_;
-  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
-  uint32_t rot = static_cast<uint32_t>(old >> 59u);
-  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
-}
-
 uint32_t Pcg32::NextBounded(uint32_t bound) {
   CB_CHECK_GT(bound, 0u);
   // Lemire's nearly-divisionless bounded sampling.
@@ -45,12 +37,6 @@ int64_t Pcg32::NextInRange(int64_t lo, int64_t hi) {
   uint64_t draw = (static_cast<uint64_t>(Next()) << 32) | Next();
   return lo + static_cast<int64_t>(draw % span);
 }
-
-double Pcg32::NextDouble() {
-  return Next() * (1.0 / 4294967296.0);
-}
-
-bool Pcg32::NextBool(double p) { return NextDouble() < p; }
 
 namespace {
 

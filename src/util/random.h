@@ -22,7 +22,17 @@ class Pcg32 {
   static constexpr result_type max() { return UINT32_MAX; }
 
   uint32_t operator()() { return Next(); }
-  uint32_t Next();
+
+  /// Inline on purpose: the draw is a handful of ALU ops, and the hot
+  /// consumers (thinning loops, Zipf sampling) issue millions of them —
+  /// a call per draw would cost more than the generator itself.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+  }
 
   /// Uniform integer in [0, bound) without modulo bias.
   uint32_t NextBounded(uint32_t bound);
@@ -31,10 +41,10 @@ class Pcg32 {
   int64_t NextInRange(int64_t lo, int64_t hi);
 
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() { return Next() * (1.0 / 4294967296.0); }
 
   /// Bernoulli trial with probability p.
-  bool NextBool(double p);
+  bool NextBool(double p) { return NextDouble() < p; }
 
  private:
   uint64_t state_;
@@ -66,6 +76,7 @@ inline constexpr uint64_t kSessionStream = 0x73657373ULL;  // "sess"
 inline constexpr uint64_t kJitterStream = 0x6a697474ULL;   // "jitt"
 inline constexpr uint64_t kArrivalStream = 0x61727276ULL;  // "arrv"
 inline constexpr uint64_t kManagerStream = 0x6d616e61ULL;  // "mana"
+inline constexpr uint64_t kTenantStream = 0x746e6e74ULL;   // "tnnt"
 
 /// Zipf-distributed generator over [0, n), most popular item is 0.
 /// Uses the YCSB/Gray "scrambled-free" analytic approximation, which is

@@ -13,7 +13,9 @@
 
 #include "runner/oltp_cell.h"
 #include "runner/runner.h"
+#include "runner/sharded_cell.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace cloudybench::runner {
 namespace {
@@ -284,6 +286,147 @@ TEST(CellResultTest, JsonLineShapes) {
   EXPECT_EQ(ToJsonLine(failed),
             "{\"cell\":\"x\",\"index\":0,\"ok\":false,"
             "\"error\":\"boom \\\"quoted\\\"\",\"sim_seconds\":0.000}");
+}
+
+// ---- Tenant-sharded cells (runner/sharded_cell.h) -------------------------
+
+TEST(ShardedCellTest, TenantSpecSplitsSeedByIndexOnly) {
+  CellSpec cell;
+  cell.sut = sut::SutKind::kCdb3;
+  cell.seed = 42;
+  cell.tenants = 8;
+  cell.cell_shards = 4;
+
+  CellSpec t3 = TenantSpec(cell, 3);
+  EXPECT_EQ(t3.tenants, 1);
+  EXPECT_EQ(t3.cell_shards, 1);
+  EXPECT_EQ(t3.seed, util::SplitSeed(42, util::kTenantStream, 3));
+  EXPECT_EQ(t3.id, DefaultCellId(cell) + "/tenant3");
+
+  // The derivation must not see the shard count: the same tenant of the
+  // same cell gets the same simulation no matter how it is scheduled.
+  cell.cell_shards = 1;
+  EXPECT_EQ(TenantSpec(cell, 3).seed, t3.seed);
+  // Distinct tenants get independent streams.
+  EXPECT_NE(TenantSpec(cell, 4).seed, t3.seed);
+}
+
+TEST(ShardedCellTest, DefaultCellIdAppendsTenantsOnlyWhenMultiTenant) {
+  CellSpec spec;
+  spec.sut = sut::SutKind::kCdb3;
+  spec.scale_factor = 1;
+  spec.concurrency = 100;
+  spec.seed = 42;
+  EXPECT_EQ(DefaultCellId(spec), "CDB3/sf1/RW/con100/seed42");
+  spec.tenants = 8;
+  EXPECT_EQ(DefaultCellId(spec), "CDB3/sf1/RW/con100/seed42/t8");
+}
+
+/// The tentpole contract: one multi-tenant cell produces byte-identical
+/// rows and artifacts at every --cell-shards value (including an uneven
+/// tenants/shards split) and every --jobs value.
+TEST(ShardedCellTest, ByteIdenticalAcrossShardCounts) {
+  CellSpec cell;
+  cell.sut = sut::SutKind::kCdb3;
+  cell.scale_factor = 1;
+  cell.concurrency = 10;
+  cell.pattern = "RW";
+  cell.seed = 42;
+  cell.warmup = sim::Millis(500);
+  cell.measure = sim::Seconds(1);
+  cell.tenants = 4;
+
+  auto sweep = [&cell](int shards, int jobs, const std::string& tag) {
+    CellSpec spec = cell;
+    spec.cell_shards = shards;
+    RunnerOptions options;
+    options.jobs = jobs;
+    options.print_summary = false;
+    options.jsonl_path = testing::TempDir() + "/shard_" + tag + ".jsonl";
+    if (obs::kCompiled) {
+      options.timeline_jsonl_template =
+          testing::TempDir() + "/shard_" + tag + "_tl.jsonl";
+      options.metrics_template =
+          testing::TempDir() + "/shard_" + tag + "_m.jsonl";
+    }
+    std::vector<CellResult> results =
+        MatrixRunner(options).Run({spec}, RunOltpCell);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    return results[0];
+  };
+
+  CellResult one = sweep(1, 1, "s1");
+  CellResult four = sweep(4, 2, "s4");
+  CellResult three = sweep(3, 1, "s3");  // uneven partition [2,1,1]
+
+  EXPECT_EQ(ToJsonLine(one), ToJsonLine(four));
+  EXPECT_EQ(ToJsonLine(one), ToJsonLine(three));
+  EXPECT_EQ(one.id, "CDB3/sf1/RW/con10/seed42/t4");
+
+  // Merge sanity: extensive columns sum across the per-tenant columns.
+  double tenant_sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    tenant_sum += one.Number("t" + std::to_string(i) + "_tps");
+  }
+  EXPECT_NEAR(one.Number("tps"), tenant_sum, 1e-6);
+  EXPECT_GT(one.Number("commits"), 0);
+
+  if (obs::kCompiled) {
+    // The merged timeline artifact and every per-tenant metrics snapshot
+    // must match byte for byte too.
+    auto artifact = [](const std::string& tag, const std::string& suffix) {
+      return ReadFile(testing::TempDir() + "/shard_" + tag + suffix);
+    };
+    std::string tl = artifact("s1", "_tl.jsonl");
+    EXPECT_FALSE(tl.empty());
+    EXPECT_EQ(tl, artifact("s4", "_tl.jsonl"));
+    EXPECT_EQ(tl, artifact("s3", "_tl.jsonl"));
+    // Tenant scopes are prefixed so the merged stream stays attributable.
+    EXPECT_NE(tl.find("t0."), std::string::npos);
+    EXPECT_NE(tl.find("t3."), std::string::npos);
+    for (int i = 0; i < 4; ++i) {
+      std::string suffix = "_m.jsonl.t" + std::to_string(i);
+      std::string metrics = artifact("s1", suffix);
+      EXPECT_FALSE(metrics.empty()) << suffix;
+      EXPECT_EQ(metrics, artifact("s4", suffix)) << suffix;
+      EXPECT_EQ(metrics, artifact("s3", suffix)) << suffix;
+    }
+  }
+}
+
+/// Each tenant of the sharded cell must be *the same simulation* as a
+/// standalone single-tenant cell with the tenant's derived spec — sharding
+/// changes scheduling, never results.
+TEST(ShardedCellTest, TenantsMatchStandaloneSingleTenantCells) {
+  CellSpec cell;
+  cell.sut = sut::SutKind::kAwsRds;
+  cell.scale_factor = 1;
+  cell.concurrency = 10;
+  cell.seed = 7;
+  cell.warmup = sim::Millis(500);
+  cell.measure = sim::Seconds(1);
+  cell.tenants = 2;
+  cell.cell_shards = 2;
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.print_summary = false;
+  CellResult merged = MatrixRunner(options).Run({cell}, RunOltpCell)[0];
+  ASSERT_TRUE(merged.ok) << merged.error;
+
+  double tps_sum = 0, commits_sum = 0;
+  for (int i = 0; i < 2; ++i) {
+    CellSpec tenant = TenantSpec(cell, i);
+    CellResult standalone =
+        MatrixRunner(options).Run({tenant}, RunOltpCell)[0];
+    ASSERT_TRUE(standalone.ok) << standalone.error;
+    EXPECT_EQ(merged.Text("t" + std::to_string(i) + "_tps"),
+              standalone.Text("tps"));
+    tps_sum += standalone.Number("tps");
+    commits_sum += standalone.Number("commits");
+  }
+  EXPECT_NEAR(merged.Number("tps"), tps_sum, 1e-6);
+  EXPECT_NEAR(merged.Number("commits"), commits_sum, 1e-6);
 }
 
 }  // namespace

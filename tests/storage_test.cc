@@ -344,7 +344,9 @@ TEST(LogManagerTest, ShipListenersSeeDurableRecordsInOrder) {
   DiskDevice disk(&env, cfg);
   LogManager log(&env, &disk);
   std::vector<int64_t> shipped;
-  log.AddShipListener([&](const LogRecord& r) { shipped.push_back(r.lsn); });
+  log.AddShipListener([&](std::span<const LogRecord> batch) {
+    for (const LogRecord& r : batch) shipped.push_back(r.lsn);
+  });
   double t1 = 0, t2 = 0;
   env.Spawn(CommitOne(&log, 1, &t1, &env));
   env.Spawn(CommitOne(&log, 2, &t2, &env));
