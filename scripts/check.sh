@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + ctest in Release, then again with
-# AddressSanitizer and ThreadSanitizer (-DCLOUDYBENCH_SANITIZE=...), plus a
-# matrix-runner determinism smokes: bench_runner_demo, the fault matrix
-# and the open-loop saturation bench must produce byte-identical stdout
-# (and JSONL / timeline CSV / profile artifacts) at --jobs=1 and --jobs=2.
+# AddressSanitizer and ThreadSanitizer (-DCLOUDYBENCH_SANITIZE=...), plus
+# matrix-runner determinism smokes: bench_runner_demo, the fault matrix,
+# the open-loop saturation bench and the chaos sweep must produce
+# byte-identical stdout (and JSONL / timeline CSV / profile artifacts) at
+# --jobs=1 and --jobs=2. The chaos sweep doubles as a correctness gate:
+# it exits non-zero when any end-to-end oracle fails, and the ASan suite
+# reruns a bounded sweep with instrumentation armed.
 # Build trees live under build-check/ so the developer's main build/ is
 # left alone. The sanitizer suites run every test, including the timeline
 # suite, under ASan/TSan via ctest. The perf gate (also available alone as
@@ -93,6 +96,41 @@ load_smoke() {
   diff "${dir}/load_j1.txt" "${dir}/load_j2.txt"
   diff "${dir}/load_j1.jsonl" "${dir}/load_j2.jsonl"
   echo "=== [load] output + artifacts byte-identical across job counts ==="
+}
+
+# The chaos sweep (DESIGN.md §4l) is both a determinism smoke and a
+# correctness gate: 25 seeded fault plans across all five SUTs run with
+# every end-to-end oracle armed (durability, conservation, convergence,
+# breaker, timeline). stdout, the per-cell JSONL and the per-oracle
+# verdict JSONL must be byte-identical at --jobs=1 and --jobs=2, and the
+# bench exits non-zero when any oracle fails — a failing plan is shrunk to
+# a minimal repro line right in the output.
+chaos_smoke() {
+  local dir="build-check/release"
+  echo "=== [chaos] oracle sweep + determinism smoke (--smoke, --jobs=1 vs --jobs=2) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_chaos_sweep
+  "${dir}/bench/bench_chaos_sweep" --smoke --jobs=1 \
+    --jsonl="${dir}/chaos_j1.jsonl" --verdicts="${dir}/chaos_v1.jsonl" \
+    > "${dir}/chaos_j1.txt"
+  "${dir}/bench/bench_chaos_sweep" --smoke --jobs=2 \
+    --jsonl="${dir}/chaos_j2.jsonl" --verdicts="${dir}/chaos_v2.jsonl" \
+    > "${dir}/chaos_j2.txt"
+  diff "${dir}/chaos_j1.txt" "${dir}/chaos_j2.txt"
+  diff "${dir}/chaos_j1.jsonl" "${dir}/chaos_j2.jsonl"
+  diff "${dir}/chaos_v1.jsonl" "${dir}/chaos_v2.jsonl"
+  echo "=== [chaos] all oracles passed; output + artifacts byte-identical across job counts ==="
+}
+
+# Bounded chaos sweep under the active sanitizer: 8 fuzzed plans exercise
+# the fuzzer -> harness -> oracle -> (potential) shrinker pipeline with
+# instrumentation armed. Oracle failures fail the suite here too.
+sanitizer_chaos_smoke() {
+  local name="$1"
+  local dir="build-check/${name}"
+  echo "=== [${name}] chaos sweep under sanitizer (8 plans) ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_chaos_sweep
+  "${dir}/bench/bench_chaos_sweep" --plans=8 --jobs=2 > /dev/null
+  echo "=== [${name}] sanitized chaos sweep clean ==="
 }
 
 # Same contract for the per-cell profiler artifacts (DESIGN.md §4j): the
@@ -305,8 +343,10 @@ case "${MODE}" in
     fault_smoke
     load_smoke
     cell_scaling_smoke
+    chaos_smoke
     perf_gate
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
+    sanitizer_chaos_smoke asan
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread
     ;;
   --release-only)
@@ -317,6 +357,7 @@ case "${MODE}" in
     fault_smoke
     load_smoke
     cell_scaling_smoke
+    chaos_smoke
     perf_gate
     ;;
   --perf-only)
@@ -325,6 +366,7 @@ case "${MODE}" in
     ;;
   --asan-only)
     run_suite asan -DCLOUDYBENCH_SANITIZE=address
+    sanitizer_chaos_smoke asan
     ;;
   --tsan-only)
     run_suite tsan -DCLOUDYBENCH_SANITIZE=thread

@@ -1,0 +1,133 @@
+#include "chaos/fuzzer.h"
+
+#include <iterator>
+
+#include "load/arrival.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace cloudybench::chaos {
+
+namespace {
+
+/// Dedicated stream label for chaos case derivation ("chas"), disjoint from
+/// the worker/session/arrival labels in util/random.h by value.
+constexpr uint64_t kChaosStream = 0x63686173;
+
+/// All seven kinds, drawn uniformly.
+constexpr fault::FaultKind kAllKinds[] = {
+    fault::FaultKind::kCrash,         fault::FaultKind::kCrashLoop,
+    fault::FaultKind::kCorrelatedCrash, fault::FaultKind::kLinkDegrade,
+    fault::FaultKind::kLinkBlackhole, fault::FaultKind::kDiskFailSlow,
+    fault::FaultKind::kReplayStall,
+};
+
+constexpr const char* kLinkTargets[] = {"link.storage", "link.repl",
+                                        "link.rdma"};
+constexpr const char* kDiskTargets[] = {"disk", "storage", "log"};
+
+/// Canned --arrivals= shapes a case may compose with (all validated through
+/// the production parser at generation time). Rates are sized for a
+/// smoke-length cell on one SUT.
+constexpr const char* kArrivalShapes[] = {
+    "process=poisson,rate=300",
+    "process=poisson,rate=200,shape=spike,spike-at=3s,spike-duration=3s,"
+    "spike-mag=4",
+    "process=mmpp,rate=150,rate2=600,dwell=2s",
+    "process=poisson,rate=150,shape=ramp,ramp-to=500",
+};
+
+/// Times land on a 250 ms grid: coarse enough that shrinking by halving
+/// stays on-grid for a few steps, fine enough for real overlap.
+sim::SimTime GridTime(util::Pcg32& rng, sim::SimTime min, sim::SimTime max) {
+  int64_t lo = min.us / 250'000;
+  int64_t hi = max.us / 250'000;
+  int64_t steps = rng.NextInRange(lo, hi);
+  return sim::SimTime{steps * 250'000};
+}
+
+fault::FaultSpec RandomSpec(util::Pcg32& rng, const FuzzOptions& options) {
+  fault::FaultSpec spec;
+  spec.kind = kAllKinds[rng.NextBounded(static_cast<uint32_t>(std::size(kAllKinds)))];
+  spec.at = GridTime(rng, sim::SimTime{0}, options.onset_max);
+  switch (spec.kind) {
+    case fault::FaultKind::kCrash:
+      // Mostly the RW (where durability is at stake), sometimes a replica.
+      spec.target = rng.NextBool(0.6)
+                        ? "rw"
+                        : (rng.NextBool(0.5) ? std::string("ro0")
+                                             : std::string("ro1"));
+      break;
+    case fault::FaultKind::kCrashLoop:
+      spec.target = "rw";
+      spec.duration = GridTime(rng, options.duration_min,
+                               options.duration_max);
+      spec.magnitude = static_cast<double>(rng.NextInRange(3, 8));
+      break;
+    case fault::FaultKind::kCorrelatedCrash:
+      spec.target = "rw";
+      break;
+    case fault::FaultKind::kLinkDegrade:
+      spec.target = kLinkTargets[rng.NextBounded(static_cast<uint32_t>(std::size(kLinkTargets)))];
+      spec.duration = GridTime(rng, options.duration_min,
+                               options.duration_max);
+      spec.magnitude = static_cast<double>(int64_t{1}
+                                           << rng.NextInRange(1, 5));
+      break;
+    case fault::FaultKind::kLinkBlackhole:
+      spec.target = kLinkTargets[rng.NextBounded(static_cast<uint32_t>(std::size(kLinkTargets)))];
+      spec.duration = GridTime(rng, options.duration_min,
+                               options.duration_max);
+      break;
+    case fault::FaultKind::kDiskFailSlow:
+      spec.target = kDiskTargets[rng.NextBounded(static_cast<uint32_t>(std::size(kDiskTargets)))];
+      spec.duration = GridTime(rng, options.duration_min,
+                               options.duration_max);
+      spec.magnitude = static_cast<double>(rng.NextInRange(2, 16));
+      break;
+    case fault::FaultKind::kReplayStall:
+      spec.target = "replay";
+      spec.duration = GridTime(rng, options.duration_min,
+                               options.duration_max);
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+PlanFuzzer::PlanFuzzer(uint64_t seed, FuzzOptions options)
+    : seed_(seed), options_(options) {
+  CB_CHECK(options_.min_faults >= 1);
+  CB_CHECK(options_.max_faults >= options_.min_faults);
+}
+
+ChaosCase PlanFuzzer::Case(uint64_t index) const {
+  util::Pcg32 rng = util::SplitStream(seed_, kChaosStream, index);
+  ChaosCase out;
+  out.case_seed = util::SplitSeed(seed_, kChaosStream, index);
+  int n_faults = static_cast<int>(rng.NextInRange(
+      options_.min_faults, options_.max_faults));
+  for (int i = 0; i < n_faults; ++i) {
+    out.plan.specs.push_back(RandomSpec(rng, options_));
+  }
+  out.degradation = rng.NextBool(options_.degradation_prob);
+  if (rng.NextBool(options_.arrivals_prob)) {
+    out.arrivals = kArrivalShapes[rng.NextBounded(static_cast<uint32_t>(std::size(kArrivalShapes)))];
+    CB_CHECK(load::ParseArrivalPlan(out.arrivals).ok())
+        << "canned arrival shape must parse: " << out.arrivals;
+  }
+  out.plan_string = out.plan.ToPlanString();
+  // The emitted string is the replay contract: it must reparse to the very
+  // plan we generated, spec for spec.
+  util::Result<fault::FaultPlan> reparsed =
+      fault::ParseFaultPlan(out.plan_string);
+  CB_CHECK(reparsed.ok()) << "generated plan must round-trip: "
+                          << out.plan_string;
+  CB_CHECK(reparsed->ToPlanString() == out.plan_string);
+  return out;
+}
+
+ChaosCase PlanFuzzer::Next() { return Case(index_++); }
+
+}  // namespace cloudybench::chaos

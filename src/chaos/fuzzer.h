@@ -1,0 +1,66 @@
+#ifndef CLOUDYBENCH_CHAOS_FUZZER_H_
+#define CLOUDYBENCH_CHAOS_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.h"
+#include "sim/sim_time.h"
+
+namespace cloudybench::chaos {
+
+/// Knobs for the plan fuzzer. Defaults produce short overlapping schedules
+/// that fit a smoke-sized measurement window.
+struct FuzzOptions {
+  int min_faults = 1;
+  int max_faults = 3;
+  /// Fault onsets are drawn from [0, onset_max] on a 250 ms grid.
+  sim::SimTime onset_max = sim::Seconds(8);
+  /// Window lengths for clearing kinds, also on the 250 ms grid.
+  sim::SimTime duration_min = sim::Seconds(1);
+  sim::SimTime duration_max = sim::Seconds(8);
+  /// Probability a case arms the graceful-degradation machinery.
+  double degradation_prob = 0.75;
+  /// Probability a case drives open-loop --arrivals= load instead of the
+  /// closed-loop worker pool.
+  double arrivals_prob = 0.25;
+};
+
+/// One generated chaos case: a fault plan (as both the parsed form and the
+/// exact --faults= string, which round-trips through the production
+/// parser), a per-case seed for the workload, and the composition toggles.
+struct ChaosCase {
+  uint64_t case_seed = 0;
+  std::string plan_string;
+  fault::FaultPlan plan;
+  bool degradation = true;
+  /// Empty = closed-loop; else an --arrivals= plan string.
+  std::string arrivals;
+};
+
+/// Seeded deterministic generator of randomized fault plans over the whole
+/// FaultKind taxonomy: random kinds, targets, onsets, magnitudes, durations
+/// and overlapping windows, composed with degradation toggles and open-loop
+/// arrival shapes. Case i depends only on (seed, i) — never on how many
+/// cases were drawn before or on wall-clock anything — so a sweep is
+/// byte-identical at any --jobs and any single case is reproducible from
+/// its index.
+class PlanFuzzer {
+ public:
+  explicit PlanFuzzer(uint64_t seed, FuzzOptions options = {});
+
+  /// The next case (index advances by one).
+  ChaosCase Next();
+
+  /// Case by absolute index, independent of generator state.
+  ChaosCase Case(uint64_t index) const;
+
+ private:
+  uint64_t seed_;
+  uint64_t index_ = 0;
+  FuzzOptions options_;
+};
+
+}  // namespace cloudybench::chaos
+
+#endif  // CLOUDYBENCH_CHAOS_FUZZER_H_

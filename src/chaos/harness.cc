@@ -1,0 +1,190 @@
+#include "chaos/harness.h"
+
+#include <optional>
+
+#include "cloud/degradation.h"
+#include "core/collector.h"
+#include "core/workload_manager.h"
+#include "fault/injector.h"
+#include "load/arrival.h"
+#include "load/open_loop.h"
+#include "obs/timeline.h"
+#include "runner/oltp_cell.h"
+#include "util/logging.h"
+
+namespace cloudybench::chaos {
+
+namespace {
+
+/// Quiescence: nothing mid-recovery, every node serving with no live
+/// transactions, every replayer fully applied. Only then are the state
+/// hashes meaningful to compare.
+bool Quiet(cloud::Cluster* cluster) {
+  if (cluster->rw_recovery_in_flight()) return false;
+  if (!cluster->rw()->available()) return false;
+  if (cluster->rw()->active_txns() != 0) return false;
+  for (size_t i = 0; i < cluster->ro_count(); ++i) {
+    cloud::ComputeNode* node = cluster->ro(i);
+    if (!node->available()) return false;
+    if (node->active_txns() != 0) return false;
+  }
+  for (size_t i = 0; i < cluster->replayer_count(); ++i) {
+    if (!cluster->replayer(i)->Drained()) return false;
+  }
+  return true;
+}
+
+/// Counts "fault.inject"/"fault.clear" journal rows, or (-1,-1) when the
+/// thread-local timeline is off (the journal half of the timeline oracle is
+/// then vacuous).
+std::pair<int64_t, int64_t> JournalFireCounts() {
+  obs::Timeline& timeline = obs::Timeline::Get();
+  if (!timeline.enabled()) return {-1, -1};
+  int64_t injects = 0;
+  int64_t clears = 0;
+  for (const obs::TimelineEvent& event : timeline.events()) {
+    if (event.kind == "fault.inject") ++injects;
+    if (event.kind == "fault.clear") ++clears;
+  }
+  return {injects, clears};
+}
+
+}  // namespace
+
+CaseOutcome RunChaosCase(const fault::FaultPlan& plan,
+                         const CaseOptions& options) {
+  SalesWorkloadConfig workload = SalesWorkloadConfig::ReadWrite();
+  workload.seed = options.seed;
+  SalesTransactionSet txns(workload);
+
+  runner::CellSpec spec;
+  spec.sut = options.sut;
+  spec.scale_factor = 1;
+  spec.n_ro = options.n_ro;
+  spec.concurrency = options.concurrency;
+  spec.seed = options.seed;
+  spec.warmup = options.warmup;
+  spec.measure = options.measure;
+  runner::CellDeployment rig(spec, txns.Schemas());
+  cloud::Cluster* cluster = rig.cluster.get();
+  sim::Environment* env = &rig.env;
+
+  if (options.degradation) {
+    cluster->EnableDegradation(cloud::DegradationPolicy{});
+  }
+  if (options.plant_wal_tail_loss) {
+    cluster->PlantWalTailLossForTest();
+  }
+
+  // Ledger every client-acked write commit on every node: after a
+  // fail-over a promoted replica runs the writes, and its acks count the
+  // same as the original RW's.
+  CommitLedger ledger;
+  auto listener = [&ledger](std::span<const txn::TxnBook::WriteOp> writes) {
+    ledger.Record(writes);
+  };
+  cluster->rw()->txn().SetCommitListener(listener);
+  for (size_t i = 0; i < cluster->ro_count(); ++i) {
+    cluster->ro(i)->txn().SetCommitListener(listener);
+  }
+
+  fault::FaultInjector injector(env, cluster);
+  CaseOutcome outcome;
+  fault::FaultPlan armed;
+  for (const fault::FaultSpec& fault_spec : plan.specs) {
+    if (injector.TargetExists(fault_spec)) {
+      armed.specs.push_back(fault_spec);
+      ++outcome.armed;
+    } else {
+      ++outcome.skipped;
+    }
+  }
+
+  obs::EmitEvent(env, cluster->ObsScope(), "chaos.case_start",
+                 plan.ToPlanString(),
+                 static_cast<double>(outcome.armed));
+
+  // Function scope, not branch scope: StopAll() only signals the worker
+  // pool, and the workers finish their in-flight transactions during the
+  // drain steps below — the manager must outlive every env->Run* call.
+  std::optional<PerformanceCollector> collector;
+  std::optional<WorkloadManager> manager;
+
+  sim::SimTime base{0};
+  if (options.arrivals.empty()) {
+    // Closed loop: a fixed worker pool, faults armed when warmup ends.
+    collector.emplace(env);
+    collector->Start();
+    manager.emplace(env, cluster, &txns, &collector.value());
+    manager->SetConcurrency(options.concurrency);
+    env->RunFor(options.warmup);
+    base = env->Now();
+    injector.Arm(plan, base);
+    env->RunUntil(base + options.measure);
+    manager->StopAll();
+    outcome.commits = collector->commits();
+    outcome.aborts = collector->aborts();
+  } else {
+    // Open loop: the arrival schedule is the load shape; it pre-exists the
+    // faults by construction, so arming first is safe.
+    util::Result<load::ArrivalPlan> arrival_plan =
+        load::ParseArrivalPlan(options.arrivals);
+    CB_CHECK(arrival_plan.ok()) << "chaos arrivals must parse: "
+                                << options.arrivals;
+    base = env->Now();
+    injector.Arm(plan, base);
+    load::OpenLoopOptions loop;
+    loop.seed = options.seed;
+    loop.horizon = options.measure;
+    loop.drain = sim::Seconds(2);
+    load::OpenLoopResult r =
+        load::OpenLoopDriver::Run(env, cluster, &txns, *arrival_plan, loop);
+    outcome.commits = r.commits;
+    outcome.aborts = r.aborts;
+  }
+
+  // Make sure every scheduled clear has fired before judging quiescence.
+  sim::SimTime all_clear = base + armed.LastClearAt();
+  if (env->Now() < all_clear) env->RunUntil(all_clear);
+
+  // Drain: recovery completion + replication catch-up, bounded.
+  sim::SimTime deadline = env->Now() + options.drain_limit;
+  while (env->Now() < deadline && !Quiet(cluster)) {
+    env->RunFor(sim::Millis(500));
+  }
+  outcome.drained = Quiet(cluster);
+  if (outcome.drained) {
+    // Settle window for the breaker state machines: probation (2 s by
+    // default) plus a few probe intervals, so an Open breaker has had every
+    // chance to walk back to Closed before the oracle looks.
+    env->RunFor(sim::Seconds(5));
+  }
+
+  OracleInputs inputs;
+  inputs.cluster = cluster;
+  inputs.ledger = &ledger;
+  inputs.sales = &txns;
+  inputs.armed = armed;
+  inputs.drained = outcome.drained;
+  inputs.degradation = options.degradation;
+  inputs.faults_injected = injector.injected();
+  inputs.faults_cleared = injector.cleared();
+  auto [journal_injects, journal_clears] = JournalFireCounts();
+  inputs.journal_injects = journal_injects;
+  inputs.journal_clears = journal_clears;
+  outcome.report = EvaluateOracles(inputs);
+
+  for (const OracleVerdict& verdict : outcome.report.verdicts) {
+    obs::EmitEvent(env, cluster->ObsScope(),
+                   verdict.pass ? "chaos.oracle_pass" : "chaos.oracle_fail",
+                   verdict.oracle + (verdict.detail.empty()
+                                         ? ""
+                                         : ": " + verdict.detail));
+  }
+
+  outcome.acked_commits = ledger.acked_commits();
+  outcome.sim_seconds = env->Now().ToSeconds();
+  return outcome;
+}
+
+}  // namespace cloudybench::chaos

@@ -1,0 +1,61 @@
+#ifndef CLOUDYBENCH_CHAOS_HARNESS_H_
+#define CLOUDYBENCH_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/oracles.h"
+#include "fault/fault.h"
+#include "sim/sim_time.h"
+#include "sut/profiles.h"
+
+namespace cloudybench::chaos {
+
+/// How to run one chaos case. Geometry defaults fit a smoke cell: short
+/// enough for CI, long enough for crash recovery plus a full replication
+/// drain.
+struct CaseOptions {
+  sut::SutKind sut = sut::SutKind::kAwsRds;
+  uint64_t seed = 42;
+  int n_ro = 2;
+  int concurrency = 40;
+  sim::SimTime warmup = sim::Seconds(2);
+  sim::SimTime measure = sim::Seconds(12);
+  /// Arm the graceful-degradation machinery (breaker/shedder).
+  bool degradation = true;
+  /// Empty = closed-loop worker pool; else an --arrivals= plan driven
+  /// open-loop for `measure` (warmup is skipped — arrival schedules carry
+  /// their own ramp).
+  std::string arrivals;
+  /// Mutation-test hook: plant the deliberate WAL-tail-loss bug so the
+  /// durability oracle has something real to catch.
+  bool plant_wal_tail_loss = false;
+  /// How long past the fault window the harness waits for quiescence
+  /// (recovery + replay drain) before declaring the cluster stuck.
+  sim::SimTime drain_limit = sim::Seconds(60);
+};
+
+/// What one case produced: the full oracle report plus the run's headline
+/// counters. Deterministic for a given (plan, options).
+struct CaseOutcome {
+  OracleReport report;
+  int64_t commits = 0;
+  int64_t aborts = 0;
+  /// Client-acked write commits ledgered for the durability oracle.
+  int64_t acked_commits = 0;
+  int armed = 0;
+  int skipped = 0;
+  bool drained = false;
+  double sim_seconds = 0.0;
+};
+
+/// Deploys a fresh SUT, drives load, arms the plan at the end of warmup,
+/// runs through the fault window, drains to quiescence, then judges the
+/// five oracles. Journals "chaos.case_start" and one
+/// "chaos.oracle_pass"/"chaos.oracle_fail" per verdict.
+CaseOutcome RunChaosCase(const fault::FaultPlan& plan,
+                         const CaseOptions& options);
+
+}  // namespace cloudybench::chaos
+
+#endif  // CLOUDYBENCH_CHAOS_HARNESS_H_

@@ -1,0 +1,230 @@
+#include "chaos/oracles.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "storage/synthetic_table.h"
+
+namespace cloudybench::chaos {
+
+void CommitLedger::Record(std::span<const txn::TxnBook::WriteOp> writes) {
+  ++acked_commits_;
+  for (const txn::TxnBook::WriteOp& op : writes) {
+    switch (op.type) {
+      case storage::LogRecordType::kInsert:
+      case storage::LogRecordType::kUpdate:
+        states_[{op.table, op.key}] = true;
+        break;
+      case storage::LogRecordType::kDelete:
+        states_[{op.table, op.key}] = false;
+        break;
+      case storage::LogRecordType::kCommit:
+        break;
+    }
+  }
+}
+
+bool OracleReport::AllPass() const {
+  for (const OracleVerdict& verdict : verdicts) {
+    if (!verdict.pass) return false;
+  }
+  return true;
+}
+
+const OracleVerdict* OracleReport::FirstFailure() const {
+  for (const OracleVerdict& verdict : verdicts) {
+    if (!verdict.pass) return &verdict;
+  }
+  return nullptr;
+}
+
+std::string OracleReport::Summary() const {
+  const OracleVerdict* failure = FirstFailure();
+  if (failure == nullptr) return "pass";
+  return "FAIL " + failure->oracle + ": " + failure->detail;
+}
+
+std::pair<int64_t, int64_t> ExpectedFireCounts(const fault::FaultPlan& armed) {
+  int64_t injects = 0;
+  int64_t clears = 0;
+  for (const fault::FaultSpec& spec : armed.specs) {
+    switch (spec.kind) {
+      case fault::FaultKind::kCrash:
+      case fault::FaultKind::kCorrelatedCrash:
+        ++injects;
+        break;
+      case fault::FaultKind::kCrashLoop: {
+        // Mirrors the injector's arming loop exactly: one injection per
+        // period offset inside the window.
+        sim::SimTime period = sim::Seconds(spec.magnitude);
+        for (sim::SimTime offset{0}; offset < spec.duration;
+             offset += period) {
+          ++injects;
+        }
+        break;
+      }
+      default:
+        ++injects;
+        ++clears;
+        break;
+    }
+  }
+  return {injects, clears};
+}
+
+namespace {
+
+OracleVerdict Durability(const OracleInputs& in) {
+  OracleVerdict v{"durability", true, ""};
+  storage::TableSet* db = in.cluster->canonical();
+  int64_t mismatches = 0;
+  std::ostringstream first;
+  for (const auto& [table_key, expect_present] : in.ledger->states()) {
+    storage::SyntheticTable* table = db->FindById(table_key.first);
+    if (table == nullptr) continue;
+    bool present = table->Exists(table_key.second);
+    if (present != expect_present) {
+      if (mismatches == 0) {
+        first << table->schema().name << " key " << table_key.second
+              << " acked " << (expect_present ? "present" : "absent")
+              << " but " << (present ? "present" : "absent");
+      }
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    v.pass = false;
+    std::ostringstream detail;
+    detail << mismatches << " acked write(s) lost; first: " << first.str();
+    v.detail = detail.str();
+  }
+  return v;
+}
+
+OracleVerdict Conservation(const OracleInputs& in) {
+  OracleVerdict v{"conservation", true, ""};
+  storage::SyntheticTable* customer =
+      in.cluster->canonical()->Find(sales::kCustomerTable);
+  if (customer == nullptr || in.sales == nullptr) {
+    v.detail = "no sales workload; trivially holds";
+    return v;
+  }
+  double credit_delta = 0;
+  for (int64_t key = 0; key < customer->base_count(); ++key) {
+    auto row = customer->Get(key);
+    if (row.has_value()) {
+      credit_delta += row->amount - 1000.0;  // initial C_CREDIT is 1000
+    }
+  }
+  double expected = in.sales->total_paid_amount();
+  double tolerance = std::max(1e-6, 1e-12 * std::abs(expected));
+  if (std::abs(credit_delta - expected) > tolerance) {
+    v.pass = false;
+    std::ostringstream detail;
+    detail << "credit delta " << credit_delta << " != committed payments "
+           << expected;
+    v.detail = detail.str();
+  }
+  return v;
+}
+
+OracleVerdict Convergence(const OracleInputs& in) {
+  OracleVerdict v{"convergence", true, ""};
+  if (in.cluster->replayer_count() == 0) {
+    v.detail = "no replicas; trivially holds";
+    return v;
+  }
+  if (!in.drained) {
+    v.pass = false;
+    v.detail = "cluster never quiesced inside the drain deadline";
+    return v;
+  }
+  // Content hash, not StateHash: serial keys allocated by transactions
+  // that aborted (e.g. the T1 retry storm while the RW is down) advance
+  // the canonical allocator but are never logged, so a replica fed purely
+  // by the redo stream legitimately lags the allocator while holding
+  // byte-identical rows (real sequences are not transactional either).
+  uint64_t canonical_hash = in.cluster->canonical()->ContentHash();
+  for (size_t i = 0; i < in.cluster->replayer_count(); ++i) {
+    repl::Replayer* replayer = in.cluster->replayer(i);
+    if (replayer->backlog() != 0) {
+      v.pass = false;
+      std::ostringstream detail;
+      detail << "replayer " << i << " backlog " << replayer->backlog()
+             << " after drain";
+      v.detail = detail.str();
+      return v;
+    }
+    if (replayer->replica_tables()->ContentHash() != canonical_hash) {
+      v.pass = false;
+      std::ostringstream detail;
+      detail << "replica " << i << " row contents diverge from canonical "
+             << "at zero backlog";
+      v.detail = detail.str();
+      return v;
+    }
+  }
+  return v;
+}
+
+OracleVerdict Breaker(const OracleInputs& in) {
+  OracleVerdict v{"breaker", true, ""};
+  cloud::DegradationController* controller = in.cluster->degradation();
+  if (!in.degradation || controller == nullptr) {
+    v.detail = "degradation not armed; trivially holds";
+    return v;
+  }
+  for (size_t i = 0; i < in.cluster->ro_count(); ++i) {
+    cloud::ComputeNode* node = in.cluster->ro(i);
+    if (controller->StateOf(node) ==
+        cloud::DegradationController::BreakerState::kOpen) {
+      v.pass = false;
+      std::ostringstream detail;
+      detail << "breaker for " << node->name()
+             << " still Open after faults cleared and backlog drained";
+      v.detail = detail.str();
+      return v;
+    }
+  }
+  return v;
+}
+
+OracleVerdict TimelineSanity(const OracleInputs& in) {
+  OracleVerdict v{"timeline", true, ""};
+  auto [expect_injects, expect_clears] = ExpectedFireCounts(in.armed);
+  if (in.faults_injected != expect_injects ||
+      in.faults_cleared != expect_clears) {
+    v.pass = false;
+    std::ostringstream detail;
+    detail << "injector fired " << in.faults_injected << "/"
+           << in.faults_cleared << " (inject/clear), plan expects "
+           << expect_injects << "/" << expect_clears;
+    v.detail = detail.str();
+    return v;
+  }
+  if (in.journal_injects >= 0 &&
+      (in.journal_injects != expect_injects ||
+       in.journal_clears != expect_clears)) {
+    v.pass = false;
+    std::ostringstream detail;
+    detail << "journal has " << in.journal_injects << "/" << in.journal_clears
+           << " fault events, plan expects " << expect_injects << "/"
+           << expect_clears;
+    v.detail = detail.str();
+  }
+  return v;
+}
+
+}  // namespace
+
+OracleReport EvaluateOracles(const OracleInputs& inputs) {
+  OracleReport report;
+  report.verdicts.push_back(Durability(inputs));
+  report.verdicts.push_back(Conservation(inputs));
+  report.verdicts.push_back(Convergence(inputs));
+  report.verdicts.push_back(Breaker(inputs));
+  report.verdicts.push_back(TimelineSanity(inputs));
+  return report;
+}
+
+}  // namespace cloudybench::chaos

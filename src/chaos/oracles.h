@@ -1,0 +1,95 @@
+#ifndef CLOUDYBENCH_CHAOS_ORACLES_H_
+#define CLOUDYBENCH_CHAOS_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/cluster.h"
+#include "core/sales_workload.h"
+#include "fault/fault.h"
+#include "txn/txn_manager.h"
+
+namespace cloudybench::chaos {
+
+/// Client-side record of every acknowledged commit, fed by the
+/// TxnManager commit listener at the exact client-ack point (after the log
+/// force and write-set apply, before Commit returns OK). The durability
+/// oracle replays this ledger against the post-recovery canonical state:
+/// anything the client was told succeeded must still be there.
+class CommitLedger {
+ public:
+  /// Listener payload: one committed write transaction's write set.
+  void Record(std::span<const txn::TxnBook::WriteOp> writes);
+
+  int64_t acked_commits() const { return acked_commits_; }
+
+  /// Final expected existence per (table, key): true after an acked insert
+  /// or update, false after an acked delete. std::map so iteration (and
+  /// thus any failure detail string) is deterministic.
+  const std::map<std::pair<storage::TableId, int64_t>, bool>& states() const {
+    return states_;
+  }
+
+ private:
+  int64_t acked_commits_ = 0;
+  std::map<std::pair<storage::TableId, int64_t>, bool> states_;
+};
+
+/// One oracle's verdict for one case.
+struct OracleVerdict {
+  std::string oracle;
+  bool pass = true;
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<OracleVerdict> verdicts;
+
+  bool AllPass() const;
+  /// First failing verdict, or nullptr when all pass.
+  const OracleVerdict* FirstFailure() const;
+  /// "pass" or "FAIL <oracle>: <detail>" for the first failure.
+  std::string Summary() const;
+};
+
+/// Everything the oracle suite inspects after a case has drained.
+struct OracleInputs {
+  cloud::Cluster* cluster = nullptr;
+  const CommitLedger* ledger = nullptr;
+  /// The workload that ran (client-side T2 payment sum for conservation).
+  const SalesTransactionSet* sales = nullptr;
+  /// The subset of the plan that was actually armed on this SUT (targets
+  /// that exist), for the timeline-sanity expected counts.
+  fault::FaultPlan armed;
+  /// Whether the post-fault drain loop reached quiescence before its
+  /// deadline. Convergence is only judged on a drained cluster.
+  bool drained = false;
+  /// Whether graceful degradation was armed (breaker oracle is trivial
+  /// otherwise).
+  bool degradation = false;
+  /// Injector journal counters.
+  int64_t faults_injected = 0;
+  int64_t faults_cleared = 0;
+  /// Timeline journal counts of "fault.inject"/"fault.clear" events, or -1
+  /// when the timeline was disabled (obs off) — the journal half of the
+  /// timeline oracle is then skipped.
+  int64_t journal_injects = -1;
+  int64_t journal_clears = -1;
+};
+
+/// Expected (injects, clears) for an armed plan: crash/correlated one
+/// inject and no clear; crash-loop one inject per period inside the window
+/// and no clear; every windowed kind exactly one of each.
+std::pair<int64_t, int64_t> ExpectedFireCounts(const fault::FaultPlan& armed);
+
+/// Runs the five oracles; always returns all five verdicts in a fixed
+/// order (durability, conservation, convergence, breaker, timeline).
+OracleReport EvaluateOracles(const OracleInputs& inputs);
+
+}  // namespace cloudybench::chaos
+
+#endif  // CLOUDYBENCH_CHAOS_ORACLES_H_

@@ -1,0 +1,103 @@
+#include "chaos/shrinker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cloudybench::chaos {
+
+namespace {
+
+/// Weakened variants of one spec, strongest reduction first. Only variants
+/// that still satisfy the grammar's per-kind constraints are produced (the
+/// candidate must stay a parseable, replayable plan).
+std::vector<fault::FaultSpec> WeakenedVariants(const fault::FaultSpec& spec) {
+  std::vector<fault::FaultSpec> variants;
+  // Halve the magnitude toward its per-kind floor of 1. Skipped for
+  // crash-loop, where magnitude is the crash *period*: halving it doubles
+  // the crash count, which intensifies the fault instead of weakening it.
+  if (spec.kind != fault::FaultKind::kCrashLoop && spec.magnitude > 1.0) {
+    fault::FaultSpec weaker = spec;
+    weaker.magnitude = std::max(1.0, spec.magnitude / 2.0);
+    variants.push_back(weaker);
+  }
+  // Halve the window (tighter fault), keeping it on the fuzzer's 250 ms
+  // grid floor so the spec stays valid (duration > 0 where required).
+  if (spec.duration.us >= 500'000) {
+    fault::FaultSpec weaker = spec;
+    weaker.duration = sim::SimTime{spec.duration.us / 2};
+    variants.push_back(weaker);
+  }
+  // Halve the onset (earlier, shorter schedule).
+  if (spec.at.us > 0) {
+    fault::FaultSpec weaker = spec;
+    weaker.at = sim::SimTime{spec.at.us / 2};
+    variants.push_back(weaker);
+  }
+  return variants;
+}
+
+}  // namespace
+
+ShrinkOutcome ShrinkPlan(const fault::FaultPlan& failing,
+                         const CaseRunner& run, int max_runs) {
+  ShrinkOutcome out;
+  out.plan = failing;
+  out.failed_oracle = run(failing);
+  out.runs = 1;
+  CB_CHECK(!out.failed_oracle.empty())
+      << "ShrinkPlan needs a failing plan to start from";
+
+  bool changed = true;
+  while (changed && out.runs < max_runs) {
+    changed = false;
+    // Pass 1: drop whole specs, largest index first so removals don't
+    // shift the indices still to be visited.
+    for (int i = static_cast<int>(out.plan.specs.size()) - 1;
+         i >= 0 && out.plan.specs.size() > 1 && out.runs < max_runs; --i) {
+      fault::FaultPlan candidate = out.plan;
+      candidate.specs.erase(candidate.specs.begin() + i);
+      std::string failed = run(candidate);
+      ++out.runs;
+      if (!failed.empty()) {
+        out.plan = std::move(candidate);
+        out.failed_oracle = std::move(failed);
+        changed = true;
+      }
+    }
+    // Pass 2: weaken each surviving spec in place.
+    for (size_t i = 0; i < out.plan.specs.size() && out.runs < max_runs;
+         ++i) {
+      for (const fault::FaultSpec& variant :
+           WeakenedVariants(out.plan.specs[i])) {
+        if (out.runs >= max_runs) break;
+        fault::FaultPlan candidate = out.plan;
+        candidate.specs[i] = variant;
+        std::string failed = run(candidate);
+        ++out.runs;
+        if (!failed.empty()) {
+          out.plan = std::move(candidate);
+          out.failed_oracle = std::move(failed);
+          changed = true;
+          // Re-derive variants from the adopted spec next loop iteration.
+          break;
+        }
+      }
+    }
+  }
+  out.converged = !changed;
+  out.plan_string = out.plan.ToPlanString();
+  return out;
+}
+
+std::string ReproLine(uint64_t seed, const ShrinkOutcome& outcome) {
+  std::ostringstream out;
+  out << "chaos repro: --seed=" << seed << " --faults='"
+      << outcome.plan_string << "' failed=" << outcome.failed_oracle;
+  return out.str();
+}
+
+}  // namespace cloudybench::chaos

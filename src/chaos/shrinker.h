@@ -1,0 +1,46 @@
+#ifndef CLOUDYBENCH_CHAOS_SHRINKER_H_
+#define CLOUDYBENCH_CHAOS_SHRINKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fault/fault.h"
+
+namespace cloudybench::chaos {
+
+/// Runs one candidate plan and returns the name of the first failing oracle
+/// ("" = every oracle passed). Must be deterministic in the plan — the
+/// harness's RunChaosCase with fixed options is exactly that.
+using CaseRunner = std::function<std::string(const fault::FaultPlan&)>;
+
+struct ShrinkOutcome {
+  /// The minimal failing plan found.
+  fault::FaultPlan plan;
+  /// Its replayable --faults= string.
+  std::string plan_string;
+  /// The oracle the minimal plan fails.
+  std::string failed_oracle;
+  /// Candidate runs spent (including the initial confirmation).
+  int runs = 0;
+  /// False when the run budget was exhausted before reaching a fixpoint
+  /// (the plan returned is still failing, just maybe not minimal).
+  bool converged = false;
+};
+
+/// Delta-debugs a failing plan to a minimal failing plan: greedy spec
+/// drops (largest index first), then per-spec weakening — magnitude halved
+/// toward 1, duration halved while >= 250 ms, onset halved toward 0 — each
+/// candidate adopted only if it still fails some oracle. Repeats to a
+/// fixpoint under `max_runs`. Deterministic: same plan + same runner ->
+/// byte-identical minimal plan. CB_CHECKs that `failing` actually fails.
+ShrinkOutcome ShrinkPlan(const fault::FaultPlan& failing,
+                         const CaseRunner& run, int max_runs = 48);
+
+/// One-line repro: "chaos repro: --seed=<seed> --faults='<plan>'
+/// failed=<oracle>" — paste the plan string into any bench's --faults=.
+std::string ReproLine(uint64_t seed, const ShrinkOutcome& outcome);
+
+}  // namespace cloudybench::chaos
+
+#endif  // CLOUDYBENCH_CHAOS_SHRINKER_H_

@@ -402,10 +402,27 @@ void Cluster::InjectRwRestart(sim::SimTime at) {
     int64_t backlog = log_mgr_->pending_bytes();
     obs::EmitEvent(env_, Scope(), "failover.inject", "rw restart",
                    static_cast<double>(active));
+    if (wal_tail_loss_for_test_) DropNewestInsertForTest();
     failed->SetAvailable(false);
     failed->ClearLocalBuffer();
     env_->Spawn(RwRecovery(failed, dirty, active, backlog));
   });
+}
+
+void Cluster::DropNewestInsertForTest() {
+  // Simulates a lost WAL tail: the newest committed insert vanishes from
+  // the canonical state even though the client saw its commit succeed.
+  // Tables are scanned in creation order; within a table, newest key first.
+  for (const auto& table : canonical_tables_.tables()) {
+    for (int64_t key = table->max_key(); key >= table->base_count(); --key) {
+      if (table->Exists(key)) {
+        CB_CHECK_OK(table->Delete(key));
+        obs::EmitEvent(env_, Scope(), "chaos.planted_loss",
+                       table->schema().name, static_cast<double>(key));
+        return;
+      }
+    }
+  }
 }
 
 void Cluster::InjectRoRestart(size_t ro_index, sim::SimTime at) {

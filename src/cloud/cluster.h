@@ -210,6 +210,14 @@ class Cluster {
   util::Status ManualStartRw();
   bool rw_killed() const { return rw_killed_; }
 
+  // ---- chaos mutation hook ----
+  /// Plants a deliberate durability bug: each accepted RW crash silently
+  /// drops the newest committed insert from the canonical tables (a lost
+  /// WAL tail). The chaos mutation test (tests/chaos_test.cc) arms this and
+  /// asserts the durability oracle catches and shrinks it; production code
+  /// never sets it.
+  void PlantWalTailLossForTest() { wal_tail_loss_for_test_ = true; }
+
   // ---- aggregate stats ----
   int64_t TotalCommits() const;
   int64_t TotalAborts() const;
@@ -219,6 +227,8 @@ class Cluster {
  private:
   sim::Process RwRecovery(ComputeNode* failed, int64_t dirty_pages,
                           int64_t active_txns, int64_t log_backlog_bytes);
+  /// The planted-bug payload (see PlantWalTailLossForTest).
+  void DropNewestInsertForTest();
   /// Restart-in-place recovery duration charged from the crash snapshot.
   sim::Process InPlaceRecovery(ComputeNode* failed, int64_t dirty_pages,
                                int64_t active_txns,
@@ -272,6 +282,7 @@ class Cluster {
   std::unique_ptr<DegradationController> degradation_;
   /// Guards against double injection (see InjectRwRestart).
   bool rw_recovery_in_flight_ = false;
+  bool wal_tail_loss_for_test_ = false;
   // Kill/stop model state: crash snapshot awaiting a manual start.
   bool rw_killed_ = false;
   int64_t killed_dirty_pages_ = 0;

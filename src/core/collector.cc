@@ -24,10 +24,12 @@ PerformanceCollector::PerformanceCollector(sim::Environment* env,
   CB_CHECK_GT(window.us, 0);
 }
 
+PerformanceCollector::~PerformanceCollector() { *alive_ = false; }
+
 void PerformanceCollector::Start() {
   if (started_) return;
   started_ = true;
-  env_->Spawn(SampleLoop());
+  env_->Spawn(SampleLoop(alive_));
 }
 
 void PerformanceCollector::RecordCommit(TxnType type, double latency_ms) {
@@ -64,13 +66,19 @@ void PerformanceCollector::RegisterWith(obs::MetricRegistry* registry,
   });
 }
 
-sim::Process PerformanceCollector::SampleLoop() {
+sim::Process PerformanceCollector::SampleLoop(
+    std::shared_ptr<const bool> alive) {
+  // Frame-local copies: after a resume the collector may be gone, and the
+  // only safe read is the shared liveness flag.
+  sim::Environment* env = env_;
+  const sim::SimTime window = window_;
   for (;;) {
-    co_await env_->Delay(window_);
+    co_await env->Delay(window);
+    if (!*alive) co_return;
     int64_t delta = total_commits_ - last_sampled_commits_;
     last_sampled_commits_ = total_commits_;
-    tps_.Add(env_->Now().ToSeconds(),
-             static_cast<double>(delta) / window_.ToSeconds());
+    tps_.Add(env->Now().ToSeconds(),
+             static_cast<double>(delta) / window.ToSeconds());
   }
 }
 

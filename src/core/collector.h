@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "obs/histogram.h"
@@ -80,12 +81,19 @@ class PerformanceCollector {
   void RegisterWith(obs::MetricRegistry* registry,
                     const std::string& prefix) const;
 
+  ~PerformanceCollector();
+
  private:
-  sim::Process SampleLoop();
+  sim::Process SampleLoop(std::shared_ptr<const bool> alive);
 
   sim::Environment* env_;
   sim::SimTime window_;
   bool started_ = false;
+  /// Liveness flag shared with the SampleLoop frame: the loop may be
+  /// resumed by the environment after the collector is destroyed (open-loop
+  /// driver's internal collector, chaos drain phases), and must be able to
+  /// notice without dereferencing a dangling `this`.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   int64_t total_commits_ = 0;
   int64_t total_aborts_ = 0;
   int64_t total_unavailable_ = 0;

@@ -129,6 +129,15 @@ std::string FormatDuration(sim::SimTime t) {
   return out.str();
 }
 
+/// Every parse error carries the byte offset (within the full --faults=
+/// string) and the offending token, so a bad spec buried in a long plan is
+/// findable without bisecting.
+Status SpecError(size_t offset, std::string_view token, std::string_view msg) {
+  std::ostringstream out;
+  out << "at byte " << offset << ", token '" << token << "': " << msg;
+  return Status::InvalidArgument(out.str());
+}
+
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) {
@@ -144,6 +153,24 @@ std::string FaultSpec::ToString() const {
       << " at=" << FormatDuration(at);
   if (duration.us > 0) out << " duration=" << FormatDuration(duration);
   if (magnitude > 0.0) out << " magnitude=" << magnitude;
+  return out.str();
+}
+
+std::string FaultSpec::ToSpecString() const {
+  std::ostringstream out;
+  out << "kind=" << FaultKindName(kind) << ",target=" << target
+      << ",at=" << FormatDuration(at);
+  if (duration.us > 0) out << ",duration=" << FormatDuration(duration);
+  if (magnitude > 0.0) {
+    out << ",magnitude=";
+    // Integral magnitudes print without a decimal point so the string is
+    // stable under a parse/serialize round trip.
+    if (magnitude == static_cast<double>(static_cast<int64_t>(magnitude))) {
+      out << static_cast<int64_t>(magnitude);
+    } else {
+      out << magnitude;
+    }
+  }
   return out.str();
 }
 
@@ -164,6 +191,15 @@ sim::SimTime FaultPlan::LastClearAt() const {
     if (clear > last) last = clear;
   }
   return last;
+}
+
+std::string FaultPlan::ToPlanString() const {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) out += ';';
+    out += spec.ToSpecString();
+  }
+  return out;
 }
 
 Result<sim::SimTime> ParseDuration(std::string_view text) {
@@ -196,12 +232,17 @@ Result<sim::SimTime> ParseDuration(std::string_view text) {
   return sim::SimTime{static_cast<int64_t>(value * scale)};
 }
 
-Result<FaultSpec> ParseFaultSpec(std::string_view text) {
+namespace {
+
+/// Spec parser core. `base` is the spec's byte offset within the enclosing
+/// plan string (0 when parsing a lone spec), so error offsets are absolute.
+Result<FaultSpec> ParseFaultSpecAt(std::string_view text, size_t base) {
   FaultSpec spec;
   bool have_kind = false;
   bool have_target = false;
   size_t pos = 0;
   while (pos <= text.size()) {
+    size_t pair_start = pos;
     size_t comma = text.find(',', pos);
     if (comma == std::string_view::npos) comma = text.size();
     std::string_view pair = text.substr(pos, comma - pos);
@@ -209,11 +250,11 @@ Result<FaultSpec> ParseFaultSpec(std::string_view text) {
     if (pair.empty()) continue;
     size_t eq = pair.find('=');
     if (eq == std::string_view::npos) {
-      return Status::InvalidArgument("fault spec field '" + std::string(pair) +
-                                     "' is not key=value");
+      return SpecError(base + pair_start, pair, "field is not key=value");
     }
     std::string_view key = pair.substr(0, eq);
     std::string_view value = pair.substr(eq + 1);
+    size_t value_off = base + pair_start + eq + 1;
     if (key == "kind") {
       bool found = false;
       for (const KindEntry& entry : kKinds) {
@@ -224,43 +265,59 @@ Result<FaultSpec> ParseFaultSpec(std::string_view text) {
         }
       }
       if (!found) {
-        return Status::InvalidArgument("unknown fault kind '" +
-                                       std::string(value) + "'");
+        return SpecError(value_off, value, "unknown fault kind");
       }
       have_kind = true;
     } else if (key == "target") {
       spec.target = std::string(value);
       have_target = true;
     } else if (key == "at") {
-      CB_ASSIGN_OR_RETURN(spec.at, ParseDuration(value));
+      Result<sim::SimTime> at = ParseDuration(value);
+      if (!at.ok()) {
+        return SpecError(value_off, value, at.status().message());
+      }
+      spec.at = *at;
     } else if (key == "duration") {
-      CB_ASSIGN_OR_RETURN(spec.duration, ParseDuration(value));
+      Result<sim::SimTime> duration = ParseDuration(value);
+      if (!duration.ok()) {
+        return SpecError(value_off, value, duration.status().message());
+      }
+      spec.duration = *duration;
     } else if (key == "magnitude") {
       std::string number(value);
       char* end = nullptr;
       spec.magnitude = std::strtod(number.c_str(), &end);
       if (end != number.c_str() + number.size() || number.empty()) {
-        return Status::InvalidArgument("malformed magnitude '" + number + "'");
+        return SpecError(value_off, value, "malformed magnitude");
       }
     } else {
-      return Status::InvalidArgument("unknown fault spec key '" +
-                                     std::string(key) + "'");
+      return SpecError(base + pair_start, key, "unknown fault spec key");
     }
   }
   if (!have_kind) {
-    return Status::InvalidArgument("fault spec is missing kind=");
+    return SpecError(base, text, "fault spec is missing kind=");
   }
   if (!have_target) {
-    return Status::InvalidArgument("fault spec is missing target=");
+    return SpecError(base, text, "fault spec is missing target=");
   }
-  CB_RETURN_IF_ERROR(Validate(spec));
+  Status valid = Validate(spec);
+  if (!valid.ok()) {
+    return SpecError(base, text, valid.message());
+  }
   return spec;
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(std::string_view text) {
+  return ParseFaultSpecAt(text, 0);
 }
 
 Result<FaultPlan> ParseFaultPlan(std::string_view text) {
   FaultPlan plan;
   size_t pos = 0;
   while (pos <= text.size()) {
+    size_t piece_start = pos;
     size_t semi = text.find(';', pos);
     if (semi == std::string_view::npos) semi = text.size();
     std::string_view piece = text.substr(pos, semi - pos);
@@ -269,7 +326,7 @@ Result<FaultPlan> ParseFaultPlan(std::string_view text) {
       if (semi == text.size()) break;
       continue;
     }
-    CB_ASSIGN_OR_RETURN(FaultSpec spec, ParseFaultSpec(piece));
+    CB_ASSIGN_OR_RETURN(FaultSpec spec, ParseFaultSpecAt(piece, piece_start));
     plan.specs.push_back(std::move(spec));
     if (semi == text.size()) break;
   }

@@ -59,6 +59,10 @@ struct FaultSpec {
 
   /// "crash-loop target=rw at=5s duration=24s magnitude=8".
   std::string ToString() const;
+  /// Plan-grammar form ("kind=crash-loop,target=rw,at=5s,duration=24s,
+  /// magnitude=8"); round-trips through ParseFaultSpec, so fuzzer-generated
+  /// and shrunk plans (src/chaos) are replayable verbatim via --faults=.
+  std::string ToSpecString() const;
 };
 
 /// A deterministic fault schedule: the unit benches and the availability
@@ -72,6 +76,9 @@ struct FaultPlan {
   /// Latest offset at which any fault clears; crash kinds, which have no
   /// duration, count their injection time.
   sim::SimTime LastClearAt() const;
+  /// Semicolon-joined ToSpecString() of every spec; ParseFaultPlan of the
+  /// result reproduces this plan exactly (the chaos fuzzer asserts it).
+  std::string ToPlanString() const;
 };
 
 /// "5s" / "250ms" / "1500us" -> SimTime. Strict: requires a numeric value
@@ -82,7 +89,10 @@ util::Result<sim::SimTime> ParseDuration(std::string_view text);
 /// (required), at, duration, magnitude. Unknown keys, unknown kinds or
 /// targets, and per-kind constraint violations (e.g. link-degrade without a
 /// positive duration) are kInvalidArgument — bench mains turn that into
-/// usage + exit 2, matching the BenchArgs convention.
+/// usage + exit 2, matching the BenchArgs convention. Error messages name
+/// the byte offset and the offending token ("at byte 5, token 'meteor':
+/// unknown fault kind") so a malformed spec inside a long plan string is
+/// findable without bisecting it.
 util::Result<FaultSpec> ParseFaultSpec(std::string_view text);
 
 /// Parses a semicolon-separated plan ("spec;spec;..."); empty pieces are

@@ -1,5 +1,6 @@
 #include "fault/injector.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "obs/timeline.h"
@@ -92,6 +93,29 @@ void FaultInjector::InjectCrash(const FaultSpec& spec) {
       cluster_->InjectRoRestart(index, env_->Now());
     }
   }
+  // A crash can reshuffle which node plays which role (fail-over promote);
+  // reapply every live windowed effect so links that changed role mid-window
+  // carry the composed state and no orphaned degrade survives on the old
+  // topology.
+  ApplyReplayState();
+  std::vector<std::string> targets;
+  for (const ActiveEffect& effect : active_) {
+    if (effect.kind == FaultKind::kLinkDegrade ||
+        effect.kind == FaultKind::kLinkBlackhole ||
+        effect.kind == FaultKind::kDiskFailSlow) {
+      if (std::find(targets.begin(), targets.end(), effect.target) ==
+          targets.end()) {
+        targets.push_back(effect.target);
+      }
+    }
+  }
+  for (const std::string& target : targets) {
+    if (target.rfind("link.", 0) == 0) {
+      ApplyLinkState(target);
+    } else {
+      ApplyDiskState(target);
+    }
+  }
 }
 
 void FaultInjector::InjectCorrelated(const FaultSpec& spec) {
@@ -107,48 +131,97 @@ void FaultInjector::InjectCorrelated(const FaultSpec& spec) {
   }
 }
 
-void FaultInjector::SetLinks(const FaultSpec& spec, bool on) {
-  for (net::Link* link : ResolveLinks(spec)) {
-    if (spec.kind == FaultKind::kLinkBlackhole) {
-      link->SetBlackhole(on);
-    } else if (on) {
-      link->SetDegraded(spec.magnitude, spec.magnitude);
-    } else {
-      link->SetDegraded(1.0, 1.0);
+void FaultInjector::ApplyLinkState(const std::string& target) {
+  bool blackhole = false;
+  double factor = 1.0;
+  for (const ActiveEffect& effect : active_) {
+    if (effect.target != target) continue;
+    if (effect.kind == FaultKind::kLinkBlackhole) blackhole = true;
+    if (effect.kind == FaultKind::kLinkDegrade) {
+      factor = std::max(factor, effect.factor);
     }
   }
-  if (on) {
-    Journal("fault.inject", spec);
-    ++injected_;
-  } else {
-    Journal("fault.clear", spec);
-    ++cleared_;
+  FaultSpec probe;
+  probe.target = target;
+  for (net::Link* link : ResolveLinks(probe)) {
+    link->SetBlackhole(blackhole);
+    link->SetDegraded(factor, factor);
   }
 }
 
-void FaultInjector::SetDisk(const FaultSpec& spec, bool on, double factor) {
-  storage::DiskDevice* disk = ResolveDisk(spec);
+void FaultInjector::ApplyDiskState(const std::string& target) {
+  FaultSpec probe;
+  probe.target = target;
+  storage::DiskDevice* disk = ResolveDisk(probe);
   if (disk == nullptr) return;
-  if (on) {
+  double factor = 1.0;
+  for (const ActiveEffect& effect : active_) {
+    if (effect.kind == FaultKind::kDiskFailSlow && effect.target == target) {
+      factor = std::max(factor, effect.factor);
+    }
+  }
+  if (factor > 1.0) {
     disk->SetFailSlow(factor, factor);
   } else {
     disk->ClearFailSlow();
-    Journal("fault.clear", spec);
-    ++cleared_;
   }
 }
 
-void FaultInjector::SetReplay(const FaultSpec& spec, bool on) {
+void FaultInjector::ApplyReplayState() {
+  bool stalled = false;
+  for (const ActiveEffect& effect : active_) {
+    if (effect.kind == FaultKind::kReplayStall) stalled = true;
+  }
   for (size_t i = 0; i < cluster_->replayer_count(); ++i) {
-    cluster_->replayer(i)->SetStalled(on);
+    cluster_->replayer(i)->SetStalled(stalled);
   }
-  if (on) {
-    Journal("fault.inject", spec);
-    ++injected_;
-  } else {
-    Journal("fault.clear", spec);
-    ++cleared_;
+}
+
+void FaultInjector::ApplyState(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkBlackhole:
+      ApplyLinkState(spec.target);
+      break;
+    case FaultKind::kDiskFailSlow:
+      ApplyDiskState(spec.target);
+      break;
+    case FaultKind::kReplayStall:
+      ApplyReplayState();
+      break;
+    default:
+      break;
   }
+}
+
+void FaultInjector::BeginEffect(int effect_id, const FaultSpec& spec,
+                                double factor) {
+  active_.push_back(ActiveEffect{effect_id, spec.kind, spec.target, factor});
+  ApplyState(spec);
+  Journal("fault.inject", spec);
+  ++injected_;
+}
+
+void FaultInjector::UpdateEffect(int effect_id, const FaultSpec& spec,
+                                 double factor) {
+  for (ActiveEffect& effect : active_) {
+    if (effect.id == effect_id) {
+      effect.factor = factor;
+      break;
+    }
+  }
+  ApplyState(spec);
+}
+
+void FaultInjector::EndEffect(int effect_id, const FaultSpec& spec) {
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [effect_id](const ActiveEffect& effect) {
+                                 return effect.id == effect_id;
+                               }),
+                active_.end());
+  ApplyState(spec);
+  Journal("fault.clear", spec);
+  ++cleared_;
 }
 
 void FaultInjector::ArmSpec(const FaultSpec& spec, sim::SimTime base) {
@@ -171,33 +244,46 @@ void FaultInjector::ArmSpec(const FaultSpec& spec, sim::SimTime base) {
       break;
     }
     case FaultKind::kLinkDegrade:
-    case FaultKind::kLinkBlackhole:
-      env_->ScheduleCall(start, [this, spec] { SetLinks(spec, true); });
-      env_->ScheduleCall(end, [this, spec] { SetLinks(spec, false); });
+    case FaultKind::kLinkBlackhole: {
+      int effect_id = next_effect_id_++;
+      double factor =
+          spec.kind == FaultKind::kLinkDegrade ? spec.magnitude : 1.0;
+      env_->ScheduleCall(start, [this, effect_id, spec, factor] {
+        BeginEffect(effect_id, spec, factor);
+      });
+      env_->ScheduleCall(end,
+                         [this, effect_id, spec] { EndEffect(effect_id, spec); });
       break;
+    }
     case FaultKind::kDiskFailSlow: {
       // Creeping degradation: ramp to `magnitude` over the window in
       // discrete steps, then recover instantly (operator replaces the disk).
-      env_->ScheduleCall(start, [this, spec] {
-        Journal("fault.inject", spec);
-        ++injected_;
+      int effect_id = next_effect_id_++;
+      env_->ScheduleCall(start, [this, effect_id, spec] {
+        BeginEffect(effect_id, spec, 1.0);
       });
       sim::SimTime step = spec.duration * (1.0 / kFailSlowSteps);
       for (int i = 0; i < kFailSlowSteps; ++i) {
         double factor = 1.0 + (spec.magnitude - 1.0) *
                                   static_cast<double>(i + 1) / kFailSlowSteps;
         env_->ScheduleCall(start + step * static_cast<double>(i),
-                           [this, spec, factor] {
-                             SetDisk(spec, true, factor);
+                           [this, effect_id, spec, factor] {
+                             UpdateEffect(effect_id, spec, factor);
                            });
       }
-      env_->ScheduleCall(end, [this, spec] { SetDisk(spec, false, 1.0); });
+      env_->ScheduleCall(end,
+                         [this, effect_id, spec] { EndEffect(effect_id, spec); });
       break;
     }
-    case FaultKind::kReplayStall:
-      env_->ScheduleCall(start, [this, spec] { SetReplay(spec, true); });
-      env_->ScheduleCall(end, [this, spec] { SetReplay(spec, false); });
+    case FaultKind::kReplayStall: {
+      int effect_id = next_effect_id_++;
+      env_->ScheduleCall(start, [this, effect_id, spec] {
+        BeginEffect(effect_id, spec, 1.0);
+      });
+      env_->ScheduleCall(end,
+                         [this, effect_id, spec] { EndEffect(effect_id, spec); });
       break;
+    }
   }
 }
 

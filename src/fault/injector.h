@@ -20,6 +20,14 @@ namespace cloudybench::fault {
 ///
 /// Link and replayer targets are resolved at fire time, not arm time, so
 /// links created by later scale-out are covered too.
+///
+/// Overlapping windows on the same target compose through an effect ledger:
+/// each armed clearing spec is one ledger entry, and the applied state is
+/// recomputed from all live entries at every inject/clear instant (max
+/// degrade factor, any-blackhole, any-stall). A window clearing therefore
+/// never cancels a sibling window that is still open, and targets are
+/// re-resolved at each recompute, so a role reshuffle mid-window (RW crash
+/// during a link degrade) leaves no orphaned fault behind.
 class FaultInjector {
  public:
   FaultInjector(sim::Environment* env, cloud::Cluster* cluster);
@@ -32,28 +40,50 @@ class FaultInjector {
   /// than once (e.g. one plan per measurement phase); the schedules add up.
   int Arm(const FaultPlan& plan, sim::SimTime base);
 
+  /// True when the spec's target exists on this cluster right now. Public so
+  /// harnesses (src/chaos) can compute the armed subset of a plan up front
+  /// and derive the expected journal counts from it.
+  bool TargetExists(const FaultSpec& spec) const;
+
   int64_t injected() const { return injected_; }
   int64_t cleared() const { return cleared_; }
   int skipped() const { return skipped_; }
 
  private:
-  /// True when the spec's target exists on this cluster right now.
-  bool TargetExists(const FaultSpec& spec) const;
+  /// One live fault window. `factor` is the current degrade/slow-down factor
+  /// (disk ramps update it step by step); blackhole/stall entries carry their
+  /// presence, not a factor.
+  struct ActiveEffect {
+    int id = 0;
+    FaultKind kind = FaultKind::kLinkDegrade;
+    std::string target;
+    double factor = 1.0;
+  };
+
   void ArmSpec(const FaultSpec& spec, sim::SimTime base);
   void Journal(const char* kind, const FaultSpec& spec);
 
   /// Fire-time applications (each journals "fault.inject"/"fault.clear").
   void InjectCrash(const FaultSpec& spec);
   void InjectCorrelated(const FaultSpec& spec);
-  void SetLinks(const FaultSpec& spec, bool on);
-  void SetDisk(const FaultSpec& spec, bool on, double factor);
-  void SetReplay(const FaultSpec& spec, bool on);
+  void BeginEffect(int effect_id, const FaultSpec& spec, double factor);
+  void UpdateEffect(int effect_id, const FaultSpec& spec, double factor);
+  void EndEffect(int effect_id, const FaultSpec& spec);
+
+  /// Recomputes-and-applies the composed state for one target from the
+  /// ledger. Targets are resolved fresh here, never cached.
+  void ApplyLinkState(const std::string& target);
+  void ApplyDiskState(const std::string& target);
+  void ApplyReplayState();
+  void ApplyState(const FaultSpec& spec);
 
   std::vector<net::Link*> ResolveLinks(const FaultSpec& spec) const;
   storage::DiskDevice* ResolveDisk(const FaultSpec& spec) const;
 
   sim::Environment* env_;
   cloud::Cluster* cluster_;
+  std::vector<ActiveEffect> active_;
+  int next_effect_id_ = 0;
   int64_t injected_ = 0;
   int64_t cleared_ = 0;
   int skipped_ = 0;

@@ -340,4 +340,31 @@ util::Status WriteTimelineJsonlFile(const Timeline& timeline,
   return WriteStringFile(path, TimelineJsonl(timeline));
 }
 
+std::string OracleVerdictsJsonl(const std::vector<OracleVerdictRow>& rows) {
+  std::string out;
+  for (const OracleVerdictRow& row : rows) {
+    out += "{\"case\":\"";
+    AppendEscaped(&out, row.case_id);
+    out += "\",\"sut\":\"";
+    AppendEscaped(&out, row.sut);
+    out += "\",\"seed\":";
+    AppendInt(&out, static_cast<int64_t>(row.seed));
+    out += ",\"plan\":\"";
+    AppendEscaped(&out, row.plan);
+    out += "\",\"oracle\":\"";
+    AppendEscaped(&out, row.oracle);
+    out += "\",\"pass\":";
+    out += row.pass ? "true" : "false";
+    out += ",\"detail\":\"";
+    AppendEscaped(&out, row.detail);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+util::Status WriteOracleVerdictsJsonlFile(
+    const std::vector<OracleVerdictRow>& rows, const std::string& path) {
+  return WriteStringFile(path, OracleVerdictsJsonl(rows));
+}
+
 }  // namespace cloudybench::obs

@@ -1,7 +1,9 @@
 #ifndef CLOUDYBENCH_OBS_EXPORTERS_H_
 #define CLOUDYBENCH_OBS_EXPORTERS_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metric_registry.h"
 #include "obs/timeline.h"
@@ -66,6 +68,26 @@ util::Status WriteTimelineJsonlFile(const Timeline& timeline,
 /// through this.
 util::Status WriteStringFile(const std::string& path,
                              const std::string& content);
+
+/// One chaos-oracle verdict: a single oracle's pass/fail for one chaos case
+/// on one SUT (src/chaos). `plan` is the replayable --faults= string.
+struct OracleVerdictRow {
+  std::string case_id;
+  std::string sut;
+  uint64_t seed = 0;
+  std::string plan;
+  std::string oracle;
+  bool pass = true;
+  std::string detail;
+};
+
+/// Serializes verdict rows as JSON Lines in the given order (callers pass
+/// matrix order, so the artifact is byte-identical at any --jobs):
+///   {"case":..,"sut":..,"seed":..,"plan":..,"oracle":..,"pass":..,"detail":..}
+std::string OracleVerdictsJsonl(const std::vector<OracleVerdictRow>& rows);
+
+util::Status WriteOracleVerdictsJsonlFile(
+    const std::vector<OracleVerdictRow>& rows, const std::string& path);
 
 }  // namespace cloudybench::obs
 

@@ -111,6 +111,9 @@ class Replayer {
   /// Records shipped but not yet applied — the replay backlog gauge the
   /// metric registry exports.
   int64_t backlog() const { return backlog_; }
+  /// True once every shipped record has been applied and the pipeline is
+  /// not stalled — the convergence oracle's drain condition (src/chaos).
+  bool Drained() const { return !stalled_ && backlog_ == 0; }
 
   /// Total ring growth events across the pipeline's queues — its only
   /// steady-state allocation source. A stable count over a measurement

@@ -73,7 +73,7 @@ util::Status SyntheticTable::Delete(int64_t key) {
   return util::Status::OK();
 }
 
-uint64_t SyntheticTable::StateHash() const {
+uint64_t SyntheticTable::ContentHash() const {
   // XOR of per-entry hashes is order independent across the hash table's
   // iteration order, which is exactly what we need.
   uint64_t h = 0;
@@ -84,8 +84,12 @@ uint64_t SyntheticTable::StateHash() const {
     h ^= (static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL) *
          0xff51afd7ed558ccdULL;
   });
-  h ^= static_cast<uint64_t>(next_key_) * 0xc4ceb9fe1a85ec53ULL;
   return h;
+}
+
+uint64_t SyntheticTable::StateHash() const {
+  return ContentHash() ^
+         static_cast<uint64_t>(next_key_) * 0xc4ceb9fe1a85ec53ULL;
 }
 
 void SyntheticTable::CopyContentsFrom(const SyntheticTable& other) {
@@ -135,6 +139,14 @@ uint64_t TableSet::StateHash() const {
   uint64_t h = 0;
   for (const auto& t : tables_) {
     h = h * 1099511628211ULL ^ t->StateHash();
+  }
+  return h;
+}
+
+uint64_t TableSet::ContentHash() const {
+  uint64_t h = 0;
+  for (const auto& t : tables_) {
+    h = h * 1099511628211ULL ^ t->ContentHash();
   }
   return h;
 }

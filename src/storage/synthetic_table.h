@@ -93,6 +93,14 @@ class SyntheticTable {
   /// tests rely on this.
   uint64_t StateHash() const;
 
+  /// StateHash minus the allocator position: identical logical *rows* only.
+  /// Serial keys allocated by transactions that later aborted advance
+  /// next_key_ on the primary but are never logged (sequence allocation is
+  /// not transactional, as in real engines), so a replica built purely from
+  /// the redo stream legitimately lags the allocator while holding the same
+  /// rows. Convergence checks that compare across the log stream use this.
+  uint64_t ContentHash() const;
+
   /// Number of mutated (overlay) rows; memory accounting and tests.
   size_t overlay_rows() const { return overlay_.size(); }
   size_t tombstones() const { return tombstones_.size(); }
@@ -137,6 +145,8 @@ class TableSet {
 
   /// Combined state hash across tables (replica equivalence).
   uint64_t StateHash() const;
+  /// Combined content hash (rows only; see SyntheticTable::ContentHash).
+  uint64_t ContentHash() const;
 
  private:
   std::vector<std::unique_ptr<SyntheticTable>> tables_;

@@ -373,6 +373,12 @@ sim::Task<util::Status> TxnManager::Commit(Transaction* txn) {
     }
   }
 
+  if (commit_listener_) {
+    commit_listener_(
+        std::span<const TxnBook::WriteOp>(book->writes.data(),
+                                          book->writes.size()));
+  }
+
   engine_->lock_manager()->ReleaseAll(txn->id_, book->held_locks);
   txn->active_ = false;
   --active_txns_;

@@ -2,7 +2,9 @@
 #define CLOUDYBENCH_TXN_TXN_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -210,6 +212,17 @@ class TxnManager {
   int64_t aborts() const { return aborts_; }
   int64_t active_txns() const { return active_txns_; }
 
+  /// Called once per committed *write* transaction, at the client-ack point:
+  /// after the engine's log force and write-set apply, immediately before
+  /// Commit returns OK. The span is the transaction's write set in staging
+  /// order and is only valid for the duration of the call. Chaos oracles
+  /// use this to ledger exactly what the client was acknowledged
+  /// (src/chaos/oracles.h); read-only commits do not fire it.
+  using CommitListener = std::function<void(std::span<const TxnBook::WriteOp>)>;
+  void SetCommitListener(CommitListener listener) {
+    commit_listener_ = std::move(listener);
+  }
+
  private:
   /// Admission check on a transaction's first operation only (no held
   /// locks, no staged writes yet): a shed transaction has cost nothing.
@@ -231,6 +244,7 @@ class TxnManager {
 
   Engine* engine_;
   CpuCosts costs_;
+  CommitListener commit_listener_;
   int64_t next_txn_id_ = 1;
   int64_t commits_ = 0;
   int64_t aborts_ = 0;

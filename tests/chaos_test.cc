@@ -1,0 +1,190 @@
+// Chaos-engineering layer tests (DESIGN.md §4l): the seeded plan fuzzer's
+// determinism and round-trip property, the six built-in fault scenarios run
+// with every end-to-end oracle armed on all five SUT architectures, the
+// mutation test (a deliberately planted WAL-tail-loss bug must be caught by
+// the durability oracle and shrunk to a minimal plan), and the shrinker's
+// own determinism.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/fuzzer.h"
+#include "chaos/harness.h"
+#include "chaos/oracles.h"
+#include "chaos/shrinker.h"
+#include "fault/fault.h"
+#include "fault/scenarios.h"
+#include "sut/profiles.h"
+
+namespace cloudybench::chaos {
+namespace {
+
+using fault::FaultPlan;
+using fault::ParseFaultPlan;
+using sut::SutKind;
+
+TEST(PlanFuzzer, SameSeedSameCases) {
+  PlanFuzzer a(7);
+  PlanFuzzer b(7);
+  for (int i = 0; i < 20; ++i) {
+    ChaosCase ca = a.Next();
+    ChaosCase cb = b.Next();
+    EXPECT_EQ(ca.plan_string, cb.plan_string) << "case " << i;
+    EXPECT_EQ(ca.case_seed, cb.case_seed);
+    EXPECT_EQ(ca.degradation, cb.degradation);
+    EXPECT_EQ(ca.arrivals, cb.arrivals);
+    EXPECT_FALSE(ca.plan.specs.empty());
+  }
+}
+
+TEST(PlanFuzzer, DifferentSeedsDiverge) {
+  // Not a per-case guarantee, but across 10 cases two seeds must not
+  // produce the same schedule list.
+  PlanFuzzer a(7);
+  PlanFuzzer b(8);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next().plan_string != b.Next().plan_string) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(PlanFuzzer, CaseByIndexMatchesSequentialDraws) {
+  // Case(i) depends only on (seed, i) — the property the matrix runner's
+  // any-jobs byte-identity rests on.
+  PlanFuzzer sequential(42);
+  sequential.Next();
+  sequential.Next();
+  ChaosCase third = sequential.Next();
+  PlanFuzzer indexed(42);
+  EXPECT_EQ(indexed.Case(2).plan_string, third.plan_string);
+  EXPECT_EQ(indexed.Case(2).case_seed, third.case_seed);
+}
+
+TEST(PlanFuzzer, PlansRoundTripThroughParser) {
+  PlanFuzzer fuzzer(11);
+  for (int i = 0; i < 25; ++i) {
+    ChaosCase c = fuzzer.Next();
+    util::Result<FaultPlan> reparsed = ParseFaultPlan(c.plan_string);
+    ASSERT_TRUE(reparsed.ok()) << c.plan_string;
+    EXPECT_EQ(reparsed->ToPlanString(), c.plan_string);
+  }
+}
+
+/// Runs every built-in scenario on one SUT with all oracles armed; each
+/// must come back clean (the scenarios are availability experiments, not
+/// correctness violations).
+void RunBuiltinScenarios(SutKind sut) {
+  for (const fault::Scenario& scenario : fault::BuiltinScenarios()) {
+    util::Result<FaultPlan> plan = ParseFaultPlan(scenario.plan);
+    ASSERT_TRUE(plan.ok()) << scenario.name;
+    CaseOptions options;
+    options.sut = sut;
+    options.seed = 1234;
+    options.concurrency = 16;
+    CaseOutcome outcome = RunChaosCase(*plan, options);
+    EXPECT_TRUE(outcome.report.AllPass())
+        << sut::SutName(sut) << "/" << scenario.name << ": "
+        << outcome.report.Summary();
+    EXPECT_TRUE(outcome.drained) << sut::SutName(sut) << "/" << scenario.name;
+    EXPECT_GT(outcome.commits, 0);
+  }
+}
+
+TEST(ChaosScenarios, AwsRds) { RunBuiltinScenarios(SutKind::kAwsRds); }
+TEST(ChaosScenarios, Cdb1) { RunBuiltinScenarios(SutKind::kCdb1); }
+TEST(ChaosScenarios, Cdb2) { RunBuiltinScenarios(SutKind::kCdb2); }
+TEST(ChaosScenarios, Cdb3) { RunBuiltinScenarios(SutKind::kCdb3); }
+TEST(ChaosScenarios, Cdb4) { RunBuiltinScenarios(SutKind::kCdb4); }
+
+TEST(ChaosHarness, OpenLoopArrivalsCaseHoldsOracles) {
+  FaultPlan plan =
+      *ParseFaultPlan("kind=link-degrade,target=link.storage,at=2s,"
+                      "duration=3s,magnitude=8");
+  CaseOptions options;
+  options.sut = SutKind::kCdb1;
+  options.arrivals = "process=poisson,rate=200";
+  CaseOutcome outcome = RunChaosCase(plan, options);
+  EXPECT_TRUE(outcome.report.AllPass()) << outcome.report.Summary();
+  EXPECT_GT(outcome.commits, 0);
+  EXPECT_GT(outcome.acked_commits, 0);
+}
+
+TEST(ChaosHarness, LedgerSeesEveryAckedCommit) {
+  FaultPlan plan = *ParseFaultPlan("kind=crash,target=rw,at=3s");
+  CaseOptions options;
+  options.sut = SutKind::kAwsRds;
+  options.measure = sim::Seconds(8);
+  CaseOutcome outcome = RunChaosCase(plan, options);
+  // Read-only transactions don't ledger; write commits do.
+  EXPECT_GT(outcome.acked_commits, 0);
+  EXPECT_LE(outcome.acked_commits, outcome.commits);
+  EXPECT_TRUE(outcome.report.AllPass()) << outcome.report.Summary();
+}
+
+// The mutation test: plant the deliberate WAL-tail-loss bug (an acked
+// insert vanishes from the canonical tables at RW crash) and require that
+// (a) the durability oracle catches it, and (b) the shrinker reduces the
+// two-entry plan to a minimal failing plan of at most two entries with a
+// replayable repro line.
+constexpr char kMutationPlan[] =
+    "kind=crash,target=rw,at=2s;"
+    "kind=link-degrade,target=link.storage,at=1s,duration=2s,magnitude=4";
+
+CaseOptions MutationOptions() {
+  CaseOptions options;
+  options.sut = SutKind::kAwsRds;
+  options.measure = sim::Seconds(8);
+  options.plant_wal_tail_loss = true;
+  return options;
+}
+
+TEST(ChaosMutation, PlantedDurabilityBugIsCaughtAndShrunk) {
+  FaultPlan plan = *ParseFaultPlan(kMutationPlan);
+  CaseOptions options = MutationOptions();
+
+  CaseOutcome outcome = RunChaosCase(plan, options);
+  ASSERT_FALSE(outcome.report.AllPass());
+  const OracleVerdict* failure = outcome.report.FirstFailure();
+  ASSERT_NE(failure, nullptr);
+  EXPECT_EQ(failure->oracle, "durability");
+
+  CaseRunner rerun = [&options](const FaultPlan& candidate) -> std::string {
+    CaseOutcome o = RunChaosCase(candidate, options);
+    const OracleVerdict* f = o.report.FirstFailure();
+    return f == nullptr ? "" : f->oracle;
+  };
+  ShrinkOutcome shrunk = ShrinkPlan(plan, rerun);
+  EXPECT_TRUE(shrunk.converged);
+  EXPECT_LE(shrunk.plan.specs.size(), 2u);
+  EXPECT_EQ(shrunk.failed_oracle, "durability");
+  // The crash is what triggers the planted loss; it must survive shrinking.
+  bool has_crash = false;
+  for (const fault::FaultSpec& spec : shrunk.plan.specs) {
+    if (spec.kind == fault::FaultKind::kCrash) has_crash = true;
+  }
+  EXPECT_TRUE(has_crash) << shrunk.plan_string;
+  std::string repro = ReproLine(options.seed, shrunk);
+  EXPECT_NE(repro.find("--faults='"), std::string::npos);
+  EXPECT_NE(repro.find("failed=durability"), std::string::npos);
+}
+
+TEST(ChaosMutation, ShrinkIsDeterministic) {
+  FaultPlan plan = *ParseFaultPlan(kMutationPlan);
+  CaseOptions options = MutationOptions();
+  CaseRunner rerun = [&options](const FaultPlan& candidate) -> std::string {
+    CaseOutcome o = RunChaosCase(candidate, options);
+    const OracleVerdict* f = o.report.FirstFailure();
+    return f == nullptr ? "" : f->oracle;
+  };
+  ShrinkOutcome first = ShrinkPlan(plan, rerun);
+  ShrinkOutcome second = ShrinkPlan(plan, rerun);
+  EXPECT_EQ(first.plan_string, second.plan_string);
+  EXPECT_EQ(first.failed_oracle, second.failed_oracle);
+  EXPECT_EQ(first.runs, second.runs);
+}
+
+}  // namespace
+}  // namespace cloudybench::chaos

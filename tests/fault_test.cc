@@ -163,6 +163,44 @@ TEST(FaultPlanTest, ParseFaultSpecRejectsMalformedSpecs) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FaultPlanTest, GrammarErrorsCarryByteOffsetAndToken) {
+  auto message = [](std::string_view text) {
+    return std::string(ParseFaultSpec(text).status().message());
+  };
+  // Unknown kind: offset of the value, not the pair.
+  EXPECT_NE(message("kind=meteor,target=rw")
+                .find("at byte 5, token 'meteor': unknown fault kind"),
+            std::string::npos);
+  // Malformed duration value inside at=.
+  std::string bad_at = message("kind=crash,target=rw,at=5q");
+  EXPECT_NE(bad_at.find("at byte 24, token '5q'"), std::string::npos);
+  // A bare field that is not key=value points at the whole field.
+  EXPECT_NE(message("kind=crash,target=rw,bogus")
+                .find("at byte 21, token 'bogus': field is not key=value"),
+            std::string::npos);
+  // Unknown key points at the key.
+  EXPECT_NE(message("kind=crash,target=rw,severity=9")
+                .find("at byte 21, token 'severity': unknown fault spec key"),
+            std::string::npos);
+  // Missing required keys anchor at the spec start with the full text.
+  EXPECT_NE(message("target=rw")
+                .find("at byte 0, token 'target=rw': fault spec is missing "
+                      "kind="),
+            std::string::npos);
+  // Malformed magnitude points at the value.
+  EXPECT_NE(message("kind=crash,target=rw,magnitude=big")
+                .find("at byte 31, token 'big': malformed magnitude"),
+            std::string::npos);
+  // Plan-level parsing reports offsets into the *whole* plan string, so a
+  // bad token in the second spec is addressable with one glance.
+  std::string plan_err = std::string(
+      ParseFaultPlan("kind=crash,target=rw;kind=nope,target=rw")
+          .status()
+          .message());
+  EXPECT_NE(plan_err.find("at byte 26, token 'nope': unknown fault kind"),
+            std::string::npos);
+}
+
 TEST(FaultPlanTest, ParseFaultSpecEnforcesPerKindConstraints) {
   auto code = [](std::string_view text) {
     return ParseFaultSpec(text).status().code();
@@ -362,6 +400,98 @@ TEST(FaultInjectorTest, ClearsLinkDegradeOnSchedule) {
   for (net::Link* link : links) EXPECT_FALSE(link->degraded());
   EXPECT_EQ(injector.injected(), 1);
   EXPECT_EQ(injector.cleared(), 1);
+}
+
+TEST(FaultInjectorTest, OverlappingReplayStallsComposeAsUnion) {
+  // Windows [1s,3s) and [2s,7s): the effect ledger keeps the replayer
+  // stalled across the first clear and releases it only when the *last*
+  // overlapping window ends.
+  Rig rig(SutKind::kCdb1, 1);
+  FaultInjector injector(&rig.env, rig.cluster.get());
+  injector.Arm(*ParseFaultPlan(
+                   "kind=replay-stall,target=replay,at=1s,duration=2s;"
+                   "kind=replay-stall,target=replay,at=2s,duration=5s"),
+               sim::SimTime{0});
+  rig.env.RunUntil(sim::Seconds(4));
+  // First window cleared at 3s, second still open.
+  EXPECT_TRUE(rig.cluster->replayer(0)->stalled());
+  rig.env.RunUntil(sim::Seconds(8));
+  EXPECT_FALSE(rig.cluster->replayer(0)->stalled());
+  EXPECT_EQ(injector.injected(), 2);
+  EXPECT_EQ(injector.cleared(), 2);
+}
+
+TEST(FaultInjectorTest, OverlappingLinkDegradesKeepTheStrongerFactor) {
+  Rig rig(SutKind::kCdb1, 1);
+  FaultInjector injector(&rig.env, rig.cluster.get());
+  injector.Arm(*ParseFaultPlan(
+                   "kind=link-degrade,target=link.storage,at=1s,duration=2s,"
+                   "magnitude=16;"
+                   "kind=link-degrade,target=link.storage,at=2s,duration=4s,"
+                   "magnitude=4"),
+               sim::SimTime{0});
+  std::vector<net::Link*> links = rig.cluster->LinksByRole("storage");
+  ASSERT_FALSE(links.empty());
+  rig.env.RunUntil(sim::Millis(3500));
+  // The 16x window has cleared, but the 4x window must still hold.
+  for (net::Link* link : links) EXPECT_TRUE(link->degraded());
+  rig.env.RunUntil(sim::Seconds(7));
+  for (net::Link* link : links) EXPECT_FALSE(link->degraded());
+}
+
+TEST(FaultInjectorTest, RwCrashDuringLinkDegradeClearsCleanly) {
+  // Regression for the orphaned-fault audit: the RW crashes in the middle
+  // of a link-degrade window. The crash path re-resolves and re-applies
+  // every live windowed effect, and the scheduled clear at window end must
+  // leave every link pristine — no fault bleeding past its window because
+  // a role moved mid-flight.
+  Rig rig(SutKind::kAwsRds, 2);
+  FaultInjector injector(&rig.env, rig.cluster.get());
+  injector.Arm(*ParseFaultPlan(
+                   "kind=link-degrade,target=link.storage,at=1s,duration=6s,"
+                   "magnitude=8;"
+                   "kind=crash,target=rw,at=2s"),
+               sim::SimTime{0});
+  rig.env.RunUntil(sim::Seconds(3));
+  EXPECT_EQ(injector.injected(), 2);
+  rig.env.RunUntil(sim::Seconds(60));
+  EXPECT_TRUE(rig.cluster->rw_available());
+  for (net::Link* link : rig.cluster->LinksByRole("storage")) {
+    EXPECT_FALSE(link->degraded());
+    EXPECT_FALSE(link->blackholed());
+  }
+  EXPECT_EQ(injector.cleared(), 1);
+}
+
+TEST(FaultInjectorTest, OverlappingBlackholeAndDegradeReleaseInOrder) {
+  // A blackhole inside a longer degrade window: when the blackhole clears
+  // the link must still be degraded (not reset to clean), and when the
+  // degrade clears the link is fully restored.
+  Rig rig(SutKind::kCdb1, 1);
+  FaultInjector injector(&rig.env, rig.cluster.get());
+  injector.Arm(*ParseFaultPlan(
+                   "kind=link-degrade,target=link.storage,at=1s,duration=6s,"
+                   "magnitude=4;"
+                   "kind=link-blackhole,target=link.storage,at=2s,"
+                   "duration=1s"),
+               sim::SimTime{0});
+  std::vector<net::Link*> links = rig.cluster->LinksByRole("storage");
+  ASSERT_FALSE(links.empty());
+  rig.env.RunUntil(sim::Millis(2500));
+  for (net::Link* link : links) {
+    EXPECT_TRUE(link->blackholed());
+    EXPECT_TRUE(link->degraded());
+  }
+  rig.env.RunUntil(sim::Seconds(4));
+  for (net::Link* link : links) {
+    EXPECT_FALSE(link->blackholed());
+    EXPECT_TRUE(link->degraded());
+  }
+  rig.env.RunUntil(sim::Seconds(8));
+  for (net::Link* link : links) {
+    EXPECT_FALSE(link->blackholed());
+    EXPECT_FALSE(link->degraded());
+  }
 }
 
 // ---------------------------------------------- SUT-side degradation
